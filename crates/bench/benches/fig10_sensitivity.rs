@@ -1,0 +1,68 @@
+//! Fig. 10 — sensitivity of recovered utilization to bubble size (10a)
+//! and bubble free memory (10b), including the main-job-offloading
+//! ablation (offloading widens free memory, moving along the 10b axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::sensitivity::{
+    fig10a_bubble_size, fig10b_free_memory, print_sensitivity, save_sensitivity,
+};
+use pipefill_core::steady_recovered_tflops;
+use pipefill_device::Bytes;
+use pipefill_executor::ExecutorConfig;
+use pipefill_pipeline::{BubbleMemoryModel, MainJobSpec, OffloadPlanner, ScheduleKind};
+use pipefill_trace::ModelMix;
+
+fn bench(c: &mut Criterion) {
+    let exec = ExecutorConfig::default();
+    let a = fig10a_bubble_size(&exec);
+    let b = fig10b_free_memory(&exec);
+    println!();
+    print_sensitivity(&a, &b);
+    save_sensitivity(
+        &a,
+        &b,
+        &experiment_csv("fig10a_bubble_size.csv"),
+        &experiment_csv("fig10b_free_memory.csv"),
+    )
+    .expect("csv");
+
+    // Ablation: what main-job optimizer-state offloading buys. The
+    // offloadable bytes add to every bubble's free memory (§4.2).
+    let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
+    let partition = main.partition();
+    let sp = &partition.stages()[8];
+    let timeline = main.engine_timeline();
+    let fwd_window = sp.fwd_time * main.parallelism.microbatches_per_replica() as u64;
+    let plan = OffloadPlanner::new(main.device.host_link_bandwidth).plan(
+        sp.optimizer_state_bytes(),
+        fwd_window,
+        pipefill_sim_core::SimDuration::from_millis(400),
+    );
+    let base = steady_recovered_tflops(&main, &exec, &ModelMix::paper_mix());
+    let offloaded = steady_recovered_tflops(
+        &main.clone().with_memory(
+            BubbleMemoryModel::Uniform(Bytes::from_gib_f64(4.5) + plan.offloaded),
+        ),
+        &exec,
+        &ModelMix::paper_mix(),
+    );
+    println!(
+        "\nMain-job offloading ablation: +{} bubble memory → {:.2} → {:.2} TFLOPS/GPU recovered",
+        plan.offloaded, base, offloaded
+    );
+    let _ = timeline;
+
+    c.bench_function("fig10/steady_at_2gib", |bch| {
+        let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe)
+            .with_memory(BubbleMemoryModel::Uniform(Bytes::from_gib(2)));
+        bch.iter(|| steady_recovered_tflops(&main, &exec, &ModelMix::paper_mix()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

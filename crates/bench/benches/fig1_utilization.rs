@@ -1,0 +1,32 @@
+//! Fig. 1 — utilization of LLM-training GPUs, traditional PP vs PipeFill,
+//! while scaling a 40B model from 1K to 8K GPUs. (The two-series subset
+//! of Fig. 4c.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::scaling::{fig4_scaling, save_scaling};
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig4_scaling();
+    println!("\nFig. 1 — TFLOPS/GPU while scaling the 40B LLM:");
+    println!("{:>6} {:>18} {:>22}", "GPUs", "Traditional PP", "PipeFill (trace mix)");
+    for r in &rows {
+        println!(
+            "{:>6} {:>18.1} {:>22.1}",
+            r.gpus, r.traditional_tflops, r.pipefill_trace_mix_tflops
+        );
+    }
+    save_scaling(&rows, &experiment_csv("fig1_utilization.csv")).expect("csv");
+
+    c.bench_function("fig1/engine_timeline_8k", |b| {
+        b.iter(|| MainJobSpec::simulator_40b(8, ScheduleKind::GPipe).engine_timeline())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 5 — main-job overhead and recovered TFLOPS vs the fraction of
+//! each bubble filled, on the fine-grained "physical" 5B/16-GPU setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::fill_fraction::{
+    fig5_fill_fraction, print_fill_fraction, save_fill_fraction,
+};
+use pipefill_core::{PhysicalSim, PhysicalSimConfig};
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig5_fill_fraction(300, 7);
+    println!("\nFig. 5 — fill-fraction sweep (5B physical cluster):");
+    print_fill_fraction(&rows);
+    save_fill_fraction(&rows, &experiment_csv("fig5_fill_fraction.csv")).expect("csv");
+
+    c.bench_function("fig5/physical_sim_100_iters", |b| {
+        b.iter(|| {
+            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let mut cfg = PhysicalSimConfig::new(main);
+            cfg.iterations = 100;
+            PhysicalSim::new(cfg).run()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 6 — simulator validation: fine-grained "physical" measurements vs
+//! the coarse profile-driven prediction while sweeping the fill-job mix
+//! from all-XLM to all-EfficientNet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::validation::{fig6_validation, print_validation, save_validation};
+use pipefill_core::steady_recovered_tflops;
+use pipefill_executor::ExecutorConfig;
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_trace::ModelMix;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig6_validation(300, 7);
+    println!("\nFig. 6 — simulator vs physical, varying the fill-job mix:");
+    print_validation(&rows);
+    let max_err = rows.iter().map(|r| r.relative_error).fold(0.0, f64::max);
+    println!("maximum simulator error: {:.2}% (paper: <2%)", 100.0 * max_err);
+    save_validation(&rows, &experiment_csv("fig6_validation.csv")).expect("csv");
+
+    c.bench_function("fig6/steady_prediction", |b| {
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        b.iter(|| steady_recovered_tflops(&main, &ExecutorConfig::default(), &ModelMix::paper_mix()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 9 — scheduling-policy sensitivity: average JCT (9a) and makespan
+//! (9b) for SJF vs Makespan-Min across offered loads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::policies::{fig9_policies, print_policies, save_policies};
+use pipefill_core::{ClusterSim, ClusterSimConfig};
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+use pipefill_trace::TraceConfig;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig9_policies(11, SimDuration::from_secs(3600));
+    println!("\nFig. 9 — scheduling policies:");
+    print_policies(&rows);
+    save_policies(&rows, &experiment_csv("fig9_policies.csv")).expect("csv");
+
+    c.bench_function("fig9/cluster_sim_30min_trace", |b| {
+        b.iter(|| {
+            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let mut trace = TraceConfig::physical(11);
+            trace.horizon = SimDuration::from_secs(1800);
+            ClusterSim::new(ClusterSimConfig::new(main, trace)).run()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

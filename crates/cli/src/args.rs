@@ -1,0 +1,306 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy has no
+//! CLI crate; the grammar is tiny).
+
+use pipefill_model_zoo::{JobKind, ModelId};
+use pipefill_pipeline::ScheduleKind;
+
+/// Usage text printed on parse errors and `help`.
+pub const USAGE: &str = "\
+usage: pipefill-cli <command> [options]
+
+commands:
+  table1                          fill-job category table (Table 1)
+  fig4                            scaling study (Figs. 1 & 4)
+  fig5   [--iterations N] [--seed S]
+  fig6   [--iterations N] [--seed S]
+  fig7                            fill-job characterization
+  fig8                            GPipe vs 1F1B
+  fig9   [--horizon-secs N] [--seed S]
+  fig10                           sensitivity studies
+  whatif                          offload-bandwidth what-if
+  all    [--out DIR]              run everything, write CSVs
+  timeline [--schedule gpipe|1f1b] [--stages P] [--microbatches M] [--width W]
+  plan   [--model NAME] [--kind training|inference] [--stage S]
+  help";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Table 1.
+    Table1,
+    /// Figs. 1 & 4.
+    Fig4,
+    /// Fig. 5.
+    Fig5 {
+        /// Physical-sim iterations.
+        iterations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Fig. 6.
+    Fig6 {
+        /// Physical-sim iterations.
+        iterations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Fig. 7.
+    Fig7,
+    /// Fig. 8.
+    Fig8,
+    /// Fig. 9.
+    Fig9 {
+        /// Trace horizon in seconds.
+        horizon_secs: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Fig. 10.
+    Fig10,
+    /// Offload-bandwidth what-if.
+    WhatIf,
+    /// Everything, with CSV output.
+    All {
+        /// Output directory.
+        out: String,
+    },
+    /// ASCII schedule rendering.
+    Timeline {
+        /// Pipeline schedule.
+        schedule: ScheduleKind,
+        /// Stages.
+        stages: usize,
+        /// Microbatches.
+        microbatches: usize,
+        /// Render width in columns.
+        width: usize,
+    },
+    /// Show one job's execution plan.
+    Plan {
+        /// Fill-job model.
+        model: ModelId,
+        /// Training or batch inference.
+        kind: JobKind,
+        /// Pipeline stage whose bubbles to plan against.
+        stage: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses an argument vector (without the binary name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown commands, unknown flags,
+/// or malformed values.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else {
+        return Err("missing command".into());
+    };
+    let rest: Vec<&String> = it.collect();
+
+    let mut flags = FlagSet::new(&rest)?;
+    let command = match cmd.as_str() {
+        "table1" => Command::Table1,
+        "fig1" | "fig4" => Command::Fig4,
+        "fig5" => Command::Fig5 {
+            iterations: flags.take_usize("iterations", 300)?,
+            seed: flags.take_u64("seed", 7)?,
+        },
+        "fig6" => Command::Fig6 {
+            iterations: flags.take_usize("iterations", 300)?,
+            seed: flags.take_u64("seed", 7)?,
+        },
+        "fig7" => Command::Fig7,
+        "fig8" => Command::Fig8,
+        "fig9" => Command::Fig9 {
+            horizon_secs: flags.take_u64("horizon-secs", 3600)?,
+            seed: flags.take_u64("seed", 11)?,
+        },
+        "fig10" => Command::Fig10,
+        "whatif" => Command::WhatIf,
+        "all" => Command::All {
+            out: flags.take_string("out", "target/experiments")?,
+        },
+        "timeline" => Command::Timeline {
+            schedule: match flags.take_string("schedule", "gpipe")?.as_str() {
+                "gpipe" => ScheduleKind::GPipe,
+                "1f1b" => ScheduleKind::OneFOneB,
+                other => return Err(format!("unknown schedule '{other}' (gpipe|1f1b)")),
+            },
+            stages: flags.take_usize("stages", 8)?,
+            microbatches: flags.take_usize("microbatches", 8)?,
+            width: flags.take_usize("width", 96)?,
+        },
+        "plan" => Command::Plan {
+            model: parse_model(&flags.take_string("model", "bert-base")?)?,
+            kind: match flags.take_string("kind", "inference")?.as_str() {
+                "training" | "train" => JobKind::Training,
+                "inference" | "inf" | "batch-inference" => JobKind::BatchInference,
+                other => return Err(format!("unknown kind '{other}' (training|inference)")),
+            },
+            stage: flags.take_usize("stage", 8)?,
+        },
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown command '{other}'")),
+    };
+    flags.finish()?;
+    Ok(command)
+}
+
+fn parse_model(name: &str) -> Result<ModelId, String> {
+    let canonical = name.to_ascii_lowercase().replace('_', "-");
+    for id in ModelId::ALL {
+        if id.name().to_ascii_lowercase() == canonical {
+            return Ok(id);
+        }
+    }
+    let names: Vec<&str> = ModelId::ALL.iter().map(|m| m.name()).collect();
+    Err(format!(
+        "unknown model '{name}'; available: {}",
+        names.join(", ")
+    ))
+}
+
+/// `--flag value` pairs with consumption tracking so leftovers error.
+struct FlagSet {
+    pairs: Vec<(String, String, bool)>, // (name, value, consumed)
+}
+
+impl FlagSet {
+    fn new(rest: &[&String]) -> Result<FlagSet, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let flag = rest[i];
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got '{flag}'"));
+            };
+            let Some(value) = rest.get(i + 1) else {
+                return Err(format!("--{name} needs a value"));
+            };
+            pairs.push((name.to_string(), value.to_string(), false));
+            i += 2;
+        }
+        Ok(FlagSet { pairs })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        for (n, v, consumed) in &mut self.pairs {
+            if n == name && !*consumed {
+                *consumed = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn take_string(&mut self, name: &str, default: &str) -> Result<String, String> {
+        Ok(self.take(name).unwrap_or_else(|| default.to_string()))
+    }
+
+    fn take_usize(&mut self, name: &str, default: usize) -> Result<usize, String> {
+        match self.take(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn take_u64(&mut self, name: &str, default: u64) -> Result<u64, String> {
+        match self.take(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (n, _, consumed) in &self.pairs {
+            if !consumed {
+                return Err(format!("unknown flag --{n} for this command"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_bare_commands() {
+        assert_eq!(parse(&argv("table1")).unwrap(), Command::Table1);
+        assert_eq!(parse(&argv("fig4")).unwrap(), Command::Fig4);
+        assert_eq!(parse(&argv("fig1")).unwrap(), Command::Fig4);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("whatif")).unwrap(), Command::WhatIf);
+    }
+
+    #[test]
+    fn parses_flags_with_defaults() {
+        assert_eq!(
+            parse(&argv("fig5")).unwrap(),
+            Command::Fig5 {
+                iterations: 300,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            parse(&argv("fig5 --iterations 50 --seed 9")).unwrap(),
+            Command::Fig5 {
+                iterations: 50,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn parses_timeline_options() {
+        let c = parse(&argv("timeline --schedule 1f1b --stages 4 --microbatches 6 --width 80"))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Timeline {
+                schedule: ScheduleKind::OneFOneB,
+                stages: 4,
+                microbatches: 6,
+                width: 80
+            }
+        );
+    }
+
+    #[test]
+    fn parses_plan_models_case_insensitively() {
+        let c = parse(&argv("plan --model Bert-Large --kind training --stage 3")).unwrap();
+        assert_eq!(
+            c,
+            Command::Plan {
+                model: ModelId::BertLarge,
+                kind: JobKind::Training,
+                stage: 3
+            }
+        );
+        let c = parse(&argv("plan --model resnet-50 --kind inf --stage 0")).unwrap();
+        assert!(matches!(c, Command::Plan { model: ModelId::ResNet50, .. }));
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("fig5 --bogus 3")).is_err());
+        assert!(parse(&argv("fig5 --iterations abc")).is_err());
+        assert!(parse(&argv("fig5 --iterations")).is_err());
+        assert!(parse(&argv("plan --model nonesuch")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

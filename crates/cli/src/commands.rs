@@ -1,0 +1,167 @@
+//! Command implementations: thin glue over the experiment drivers.
+
+use pipefill_core::experiments::*;
+use pipefill_executor::{plan_best, ExecutorConfig, FillJobSpec};
+use pipefill_pipeline::{render_timeline, EngineConfig, MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+
+use crate::args::{Command, USAGE};
+
+/// Executes a parsed command.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures or infeasible plan requests.
+pub fn run(command: Command) -> Result<(), String> {
+    let exec = ExecutorConfig::default();
+    match command {
+        Command::Help => println!("{USAGE}"),
+        Command::Table1 => table1::print_table1(&table1()),
+        Command::Fig4 => scaling::print_scaling(&fig4_scaling()),
+        Command::Fig5 { iterations, seed } => {
+            fill_fraction::print_fill_fraction(&fig5_fill_fraction(iterations, seed));
+        }
+        Command::Fig6 { iterations, seed } => {
+            validation::print_validation(&fig6_validation(iterations, seed));
+        }
+        Command::Fig7 => characterization::print_characterization(&fig7_characterization(
+            &characterization::fig7_default_main(),
+            &exec,
+        )),
+        Command::Fig8 => schedules::print_schedules(&fig8_schedules(&exec)),
+        Command::Fig9 { horizon_secs, seed } => {
+            policies::print_policies(&fig9_policies(seed, SimDuration::from_secs(horizon_secs)));
+        }
+        Command::Fig10 => {
+            sensitivity::print_sensitivity(&fig10a_bubble_size(&exec), &fig10b_free_memory(&exec));
+        }
+        Command::WhatIf => whatif::print_whatif(&whatif_offload_bandwidth()),
+        Command::All { out } => run_all(&out)?,
+        Command::Timeline {
+            schedule,
+            stages,
+            microbatches,
+            width,
+        } => {
+            // Representative per-microbatch stage times (the 40B job's
+            // calibration: backward = 2× forward).
+            let tl = EngineConfig::uniform(
+                schedule,
+                stages,
+                microbatches,
+                SimDuration::from_millis(43),
+                SimDuration::from_millis(86),
+            )
+            .run();
+            println!(
+                "{schedule} with {stages} stages × {microbatches} microbatches \
+                 (bubble ratio {:.1}%, fillable {:.1}%):\n",
+                100.0 * tl.bubble_ratio(),
+                100.0 * tl.fillable_ratio()
+            );
+            println!("{}", render_timeline(&tl, width));
+        }
+        Command::Plan { model, kind, stage } => {
+            let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
+            let timeline = main.engine_timeline();
+            let Some(stage_tl) = timeline.stages.get(stage) else {
+                return Err(format!(
+                    "stage {stage} out of range (0..{})",
+                    timeline.stages.len()
+                ));
+            };
+            let slots: Vec<_> = stage_tl
+                .fillable_windows()
+                .iter()
+                .map(|w| (w.duration, w.free_memory))
+                .collect();
+            println!("bubbles on stage {stage} (one per main-job iteration):");
+            for (i, w) in stage_tl.fillable_windows().iter().enumerate() {
+                println!("  slot {i}: {} ({}), free {}", w.duration, w.kind, w.free_memory);
+            }
+            let job = FillJobSpec::new(0, model, kind, 1_000_000);
+            let plan = plan_best(&job, &slots, &main.device, &ExecutorConfig::default())
+                .map_err(|e| format!("no feasible plan for {model} {kind} on stage {stage}: {e}"))?;
+            println!("\nchosen configuration: {}", plan.config);
+            println!(
+                "pass: {} partitions, {} fill iterations, {} samples, spans {} main iterations",
+                plan.partitions.len(),
+                plan.iterations_per_pass,
+                plan.samples_per_pass,
+                plan.main_iterations_per_pass
+            );
+            for (i, p) in plan.partitions.iter().enumerate() {
+                println!(
+                    "  partition {i:>2} → slot {} | {:>3} nodes | {:>10} | peak {}",
+                    p.bubble_index,
+                    p.node_count,
+                    p.duration.to_string(),
+                    p.memory
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_all(out: &str) -> Result<(), String> {
+    let exec = ExecutorConfig::default();
+    let io = |e: std::io::Error| format!("writing CSV under {out}: {e}");
+    std::fs::create_dir_all(out).map_err(io)?;
+
+    println!("== Table 1 ==");
+    let t1 = table1();
+    table1::print_table1(&t1);
+    table1::save_table1(&t1, &format!("{out}/table1.csv")).map_err(io)?;
+
+    println!("\n== Figs. 1 & 4 ==");
+    let s = fig4_scaling();
+    scaling::print_scaling(&s);
+    scaling::save_scaling(&s, &format!("{out}/fig4_scaling.csv")).map_err(io)?;
+
+    println!("\n== Fig. 5 ==");
+    let f5 = fig5_fill_fraction(300, 7);
+    fill_fraction::print_fill_fraction(&f5);
+    fill_fraction::save_fill_fraction(&f5, &format!("{out}/fig5_fill_fraction.csv")).map_err(io)?;
+
+    println!("\n== Fig. 6 ==");
+    let f6 = fig6_validation(300, 7);
+    validation::print_validation(&f6);
+    validation::save_validation(&f6, &format!("{out}/fig6_validation.csv")).map_err(io)?;
+
+    println!("\n== Fig. 7 ==");
+    let f7 = fig7_characterization(&characterization::fig7_default_main(), &exec);
+    characterization::print_characterization(&f7);
+    characterization::save_characterization(&f7, &format!("{out}/fig7_characterization.csv"))
+        .map_err(io)?;
+
+    println!("\n== Fig. 8 ==");
+    let f8 = fig8_schedules(&exec);
+    schedules::print_schedules(&f8);
+    schedules::save_schedules(&f8, &format!("{out}/fig8_schedules.csv")).map_err(io)?;
+
+    println!("\n== Fig. 9 ==");
+    let f9 = fig9_policies(11, SimDuration::from_secs(3600));
+    policies::print_policies(&f9);
+    policies::save_policies(&f9, &format!("{out}/fig9_policies.csv")).map_err(io)?;
+
+    println!("\n== Fig. 10 ==");
+    let f10a = fig10a_bubble_size(&exec);
+    let f10b = fig10b_free_memory(&exec);
+    sensitivity::print_sensitivity(&f10a, &f10b);
+    sensitivity::save_sensitivity(
+        &f10a,
+        &f10b,
+        &format!("{out}/fig10a_bubble_size.csv"),
+        &format!("{out}/fig10b_free_memory.csv"),
+    )
+    .map_err(io)?;
+
+    println!("\n== What-if: offload bandwidth ==");
+    let wi = whatif_offload_bandwidth();
+    whatif::print_whatif(&wi);
+    whatif::save_whatif(&wi, &format!("{out}/whatif_offload_bandwidth.csv")).map_err(io)?;
+
+    println!("\nCSV written under {out}/");
+    Ok(())
+}

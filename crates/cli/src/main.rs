@@ -1,0 +1,45 @@
+//! `pipefill-cli` — run the PipeFill reproduction from the command line.
+//!
+//! ```text
+//! pipefill-cli <command> [options]
+//!
+//! commands:
+//!   table1                         fill-job category table
+//!   fig4                           scaling study (Figs. 1 & 4)
+//!   fig5   [--iterations N]        fill-fraction sweep (physical sim)
+//!   fig6   [--iterations N]        simulator validation
+//!   fig7                           fill-job characterization
+//!   fig8                           GPipe vs 1F1B
+//!   fig9   [--horizon-secs N]      scheduling policies
+//!   fig10                          bubble-size / free-memory sensitivity
+//!   whatif                         newer-hardware offload-bandwidth sweep
+//!   all    [--out DIR]             everything + CSV output
+//!   timeline [--schedule S] [--stages P] [--microbatches M] [--width W]
+//!                                  render a pipeline schedule as ASCII
+//!   plan   [--model NAME] [--kind training|inference] [--stage S]
+//!                                  show the Executor's plan for one job
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The coarse, profile-driven cluster simulator.
+//!
+//! Mirrors the paper's event-driven simulator (§5.1): "the events in our
+//! simulator are the arrivals and completions of fill-jobs (since these
+//! are when the state of the system can change), and we simulate the time
+//! in between these events using the profiled execution times and the job
+//! arrivals from the trace."
+//!
+//! One device is simulated per pipeline stage by default (every GPU of a
+//! tensor-parallel group sees identical bubbles, and data-parallel
+//! replicas are statistically identical — the paper likewise runs a
+//! single replica, §5.2).
+
+use std::collections::HashMap;
+
+use pipefill_executor::{plan_best, ExecutionPlan, ExecutorConfig, FillJobSpec, JobId};
+use pipefill_model_zoo::{JobKind, ModelId};
+use pipefill_pipeline::MainJobSpec;
+use pipefill_scheduler::{
+    EarliestDeadlineFirst, ExecutorSnapshot, Fifo, FillJobScheduler, JobInfo, MakespanMin,
+    SchedulingPolicy, ShortestJobFirst, SystemState, Weighted,
+};
+use pipefill_sim_core::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+use pipefill_trace::{TraceConfig, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+use crate::convert::trace_job_to_spec;
+use crate::metrics::JctStats;
+
+/// Which built-in policy the simulation uses (a serializable stand-in for
+/// the boxed policy trait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// First-in-first-out.
+    Fifo,
+    /// Shortest-Job-First (paper example).
+    Sjf,
+    /// Makespan-minimizing (paper example).
+    MakespanMin,
+    /// Deadline-aware hierarchy falling back to SJF.
+    DeadlineThenSjf,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(Fifo),
+            PolicyKind::Sjf => Box::new(ShortestJobFirst),
+            PolicyKind::MakespanMin => Box::new(MakespanMin),
+            PolicyKind::DeadlineThenSjf => Box::new(Weighted::new(vec![
+                (1e6, Box::new(EarliestDeadlineFirst)),
+                (1.0, Box::new(ShortestJobFirst)),
+            ])),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::Fifo => write!(f, "FIFO"),
+            PolicyKind::Sjf => write!(f, "SJF"),
+            PolicyKind::MakespanMin => write!(f, "Makespan-Min"),
+            PolicyKind::DeadlineThenSjf => write!(f, "EDF+SJF"),
+        }
+    }
+}
+
+/// Cluster-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    /// The main training job whose bubbles are filled.
+    pub main_job: MainJobSpec,
+    /// Fill-job workload.
+    pub trace: TraceConfig,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Executor tuning.
+    pub executor: ExecutorConfig,
+    /// Simulated devices per pipeline stage (1 is representative; raise
+    /// it to study queueing effects across a tensor-parallel group).
+    pub devices_per_stage: usize,
+}
+
+impl ClusterSimConfig {
+    /// Defaults: SJF, paper executor constants, one device per stage.
+    pub fn new(main_job: MainJobSpec, trace: TraceConfig) -> Self {
+        ClusterSimConfig {
+            main_job,
+            trace,
+            policy: PolicyKind::Sjf,
+            executor: ExecutorConfig::default(),
+            devices_per_stage: 1,
+        }
+    }
+}
+
+/// One finished fill job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// Job id.
+    pub id: JobId,
+    /// Model run.
+    pub model: ModelId,
+    /// Training or inference.
+    pub kind: JobKind,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Dispatch time.
+    pub started: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// Device it ran on.
+    pub device: usize,
+    /// Samples processed.
+    pub samples: u64,
+    /// FLOPs executed.
+    pub flops: f64,
+    /// The job's deadline, if it had one.
+    pub deadline: Option<SimTime>,
+}
+
+impl CompletedJob {
+    /// Whether the job finished by its deadline (`None` if it had none).
+    pub fn met_deadline(&self) -> Option<bool> {
+        self.deadline.map(|d| self.completed <= d)
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSimResult {
+    /// Devices simulated.
+    pub num_devices: usize,
+    /// Trace horizon.
+    pub horizon: SimDuration,
+    /// Finished jobs.
+    pub completed: Vec<CompletedJob>,
+    /// Jobs infeasible on every device.
+    pub rejected: usize,
+    /// Fill FLOPs executed within the horizon (running jobs prorated).
+    pub fill_flops_in_horizon: f64,
+    /// Fill TFLOPS per GPU over the horizon.
+    pub recovered_tflops_per_gpu: f64,
+    /// Main-job TFLOPS per GPU.
+    pub main_tflops_per_gpu: f64,
+    /// Engine bubble ratio.
+    pub bubble_ratio: f64,
+    /// Completion-time statistics.
+    pub jct: JctStats,
+    /// Time of the last completion (the makespan, Fig. 9b's metric).
+    pub makespan: SimDuration,
+    /// Jobs with deadlines that finished in time.
+    pub deadlines_met: usize,
+    /// Jobs with deadlines that finished late.
+    pub deadlines_missed: usize,
+}
+
+impl ClusterSimResult {
+    /// Aggregate TFLOPS per GPU (main + fill).
+    pub fn total_tflops_per_gpu(&self) -> f64 {
+        self.main_tflops_per_gpu + self.recovered_tflops_per_gpu
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    Completion(usize),
+}
+
+struct Running {
+    job: FillJobSpec,
+    started: SimTime,
+    completes: SimTime,
+    flops: f64,
+}
+
+struct Device {
+    stage: usize,
+    busy_until: SimTime,
+    running: Option<Running>,
+}
+
+/// The coarse cluster simulator. See the module docs.
+pub struct ClusterSim {
+    config: ClusterSimConfig,
+    period: SimDuration,
+    bubble_ratio: f64,
+    main_tflops: f64,
+    /// Fillable bubble slots per stage.
+    stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>>,
+    plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
+}
+
+struct SimState<'a> {
+    sim: &'a mut ClusterSim,
+    scheduler: FillJobScheduler,
+    devices: Vec<Device>,
+    specs: HashMap<JobId, FillJobSpec>,
+    arrivals: Vec<FillJobSpec>,
+    completed: Vec<CompletedJob>,
+    rejected: usize,
+}
+
+impl ClusterSim {
+    /// Builds the simulator (runs the engine once to extract bubbles).
+    pub fn new(config: ClusterSimConfig) -> Self {
+        let timeline = config.main_job.engine_timeline();
+        let stage_slots = timeline
+            .stages
+            .iter()
+            .map(|s| {
+                s.fillable_windows()
+                    .iter()
+                    .map(|w| (w.duration, w.free_memory))
+                    .collect()
+            })
+            .collect();
+        let main_tflops = config.main_job.main_job_tflops_per_gpu(&timeline);
+        ClusterSim {
+            period: timeline.period,
+            bubble_ratio: timeline.bubble_ratio(),
+            main_tflops,
+            stage_slots,
+            plan_cache: HashMap::new(),
+            config,
+        }
+    }
+
+    fn plan(&mut self, model: ModelId, kind: JobKind, stage: usize) -> Option<&ExecutionPlan> {
+        let key = (model, kind, stage);
+        if !self.plan_cache.contains_key(&key) {
+            let slots = &self.stage_slots[stage];
+            let plan = if slots.is_empty() {
+                None
+            } else {
+                // Plans depend only on (model, kind, bubbles), not on the
+                // job's sample count.
+                let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
+                plan_best(&probe, slots, &self.config.main_job.device, &self.config.executor).ok()
+            };
+            self.plan_cache.insert(key, plan);
+        }
+        self.plan_cache.get(&key).expect("inserted above").as_ref()
+    }
+
+    fn proc_time(&mut self, job: &FillJobSpec, stage: usize) -> Option<SimDuration> {
+        let period = self.period;
+        let plan = self.plan(job.model, job.kind, stage)?;
+        let iters = plan.main_iterations_for(job.samples);
+        Some(period * iters)
+    }
+
+    fn job_flops(&mut self, job: &FillJobSpec, stage: usize) -> f64 {
+        match self.plan(job.model, job.kind, stage) {
+            None => 0.0,
+            Some(p) => {
+                p.flops_per_pass * (job.samples as f64 / p.samples_per_pass.max(1) as f64)
+            }
+        }
+    }
+
+    /// Runs the simulation to completion (all trace jobs finished).
+    pub fn run(&mut self) -> ClusterSimResult {
+        let p = self.stage_slots.len();
+        let num_devices = p * self.config.devices_per_stage;
+        let horizon = self.config.trace.horizon;
+
+        // Generate and convert the trace.
+        let (trace_jobs, _) = TraceGenerator::new(self.config.trace.clone()).generate();
+        let device_spec = self.config.main_job.device.clone();
+        let arrivals: Vec<FillJobSpec> = trace_jobs
+            .iter()
+            .filter_map(|t| trace_job_to_spec(t, &device_spec))
+            .collect();
+
+        let devices: Vec<Device> = (0..num_devices)
+            .map(|d| Device {
+                stage: d % p,
+                busy_until: SimTime::ZERO,
+                running: None,
+            })
+            .collect();
+
+        let mut sim = Simulation::new();
+        for (i, job) in arrivals.iter().enumerate() {
+            sim.schedule(job.arrival, Event::Arrival(i));
+        }
+
+        let scheduler = FillJobScheduler::new(self.config.policy.build());
+        let mut state = SimState {
+            sim: self,
+            scheduler,
+            devices,
+            specs: HashMap::new(),
+            arrivals,
+            completed: Vec::new(),
+            rejected: 0,
+        };
+        sim.run(&mut state, None);
+
+        let SimState {
+            completed,
+            rejected,
+            ..
+        } = state;
+
+        // Utilization accounting within the horizon.
+        let horizon_secs = horizon.as_secs_f64();
+        let mut flops_in_horizon = 0.0;
+        let mut jcts = Vec::with_capacity(completed.len());
+        let mut makespan = SimDuration::ZERO;
+        let mut deadlines_met = 0usize;
+        let mut deadlines_missed = 0usize;
+        for job in &completed {
+            match job.met_deadline() {
+                Some(true) => deadlines_met += 1,
+                Some(false) => deadlines_missed += 1,
+                None => {}
+            }
+            jcts.push(job.completed.saturating_since(job.arrival).as_secs_f64());
+            makespan = makespan.max(job.completed.saturating_since(SimTime::ZERO));
+            let start = job.started.as_secs_f64();
+            let end = job.completed.as_secs_f64();
+            if start >= horizon_secs {
+                continue;
+            }
+            let fraction = if end <= horizon_secs {
+                1.0
+            } else {
+                (horizon_secs - start) / (end - start)
+            };
+            flops_in_horizon += job.flops * fraction;
+        }
+
+        ClusterSimResult {
+            num_devices,
+            horizon,
+            rejected,
+            fill_flops_in_horizon: flops_in_horizon,
+            recovered_tflops_per_gpu: flops_in_horizon
+                / (num_devices as f64 * horizon_secs)
+                / 1e12,
+            main_tflops_per_gpu: self.main_tflops,
+            bubble_ratio: self.bubble_ratio,
+            jct: JctStats::from_secs(&jcts),
+            makespan,
+            deadlines_met,
+            deadlines_missed,
+            completed,
+        }
+    }
+}
+
+impl SimState<'_> {
+    fn snapshot(&self, now: SimTime) -> SystemState {
+        SystemState {
+            now,
+            executors: self
+                .devices
+                .iter()
+                .map(|d| ExecutorSnapshot {
+                    remaining: d.busy_until.saturating_since(now),
+                })
+                .collect(),
+        }
+    }
+
+    fn dispatch_idle(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        let idle: Vec<usize> = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.busy_until <= now)
+            .map(|(i, _)| i)
+            .collect();
+        for device in idle {
+            let state = self.snapshot(now);
+            let Some(info) = self.scheduler.pick_for(device, &state) else {
+                continue;
+            };
+            let spec = self
+                .specs
+                .remove(&info.id)
+                .expect("spec recorded at arrival");
+            let stage = self.devices[device].stage;
+            let proc = info.proc_times[device].expect("picked job is feasible here");
+            let flops = self.sim.job_flops(&spec, stage);
+            let completes = now + proc;
+            self.devices[device].busy_until = completes;
+            self.devices[device].running = Some(Running {
+                job: spec,
+                started: now,
+                completes,
+                flops,
+            });
+            queue.push(completes, Event::Completion(device));
+        }
+    }
+}
+
+impl EventHandler for SimState<'_> {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival(i) => {
+                let spec = self.arrivals[i].clone();
+                let proc_times: Vec<Option<SimDuration>> = (0..self.devices.len())
+                    .map(|d| {
+                        let stage = self.devices[d].stage;
+                        self.sim.proc_time(&spec, stage)
+                    })
+                    .collect();
+                if proc_times.iter().all(|t| t.is_none()) {
+                    self.rejected += 1;
+                    return;
+                }
+                let mut info = JobInfo::new(spec.id, spec.arrival, proc_times);
+                if let Some(d) = spec.deadline {
+                    info = info.with_deadline(d);
+                }
+                self.specs.insert(spec.id, spec);
+                self.scheduler.submit(info);
+                self.dispatch_idle(now, queue);
+            }
+            Event::Completion(device) => {
+                let running = self.devices[device]
+                    .running
+                    .take()
+                    .expect("completion without running job");
+                debug_assert_eq!(running.completes, now);
+                self.completed.push(CompletedJob {
+                    id: running.job.id,
+                    model: running.job.model,
+                    kind: running.job.kind,
+                    arrival: running.job.arrival,
+                    started: running.started,
+                    completed: now,
+                    device,
+                    samples: running.job.samples,
+                    flops: running.flops,
+                    deadline: running.job.deadline,
+                });
+                self.dispatch_idle(now, queue);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefill_pipeline::ScheduleKind;
+    use pipefill_sim_core::SimDuration;
+
+    fn quick_config(seed: u64) -> ClusterSimConfig {
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let mut trace = TraceConfig::physical(seed);
+        trace.horizon = SimDuration::from_secs(1800);
+        ClusterSimConfig::new(main, trace)
+    }
+
+    #[test]
+    fn simulation_completes_all_accepted_jobs() {
+        let mut sim = ClusterSim::new(quick_config(1));
+        let result = sim.run();
+        assert!(result.completed.len() > 10, "only {}", result.completed.len());
+        assert_eq!(result.num_devices, 16);
+        for job in &result.completed {
+            assert!(job.started >= job.arrival);
+            assert!(job.completed > job.started);
+            assert!(job.flops > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = ClusterSim::new(quick_config(2)).run();
+        let b = ClusterSim::new(quick_config(2)).run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.recovered_tflops_per_gpu, b.recovered_tflops_per_gpu);
+    }
+
+    #[test]
+    fn recovered_utilization_is_positive_and_bounded() {
+        let result = ClusterSim::new(quick_config(3)).run();
+        assert!(result.recovered_tflops_per_gpu > 0.0);
+        // Cannot exceed peak × bubble ratio.
+        assert!(
+            result.recovered_tflops_per_gpu < 125.0 * result.bubble_ratio,
+            "{}",
+            result.recovered_tflops_per_gpu
+        );
+        assert!(result.total_tflops_per_gpu() > result.main_tflops_per_gpu);
+    }
+
+    #[test]
+    fn higher_load_increases_makespan_and_jct() {
+        let lo = ClusterSim::new(ClusterSimConfig {
+            trace: TraceConfig::physical(4)
+                .with_load(0.3)
+                .clone(),
+            ..quick_config(4)
+        })
+        .run();
+        let hi = ClusterSim::new(ClusterSimConfig {
+            trace: TraceConfig::physical(4).with_load(3.0).clone(),
+            ..quick_config(4)
+        })
+        .run();
+        assert!(hi.completed.len() > lo.completed.len());
+        assert!(hi.jct.mean_secs > lo.jct.mean_secs);
+    }
+
+    #[test]
+    fn deadline_policy_meets_more_deadlines_under_load() {
+        let mk = |policy| {
+            let mut cfg = quick_config(6);
+            cfg.trace = cfg.trace.with_load(3.0);
+            cfg.trace.deadline_fraction = 0.6;
+            cfg.trace.deadline_slack = 5.0;
+            cfg.policy = policy;
+            ClusterSim::new(cfg).run()
+        };
+        let edf = mk(PolicyKind::DeadlineThenSjf);
+        let fifo = mk(PolicyKind::Fifo);
+        assert!(edf.deadlines_met + edf.deadlines_missed > 10, "too few deadline jobs");
+        assert!(
+            edf.deadlines_met >= fifo.deadlines_met,
+            "EDF met {} vs FIFO {}",
+            edf.deadlines_met,
+            fifo.deadlines_met
+        );
+    }
+
+    #[test]
+    fn sjf_beats_fifo_on_mean_jct() {
+        let mk = |policy| {
+            let mut cfg = quick_config(5);
+            cfg.trace = cfg.trace.with_load(1.5);
+            cfg.policy = policy;
+            ClusterSim::new(cfg).run()
+        };
+        let sjf = mk(PolicyKind::Sjf);
+        let fifo = mk(PolicyKind::Fifo);
+        assert!(
+            sjf.jct.mean_secs <= fifo.jct.mean_secs,
+            "SJF {} vs FIFO {}",
+            sjf.jct.mean_secs,
+            fifo.jct.mean_secs
+        );
+    }
+}

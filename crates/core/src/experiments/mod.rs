@@ -1,0 +1,35 @@
+//! Experiment drivers — one per table/figure of the paper's evaluation
+//! (§6). Each returns typed rows, can print the series the paper plots,
+//! and can persist CSV under `target/experiments/`.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 1 / Fig. 4a-c (scaling & utilization) | [`scaling::fig4_scaling`] |
+//! | Fig. 5 (fill-fraction sweep) | [`fill_fraction::fig5_fill_fraction`] |
+//! | Fig. 6 (simulator validation, mix sweep) | [`validation::fig6_validation`] |
+//! | Fig. 7a/7b (fill-job characterization) | [`characterization::fig7_characterization`] |
+//! | Fig. 8 (GPipe vs 1F1B) | [`schedules::fig8_schedules`] |
+//! | Fig. 9a/9b (scheduling policies) | [`policies::fig9_policies`] |
+//! | Fig. 10a/10b (bubble size / free memory) | [`sensitivity`] |
+//! | Table 1 (fill-job categories) | [`table1::table1`] |
+//! | §6.2 newer-hardware hypothesis (extension) | [`whatif::whatif_offload_bandwidth`] |
+
+pub mod characterization;
+pub mod fill_fraction;
+pub mod policies;
+pub mod scaling;
+pub mod schedules;
+pub mod sensitivity;
+pub mod table1;
+pub mod validation;
+pub mod whatif;
+
+pub use characterization::{fig7_characterization, mix_relative_performance, CharacterizationRow};
+pub use fill_fraction::{fig5_fill_fraction, FillFractionRow};
+pub use policies::{fig9_policies, PolicyRow};
+pub use scaling::{fig4_scaling, fig4_scaling_with, ScalingRow};
+pub use schedules::{fig8_schedules, ScheduleRow};
+pub use sensitivity::{fig10a_bubble_size, fig10b_free_memory, BubbleSizeRow, FreeMemoryRow};
+pub use table1::{table1, Table1Row};
+pub use validation::{fig6_validation, ValidationRow};
+pub use whatif::{whatif_offload_bandwidth, WhatIfRow};

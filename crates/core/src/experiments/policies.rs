@@ -1,0 +1,149 @@
+//! Fig. 9: fill-job scheduling-policy sensitivity. SJF achieves lower
+//! average JCT (especially at low load); Makespan-Min achieves lower
+//! makespan (especially at high load).
+
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+use pipefill_trace::TraceConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{ClusterSim, ClusterSimConfig, PolicyKind};
+use crate::csv::CsvWriter;
+
+/// One (policy, load) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRow {
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Offered-load multiplier.
+    pub load: f64,
+    /// Mean job completion time in seconds (Fig. 9a).
+    pub mean_jct_secs: f64,
+    /// Makespan in seconds (Fig. 9b).
+    pub makespan_secs: f64,
+    /// Jobs completed.
+    pub completed: usize,
+}
+
+/// The load axis of Fig. 9 (multiples of the base arrival rate; the top
+/// end oversubscribes the 16 devices so queueing effects appear).
+pub const FIG9_LOADS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Runs the policy comparison on the 5B physical-cluster setting.
+pub fn fig9_policies(seed: u64, horizon: SimDuration) -> Vec<PolicyRow> {
+    let mut rows = Vec::new();
+    for &load in &FIG9_LOADS {
+        for policy in [PolicyKind::Sjf, PolicyKind::MakespanMin] {
+            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let mut trace = TraceConfig::physical(seed).with_load(load);
+            trace.horizon = horizon;
+            let mut cfg = ClusterSimConfig::new(main, trace);
+            cfg.policy = policy;
+            let result = ClusterSim::new(cfg).run();
+            rows.push(PolicyRow {
+                policy,
+                load,
+                mean_jct_secs: result.jct.mean_secs,
+                makespan_secs: result.makespan.as_secs_f64(),
+                completed: result.completed.len(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints both panels.
+pub fn print_policies(rows: &[PolicyRow]) {
+    println!(
+        "{:>14} {:>6} {:>12} {:>12} {:>10}",
+        "policy", "load", "mean JCT(s)", "makespan(s)", "completed"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>6.2} {:>12.1} {:>12.1} {:>10}",
+            r.policy.to_string(),
+            r.load,
+            r.mean_jct_secs,
+            r.makespan_secs,
+            r.completed,
+        );
+    }
+}
+
+/// Writes CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_policies(rows: &[PolicyRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &["policy", "load", "mean_jct_secs", "makespan_secs", "completed"],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.policy,
+            &r.load,
+            &r.mean_jct_secs,
+            &r.makespan_secs,
+            &r.completed,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sjf_wins_jct_and_makespan_min_wins_makespan() {
+        let rows = fig9_policies(11, SimDuration::from_secs(2400));
+        let get = |policy: PolicyKind, load: f64| {
+            rows.iter()
+                .find(|r| r.policy == policy && r.load == load)
+                .unwrap()
+        };
+        // Fig. 9a: SJF's mean JCT ≤ Makespan-Min's, most visible at
+        // moderate load.
+        let mut sjf_wins = 0;
+        for &load in &FIG9_LOADS {
+            if get(PolicyKind::Sjf, load).mean_jct_secs
+                <= get(PolicyKind::MakespanMin, load).mean_jct_secs * 1.02
+            {
+                sjf_wins += 1;
+            }
+        }
+        assert!(sjf_wins >= 3, "SJF won JCT at only {sjf_wins}/4 loads");
+        // Fig. 9b: Makespan-Min's makespan ≤ SJF's at high load.
+        let high = 4.0;
+        assert!(
+            get(PolicyKind::MakespanMin, high).makespan_secs
+                <= get(PolicyKind::Sjf, high).makespan_secs * 1.05,
+            "makespan-min {} vs sjf {}",
+            get(PolicyKind::MakespanMin, high).makespan_secs,
+            get(PolicyKind::Sjf, high).makespan_secs
+        );
+    }
+
+    #[test]
+    fn jct_grows_with_load() {
+        let rows = fig9_policies(12, SimDuration::from_secs(2400));
+        for policy in [PolicyKind::Sjf, PolicyKind::MakespanMin] {
+            let lo = rows
+                .iter()
+                .find(|r| r.policy == policy && r.load == 0.5)
+                .unwrap();
+            let hi = rows
+                .iter()
+                .find(|r| r.policy == policy && r.load == 4.0)
+                .unwrap();
+            assert!(
+                hi.mean_jct_secs > lo.mean_jct_secs,
+                "{policy:?}: {} !> {}",
+                hi.mean_jct_secs,
+                lo.mean_jct_secs
+            );
+        }
+    }
+}

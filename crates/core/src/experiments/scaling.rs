@@ -1,0 +1,171 @@
+//! Figs. 1 and 4: scaling the 40B main job from 1K to 8K GPUs.
+//!
+//! Reports, per GPU count: days-to-train (4a), bubble ratio (4b), and
+//! TFLOPS/GPU for traditional PP, PipeFill with the trace mix, and
+//! PipeFill with BERT-inference-only fill jobs (4c; Fig. 1 is the
+//! two-series subset). Also derives the §6.2 GPUs-saved estimate.
+
+use pipefill_executor::ExecutorConfig;
+use pipefill_model_zoo::ModelId;
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_trace::ModelMix;
+use serde::{Deserialize, Serialize};
+
+use crate::csv::CsvWriter;
+use crate::experiments::characterization::mix_relative_performance;
+use crate::metrics::gpus_saved;
+use crate::steady::steady_recovered_tflops;
+
+/// One GPU-count point of the scaling study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Total GPUs.
+    pub gpus: usize,
+    /// Microbatches per replica.
+    pub microbatches: usize,
+    /// Bubble ratio (Fig. 4b).
+    pub bubble_ratio: f64,
+    /// Days to train the token budget (Fig. 4a).
+    pub days_to_train: f64,
+    /// Traditional PP TFLOPS/GPU (main job only).
+    pub traditional_tflops: f64,
+    /// PipeFill total TFLOPS/GPU with the trace mix.
+    pub pipefill_trace_mix_tflops: f64,
+    /// PipeFill total TFLOPS/GPU with BERT-inference fill jobs only.
+    pub pipefill_bert_inf_tflops: f64,
+    /// GPUs-worth of fill work, trace mix (C·B·P).
+    pub gpus_saved_trace_mix: f64,
+    /// GPUs-worth of fill work, BERT-inference-only.
+    pub gpus_saved_best: f64,
+}
+
+/// Runs the scaling study at the paper's four GPU counts (1K–8K).
+pub fn fig4_scaling() -> Vec<ScalingRow> {
+    fig4_scaling_with(&[64, 32, 16, 8], &ExecutorConfig::default())
+}
+
+/// Parameterized variant: one row per microbatch count (64 ↔ 1K GPUs …
+/// 8 ↔ 8K GPUs, per the fixed-minibatch scaling rule).
+pub fn fig4_scaling_with(microbatches: &[usize], exec: &ExecutorConfig) -> Vec<ScalingRow> {
+    microbatches
+        .iter()
+        .map(|&m| {
+            let main = MainJobSpec::simulator_40b(m, ScheduleKind::GPipe);
+            let point = main.scaling_point();
+            let mix = ModelMix::paper_mix();
+            let bert = ModelMix::single(ModelId::BertBase);
+            let rec_mix = steady_recovered_tflops(&main, exec, &mix);
+            let rec_bert = steady_recovered_tflops(&main, exec, &bert);
+            let perf_mix = mix_relative_performance(&main, exec, &mix);
+            let perf_bert = mix_relative_performance(&main, exec, &bert);
+            ScalingRow {
+                gpus: point.gpus,
+                microbatches: m,
+                bubble_ratio: point.bubble_ratio,
+                days_to_train: point.days_to_train,
+                traditional_tflops: point.main_job_tflops_per_gpu,
+                pipefill_trace_mix_tflops: point.main_job_tflops_per_gpu + rec_mix,
+                pipefill_bert_inf_tflops: point.main_job_tflops_per_gpu + rec_bert,
+                gpus_saved_trace_mix: gpus_saved(point.gpus, point.bubble_ratio, perf_mix),
+                gpus_saved_best: gpus_saved(point.gpus, point.bubble_ratio, perf_bert),
+            }
+        })
+        .collect()
+}
+
+/// Prints the three Fig. 4 panels as one table.
+pub fn print_scaling(rows: &[ScalingRow]) {
+    println!(
+        "{:>6} {:>4} {:>8} {:>7} {:>12} {:>14} {:>13} {:>11} {:>10}",
+        "GPUs", "m", "bubble", "days", "trad TFLOPS", "mix TFLOPS", "bert TFLOPS", "saved(mix)", "saved(max)"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>4} {:>7.1}% {:>7.1} {:>12.1} {:>14.1} {:>13.1} {:>11.0} {:>10.0}",
+            r.gpus,
+            r.microbatches,
+            100.0 * r.bubble_ratio,
+            r.days_to_train,
+            r.traditional_tflops,
+            r.pipefill_trace_mix_tflops,
+            r.pipefill_bert_inf_tflops,
+            r.gpus_saved_trace_mix,
+            r.gpus_saved_best,
+        );
+    }
+}
+
+/// Writes the rows as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_scaling(rows: &[ScalingRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &[
+            "gpus",
+            "microbatches",
+            "bubble_ratio",
+            "days_to_train",
+            "traditional_tflops",
+            "pipefill_trace_mix_tflops",
+            "pipefill_bert_inf_tflops",
+            "gpus_saved_trace_mix",
+            "gpus_saved_best",
+        ],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.gpus,
+            &r.microbatches,
+            &r.bubble_ratio,
+            &r.days_to_train,
+            &r.traditional_tflops,
+            &r.pipefill_trace_mix_tflops,
+            &r.pipefill_bert_inf_tflops,
+            &r.gpus_saved_trace_mix,
+            &r.gpus_saved_best,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_reproduces_paper_shape() {
+        let rows = fig4_scaling_with(&[64, 8], &ExecutorConfig::default());
+        let (low, high) = (&rows[0], &rows[1]);
+        assert_eq!(low.gpus, 1024);
+        assert_eq!(high.gpus, 8192);
+        // Fig. 4a: training time falls ~3× from 1K to 8K.
+        assert!(low.days_to_train / high.days_to_train > 2.5);
+        // Fig. 4b: bubble ratio rises 19% → 65%.
+        assert!(low.bubble_ratio < 0.25 && high.bubble_ratio > 0.6);
+        // Fig. 4c orderings: PipeFill > traditional; BERT-only > mix.
+        for r in &rows {
+            assert!(r.pipefill_trace_mix_tflops > r.traditional_tflops);
+            assert!(r.pipefill_bert_inf_tflops > r.pipefill_trace_mix_tflops);
+        }
+        // Gains grow with scale.
+        let low_gain = low.pipefill_trace_mix_tflops / low.traditional_tflops - 1.0;
+        let high_gain = high.pipefill_trace_mix_tflops / high.traditional_tflops - 1.0;
+        assert!(high_gain > 3.0 * low_gain, "low {low_gain} high {high_gain}");
+    }
+
+    #[test]
+    fn eight_k_gpus_saved_matches_paper_order_of_magnitude() {
+        // §6.2: >1500 GPUs (trace mix), ~2600 (best case) at 8K.
+        let rows = fig4_scaling_with(&[8], &ExecutorConfig::default());
+        let r = &rows[0];
+        assert!(
+            r.gpus_saved_trace_mix > 700.0 && r.gpus_saved_trace_mix < 3000.0,
+            "mix {}",
+            r.gpus_saved_trace_mix
+        );
+        assert!(r.gpus_saved_best > r.gpus_saved_trace_mix);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fig. 8: fill-job GPU utilization under GPipe vs 1F1B main-job
+//! schedules, 2K–16K GPUs. 1F1B's non-contiguous bubbles are not filled,
+//! so it recovers less at low scale; the gap closes at high scale as the
+//! fill-drain and fwd-bwd bubbles dominate.
+
+use pipefill_executor::ExecutorConfig;
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_trace::ModelMix;
+use serde::{Deserialize, Serialize};
+
+use crate::csv::CsvWriter;
+use crate::steady::steady_recovered_tflops;
+
+/// One (GPU count, schedule) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleRow {
+    /// Total GPUs.
+    pub gpus: usize,
+    /// Main-job schedule.
+    pub schedule: ScheduleKind,
+    /// Total bubble ratio (identical across schedules).
+    pub bubble_ratio: f64,
+    /// Fillable bubble ratio (lower for 1F1B).
+    pub fillable_ratio: f64,
+    /// Recovered fill TFLOPS per GPU with the trace mix.
+    pub recovered_tflops: f64,
+}
+
+/// Runs the sweep at the paper's 2K–16K GPU range.
+pub fn fig8_schedules(exec: &ExecutorConfig) -> Vec<ScheduleRow> {
+    let mut rows = Vec::new();
+    let mix = ModelMix::paper_mix();
+    for &m in &[32usize, 16, 8, 4] {
+        for schedule in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            let main = MainJobSpec::simulator_40b(m, schedule);
+            let timeline = main.engine_timeline();
+            rows.push(ScheduleRow {
+                gpus: main.parallelism.total_gpus(),
+                schedule,
+                bubble_ratio: timeline.bubble_ratio(),
+                fillable_ratio: timeline.fillable_ratio(),
+                recovered_tflops: steady_recovered_tflops(&main, exec, &mix),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the comparison.
+pub fn print_schedules(rows: &[ScheduleRow]) {
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>12}",
+        "GPUs", "sched", "bubble", "fillable", "fill TFLOPS"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>8} {:>7.1}% {:>9.1}% {:>12.2}",
+            r.gpus,
+            r.schedule.to_string(),
+            100.0 * r.bubble_ratio,
+            100.0 * r.fillable_ratio,
+            r.recovered_tflops,
+        );
+    }
+}
+
+/// Writes CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_schedules(rows: &[ScheduleRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &["gpus", "schedule", "bubble_ratio", "fillable_ratio", "recovered_tflops"],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.gpus,
+            &r.schedule,
+            &r.bubble_ratio,
+            &r.fillable_ratio,
+            &r.recovered_tflops,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_shrinks_with_scale() {
+        let rows = fig8_schedules(&ExecutorConfig::default());
+        let gap = |gpus: usize| {
+            let g = rows
+                .iter()
+                .find(|r| r.gpus == gpus && r.schedule == ScheduleKind::GPipe)
+                .unwrap()
+                .recovered_tflops;
+            let o = rows
+                .iter()
+                .find(|r| r.gpus == gpus && r.schedule == ScheduleKind::OneFOneB)
+                .unwrap()
+                .recovered_tflops;
+            (g - o) / g
+        };
+        let low_scale = gap(2048);
+        let high_scale = gap(16384);
+        // Fig. 8: ~17-20% more recovered with GPipe at small scale,
+        // shrinking substantially at large scale (the paper reaches <5%;
+        // our packing loses a little more on 1F1B's shorter windows —
+        // see EXPERIMENTS.md).
+        assert!(low_scale > 0.05, "low-scale gap {low_scale}");
+        assert!(
+            high_scale < low_scale * 0.6,
+            "gap did not close: {low_scale} -> {high_scale}"
+        );
+        assert!(high_scale < 0.13, "high-scale gap {high_scale}");
+    }
+
+    #[test]
+    fn total_bubble_ratio_is_schedule_independent() {
+        let rows = fig8_schedules(&ExecutorConfig::default());
+        for gpus in [2048usize, 4096, 8192, 16384] {
+            let pair: Vec<&ScheduleRow> = rows.iter().filter(|r| r.gpus == gpus).collect();
+            assert_eq!(pair.len(), 2);
+            // Identical up to the small period difference the inter-stage
+            // communication latency introduces between the two schedules.
+            assert!(
+                (pair[0].bubble_ratio - pair[1].bubble_ratio).abs() < 0.02,
+                "bubble ratios diverge at {gpus}: {} vs {}",
+                pair[0].bubble_ratio,
+                pair[1].bubble_ratio
+            );
+            // Fillable is never more than total.
+            for r in pair {
+                assert!(r.fillable_ratio <= r.bubble_ratio + 1e-12);
+            }
+        }
+    }
+}

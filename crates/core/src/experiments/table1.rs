@@ -1,0 +1,99 @@
+//! Table 1: the fill-job category table (size class, model, parameter
+//! count, job type).
+
+use pipefill_model_zoo::ModelId;
+use serde::{Deserialize, Serialize};
+
+use crate::csv::CsvWriter;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Model.
+    pub model: ModelId,
+    /// Built parameter count, in millions.
+    pub params_millions: f64,
+    /// Paper's reported parameter count, in millions.
+    pub paper_params_millions: f64,
+}
+
+/// The paper's reported counts, in table order.
+const PAPER_PARAMS_M: [f64; 5] = [117.0, 109.0, 334.0, 779.0, 2800.0];
+
+/// Builds the table from the model zoo.
+pub fn table1() -> Vec<Table1Row> {
+    ModelId::FILL_JOBS
+        .iter()
+        .zip(PAPER_PARAMS_M)
+        .map(|(&model, paper)| Table1Row {
+            model,
+            params_millions: model.build().total_params() as f64 / 1e6,
+            paper_params_millions: paper,
+        })
+        .collect()
+}
+
+/// Prints Table 1 with the paper's columns.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!(
+        "{:>5} {:>16} {:>12} {:>12} {:>9}",
+        "size", "model", "params (M)", "paper (M)", "job type"
+    );
+    for r in rows {
+        println!(
+            "{:>5} {:>16} {:>12.1} {:>12.1} {:>9}",
+            r.model.size_class().to_string(),
+            r.model.name(),
+            r.params_millions,
+            r.paper_params_millions,
+            r.model.domain().to_string(),
+        );
+    }
+}
+
+/// Writes CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_table1(rows: &[Table1Row], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &["size_class", "model", "params_millions", "paper_params_millions", "domain"],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.model.size_class(),
+            &r.model.name(),
+            &r.params_millions,
+            &r.paper_params_millions,
+            &r.model.domain(),
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_models_match_paper_counts() {
+        for row in table1() {
+            let err =
+                (row.params_millions - row.paper_params_millions).abs() / row.paper_params_millions;
+            assert!(
+                err < 0.08,
+                "{}: built {}M vs paper {}M",
+                row.model,
+                row.params_millions,
+                row.paper_params_millions
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_all_five_fill_jobs() {
+        assert_eq!(table1().len(), 5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Fig. 6: simulator validation. Sweeps the fill-job mix from all-XLM
+//! (largest model) to all-EfficientNet (smallest, the only CNN) at the
+//! default 68% fill fraction, and compares the fine-grained "physical"
+//! simulator against the coarse profile-driven prediction. The paper
+//! reports main-job overhead independent of the mix and a maximum
+//! simulator error under 2%.
+
+use pipefill_executor::ExecutorConfig;
+use pipefill_model_zoo::ModelId;
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_sim_core::stats::relative_error;
+use pipefill_trace::ModelMix;
+use serde::{Deserialize, Serialize};
+
+use crate::csv::CsvWriter;
+use crate::physical::{PhysicalSim, PhysicalSimConfig};
+use crate::steady::steady_recovered_tflops;
+
+/// One mix point of the validation sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Fraction of jobs that are XLM batch-inference (the rest are
+    /// EfficientNet training/inference).
+    pub xlm_fraction: f64,
+    /// Main-job slowdown measured by the physical simulator.
+    pub physical_slowdown: f64,
+    /// Recovered TFLOPS per GPU, physical measurement.
+    pub physical_recovered: f64,
+    /// Recovered TFLOPS per GPU, coarse-simulator prediction.
+    pub simulator_recovered: f64,
+    /// `|physical − simulator| / simulator`.
+    pub relative_error: f64,
+}
+
+/// The sweep points of Fig. 6.
+pub const FIG6_FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Runs the validation sweep.
+pub fn fig6_validation(iterations: usize, seed: u64) -> Vec<ValidationRow> {
+    FIG6_FRACTIONS
+        .iter()
+        .map(|&frac| {
+            let mix = ModelMix::blend(ModelId::XlmRobertaXl, ModelId::EfficientNet, frac);
+            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let mut cfg = PhysicalSimConfig::new(main.clone()).with_mix(mix.clone());
+            cfg.iterations = iterations;
+            cfg.seed = seed;
+            cfg.deterministic_mix = true;
+            let phys = PhysicalSim::new(cfg).run();
+            let sim = steady_recovered_tflops(&main, &ExecutorConfig::default(), &mix);
+            ValidationRow {
+                xlm_fraction: frac,
+                physical_slowdown: phys.main_slowdown,
+                physical_recovered: phys.recovered_tflops_per_gpu,
+                simulator_recovered: sim,
+                relative_error: if sim == 0.0 {
+                    0.0
+                } else {
+                    relative_error(phys.recovered_tflops_per_gpu, sim)
+                },
+            }
+        })
+        .collect()
+}
+
+/// Prints the sweep.
+pub fn print_validation(rows: &[ValidationRow]) {
+    println!(
+        "{:>8} {:>11} {:>14} {:>13} {:>9}",
+        "XLM %", "slowdown", "phys TFLOPS", "sim TFLOPS", "error"
+    );
+    for r in rows {
+        println!(
+            "{:>7.0}% {:>10.2}% {:>14.2} {:>13.2} {:>8.2}%",
+            100.0 * r.xlm_fraction,
+            100.0 * r.physical_slowdown,
+            r.physical_recovered,
+            r.simulator_recovered,
+            100.0 * r.relative_error,
+        );
+    }
+}
+
+/// Writes CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_validation(rows: &[ValidationRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &[
+            "xlm_fraction",
+            "physical_slowdown",
+            "physical_recovered",
+            "simulator_recovered",
+            "relative_error",
+        ],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.xlm_fraction,
+            &r.physical_slowdown,
+            &r.physical_recovered,
+            &r.simulator_recovered,
+            &r.relative_error,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_independent_of_mix_and_error_is_small() {
+        let rows = fig6_validation(150, 5);
+        // Fig. 6 claim 1: overhead does not vary significantly with the
+        // job mix (all under the 2% budget at the 68% default fill).
+        for r in &rows {
+            assert!(
+                r.physical_slowdown < 0.02,
+                "slowdown at XLM {} = {}",
+                r.xlm_fraction,
+                r.physical_slowdown
+            );
+        }
+        let slowdowns: Vec<f64> = rows.iter().map(|r| r.physical_slowdown).collect();
+        let spread = slowdowns.iter().cloned().fold(f64::MIN, f64::max)
+            - slowdowns.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.015, "slowdown spread {spread}");
+        // Fig. 6 claim 2: simulator error bounded (paper: <2%; we allow
+        // a little more for the smaller run length used in tests).
+        for r in &rows {
+            assert!(
+                r.relative_error < 0.05,
+                "error at XLM {} = {}",
+                r.xlm_fraction,
+                r.relative_error
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Extension experiment: the §6.2 "newer hardware" hypothesis.
+//!
+//! "We hypothesize that on newer hardware-systems that have higher
+//! bandwidth between CPU and GPU memory (e.g., newer PCIe generations,
+//! NVLink-C2C), the fill-job slowdown from offloading could be
+//! substantially lower." This driver pins one offload-bound configuration
+//! — XLM batch inference with ZeRO-Infinity-style parameter streaming at
+//! batch 8, the config the Executor chooses under the paper's 4.5 GB
+//! bubbles — and sweeps only the host-link bandwidth, reporting the
+//! iteration time and the offloading tax relative to fully on-device
+//! execution. Holding the configuration fixed isolates the bandwidth
+//! effect from Algorithm 1's integer replication and config switching.
+
+use pipefill_device::DeviceSpec;
+use pipefill_executor::{build_profile, ExecConfig, ExecTechnique};
+use pipefill_model_zoo::{JobKind, ModelId};
+use serde::{Deserialize, Serialize};
+
+use crate::csv::CsvWriter;
+
+/// One host-bandwidth point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfRow {
+    /// Host↔device bandwidth in GB/s.
+    pub host_gbps: f64,
+    /// One streamed XLM inference iteration (batch 8), in milliseconds.
+    pub xlm_streamed_iter_ms: f64,
+    /// The offloading tax: streamed iteration time over the fully
+    /// on-device iteration time at the same batch (1.0 = free).
+    pub offload_tax: f64,
+    /// Control: BERT-base plain-inference iteration time (batch 256), in
+    /// milliseconds — bandwidth-independent by construction.
+    pub bert_plain_iter_ms: f64,
+}
+
+/// The bandwidth axis: PCIe 3.0 (the paper's V100s), PCIe 4.0, PCIe
+/// 5.0-class, and NVLink-C2C-class.
+pub const WHATIF_BANDWIDTHS_GBPS: [f64; 4] = [12.0, 24.0, 50.0, 100.0];
+
+/// Runs the bandwidth sweep.
+pub fn whatif_offload_bandwidth() -> Vec<WhatIfRow> {
+    let xlm = ModelId::XlmRobertaXl.build();
+    let bert = ModelId::BertBase.build();
+    WHATIF_BANDWIDTHS_GBPS
+        .iter()
+        .map(|&gbps| {
+            let device = DeviceSpec::v100().with_host_link_bandwidth(gbps * 1e9);
+            let streamed = build_profile(
+                &xlm,
+                JobKind::BatchInference,
+                ExecConfig {
+                    batch_size: 8,
+                    technique: ExecTechnique::OffloadParams,
+                },
+                &device,
+            );
+            let on_device = build_profile(
+                &xlm,
+                JobKind::BatchInference,
+                ExecConfig {
+                    batch_size: 8,
+                    technique: ExecTechnique::Plain,
+                },
+                &device,
+            );
+            let control = build_profile(
+                &bert,
+                JobKind::BatchInference,
+                ExecConfig {
+                    batch_size: 256,
+                    technique: ExecTechnique::Plain,
+                },
+                &device,
+            );
+            WhatIfRow {
+                host_gbps: gbps,
+                xlm_streamed_iter_ms: streamed.iteration_time().as_millis_f64(),
+                offload_tax: streamed.iteration_time().as_secs_f64()
+                    / on_device.iteration_time().as_secs_f64(),
+                bert_plain_iter_ms: control.iteration_time().as_millis_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the sweep.
+pub fn print_whatif(rows: &[WhatIfRow]) {
+    println!(
+        "{:>10} {:>16} {:>12} {:>16}",
+        "host GB/s", "XLM iter (ms)", "offload tax", "BERT iter (ms)"
+    );
+    for r in rows {
+        println!(
+            "{:>10.0} {:>16.1} {:>11.2}× {:>16.1}",
+            r.host_gbps, r.xlm_streamed_iter_ms, r.offload_tax, r.bert_plain_iter_ms
+        );
+    }
+}
+
+/// Writes CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_whatif(rows: &[WhatIfRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &["host_gbps", "xlm_streamed_iter_ms", "offload_tax", "bert_plain_iter_ms"],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.host_gbps,
+            &r.xlm_streamed_iter_ms,
+            &r.offload_tax,
+            &r.bert_plain_iter_ms,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_host_bandwidth_shrinks_the_offload_tax() {
+        let rows = whatif_offload_bandwidth();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        // §6.2's hypothesis: the offloading tax shrinks substantially.
+        assert!(
+            first.offload_tax > 1.10,
+            "PCIe 3.0 tax should be visible, got {}",
+            first.offload_tax
+        );
+        assert!(
+            last.offload_tax < first.offload_tax * 0.95,
+            "tax {} -> {}",
+            first.offload_tax,
+            last.offload_tax
+        );
+        // At NVLink-C2C bandwidth the stream hides almost entirely.
+        assert!(last.offload_tax < 1.05, "residual tax {}", last.offload_tax);
+        // Iteration times are monotone non-increasing in bandwidth.
+        for pair in rows.windows(2) {
+            assert!(pair[1].xlm_streamed_iter_ms <= pair[0].xlm_streamed_iter_ms * 1.001);
+        }
+        // Control is bandwidth-independent.
+        assert!((first.bert_plain_iter_ms - last.bert_plain_iter_ms).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,478 @@
+//! The fine-grained "physical cluster" simulator.
+//!
+//! Stand-in for the paper's 16-GPU testbed runs (§5.1, §6.1): where the
+//! coarse simulator replays plans between arrival/completion events, this
+//! one executes *every bubble of every iteration* with multiplicative
+//! timing jitter, explicit context-switch costs, and an engine-slack
+//! floor inside each bubble. Main-job slowdown is therefore an emergent
+//! measurement: whenever a fill partition (plus switch cost) overruns the
+//! jittered bubble's usable span, the pipeline stalls and the iteration
+//! stretches — which is exactly the failure mode the paper's 68%
+//! fill-fraction cap exists to avoid (Fig. 5).
+//!
+//! Because this models the same plans through an independent mechanism,
+//! comparing its recovered FLOPS against the coarse simulator reproduces
+//! the paper's simulator-validation experiment (Fig. 6, error <2%).
+
+use std::collections::HashMap;
+
+use pipefill_executor::{
+    exclusive_throughput, plan_best, ExecutionPlan, ExecutorConfig, FillJobExecutor, FillJobSpec,
+};
+use pipefill_model_zoo::{JobKind, ModelId};
+use pipefill_pipeline::MainJobSpec;
+use pipefill_sim_core::rng::DeterministicRng;
+use pipefill_sim_core::SimDuration;
+use pipefill_trace::ModelMix;
+use serde::{Deserialize, Serialize};
+
+/// Fine-grained simulation parameters.
+#[derive(Debug, Clone)]
+pub struct PhysicalSimConfig {
+    /// The main job (defaults target the paper's 5B/16-GPU setup).
+    pub main_job: MainJobSpec,
+    /// Executor tuning; `fill_fraction` is the Fig. 5 sweep axis. A fill
+    /// fraction of exactly `0.0` disables filling (the baseline run).
+    pub executor: ExecutorConfig,
+    /// Fill-job model mix (devices draw from an infinite backlog).
+    pub mix: ModelMix,
+    /// Main-job iterations to simulate.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Coefficient of variation of the multiplicative timing jitter
+    /// applied to bubble windows and fill partitions.
+    pub jitter_cv: f64,
+    /// Fraction of each (jittered) bubble actually usable before the
+    /// engine needs the device back (receive setup, allocator work).
+    pub usable_fraction: f64,
+    /// Size of each backlog job in GPU-hours.
+    pub backlog_job_gpu_hours: f64,
+    /// Draw backlog jobs by weighted round-robin instead of random
+    /// sampling. Used by the simulator-validation experiment (Fig. 6) so
+    /// the physical run realizes the mix weights exactly rather than up
+    /// to sampling noise.
+    pub deterministic_mix: bool,
+    /// Failure injection: coefficient of variation of the *actual* free
+    /// memory relative to the profiled value (0 disables). When a
+    /// partition's memory request exceeds the jittered free memory, the
+    /// allocation hits the per-process cap: the fill attempt dies with an
+    /// OOM isolated to the Executor (§4.3) and the bubble goes idle —
+    /// the main job is never affected.
+    pub memory_jitter_cv: f64,
+}
+
+impl PhysicalSimConfig {
+    /// Defaults matching the paper's physical experiments: the 5B main
+    /// job, trace mix, 10% jitter, 82% usable bubble span.
+    pub fn new(main_job: MainJobSpec) -> Self {
+        PhysicalSimConfig {
+            main_job,
+            executor: ExecutorConfig::default(),
+            mix: ModelMix::paper_mix(),
+            iterations: 200,
+            seed: 7,
+            jitter_cv: 0.08,
+            usable_fraction: 0.88,
+            backlog_job_gpu_hours: 0.02,
+            deterministic_mix: false,
+            memory_jitter_cv: 0.0,
+        }
+    }
+
+    /// Sets the fill fraction (Fig. 5 sweep).
+    pub fn with_fill_fraction(mut self, f: f64) -> Self {
+        if f == 0.0 {
+            self.executor.fill_fraction = 0.0; // sentinel: no filling
+        } else {
+            self.executor = self.executor.with_fill_fraction(f);
+        }
+        self
+    }
+
+    /// Sets the model mix (Fig. 6 sweep).
+    pub fn with_mix(mut self, mix: ModelMix) -> Self {
+        self.mix = mix;
+        self
+    }
+}
+
+/// Fine-grained simulation output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalSimResult {
+    /// Iterations simulated.
+    pub iterations: usize,
+    /// Undisturbed iteration period.
+    pub nominal_period: SimDuration,
+    /// Mean iteration period including fill-induced stalls.
+    pub mean_period: SimDuration,
+    /// Main-job slowdown caused by filling: `(mean − nominal)/nominal`.
+    pub main_slowdown: f64,
+    /// Fill FLOPs executed.
+    pub fill_flops: f64,
+    /// Fill TFLOPS per GPU over the (stretched) run.
+    pub recovered_tflops_per_gpu: f64,
+    /// Main-job TFLOPS per GPU (slowdown-adjusted).
+    pub main_tflops_per_gpu: f64,
+    /// Fill jobs completed.
+    pub jobs_completed: usize,
+    /// Fill-job OOMs isolated by the memory cap (only non-zero under
+    /// memory-jitter failure injection).
+    pub isolated_ooms: u64,
+}
+
+impl PhysicalSimResult {
+    /// Aggregate TFLOPS per GPU.
+    pub fn total_tflops_per_gpu(&self) -> f64 {
+        self.main_tflops_per_gpu + self.recovered_tflops_per_gpu
+    }
+}
+
+/// The fine-grained simulator. See module docs.
+#[derive(Debug)]
+pub struct PhysicalSim {
+    config: PhysicalSimConfig,
+}
+
+impl PhysicalSim {
+    /// Creates a simulator.
+    pub fn new(config: PhysicalSimConfig) -> Self {
+        PhysicalSim { config }
+    }
+
+    /// Runs the simulation.
+    pub fn run(&self) -> PhysicalSimResult {
+        let cfg = &self.config;
+        let timeline = cfg.main_job.engine_timeline();
+        let period = timeline.period;
+        let main_nominal = cfg.main_job.main_job_tflops_per_gpu(&timeline);
+        let p = timeline.stages.len();
+
+        if cfg.executor.fill_fraction == 0.0 {
+            return PhysicalSimResult {
+                iterations: cfg.iterations,
+                nominal_period: period,
+                mean_period: period,
+                main_slowdown: 0.0,
+                fill_flops: 0.0,
+                recovered_tflops_per_gpu: 0.0,
+                main_tflops_per_gpu: main_nominal,
+                jobs_completed: 0,
+                isolated_ooms: 0,
+            };
+        }
+
+        let device = &cfg.main_job.device;
+        let mut rng = DeterministicRng::seed_from(cfg.seed);
+        let mut plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>> =
+            HashMap::new();
+        let mut tput_cache: HashMap<(ModelId, JobKind), Option<f64>> = HashMap::new();
+
+        let stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>> = timeline
+            .stages
+            .iter()
+            .map(|s| {
+                s.fillable_windows()
+                    .iter()
+                    .map(|w| (w.duration, w.free_memory))
+                    .collect()
+            })
+            .collect();
+
+        let mut executors: Vec<Option<FillJobExecutor>> = (0..p).map(|_| None).collect();
+        let mut rotation = cfg.deterministic_mix.then(|| MixRotation::new(&cfg.mix));
+        let mut next_job_id = 0u64;
+        let mut total_delay = SimDuration::ZERO;
+        let mut fill_flops = 0.0;
+        let mut jobs_completed = 0usize;
+        let mut isolated_ooms = 0u64;
+
+        for _iter in 0..cfg.iterations {
+            let mut stage_delays: Vec<SimDuration> = Vec::with_capacity(p);
+            for stage in 0..p {
+                let mut delay = SimDuration::ZERO;
+                let windows = timeline.stages[stage].fillable_windows();
+                for (slot, window) in windows.iter().enumerate() {
+                    // Refill the device's backlog if idle.
+                    if executors[stage].is_none() {
+                        executors[stage] = draw_job(
+                            cfg,
+                            stage,
+                            &stage_slots,
+                            device,
+                            &mut plan_cache,
+                            &mut tput_cache,
+                            &mut next_job_id,
+                            &mut rng,
+                            rotation.as_mut(),
+                        );
+                    }
+                    let Some(executor) = executors[stage].as_mut() else {
+                        continue;
+                    };
+                    // Failure injection: the engine capped the Executor at
+                    // the profiled free memory, but the *actual* free
+                    // memory this bubble may be less. A request over the
+                    // cap dies as an isolated OOM; the bubble idles and
+                    // the partition retries next cycle.
+                    if cfg.memory_jitter_cv > 0.0 {
+                        if let Some(need) = executor.pending_memory(slot) {
+                            let actual_free =
+                                window.free_memory.mul_f64(rng.jitter(cfg.memory_jitter_cv));
+                            if need > actual_free {
+                                isolated_ooms += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    let run = executor.on_bubble(slot);
+                    if run.time_used.is_zero() && run.samples_completed == 0 && !run.job_finished
+                    {
+                        continue;
+                    }
+                    fill_flops += run.flops;
+                    // Jittered reality: the bubble and the partition both
+                    // deviate from their profiled durations.
+                    let actual_window = window.duration.mul_f64(rng.jitter(cfg.jitter_cv));
+                    let used = cfg.executor.switch_overhead
+                        + run.time_used.mul_f64(rng.jitter(cfg.jitter_cv));
+                    let usable = actual_window.mul_f64(cfg.usable_fraction);
+                    delay += used.saturating_sub(usable);
+                    if run.job_finished {
+                        jobs_completed += 1;
+                        executors[stage] = None;
+                    }
+                }
+                stage_delays.push(delay);
+            }
+            // Stalls on different stages partially overlap on the
+            // pipeline's critical path: the longest stall is fully paid,
+            // the rest half.
+            let max = stage_delays
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            let sum: SimDuration = stage_delays.iter().copied().sum();
+            total_delay += max + (sum - max).mul_f64(0.5);
+        }
+
+        let nominal_total = period * cfg.iterations as u64;
+        let elapsed = nominal_total + total_delay;
+        let slowdown = total_delay.as_secs_f64() / nominal_total.as_secs_f64();
+        PhysicalSimResult {
+            iterations: cfg.iterations,
+            nominal_period: period,
+            mean_period: period + total_delay / cfg.iterations as u64,
+            main_slowdown: slowdown,
+            fill_flops,
+            recovered_tflops_per_gpu: fill_flops / (p as f64 * elapsed.as_secs_f64()) / 1e12,
+            main_tflops_per_gpu: main_nominal / (1.0 + slowdown),
+            jobs_completed,
+            isolated_ooms,
+        }
+    }
+}
+
+/// Weighted round-robin over a model mix (largest-accumulator rule), with
+/// training/inference alternation for the sub-700M models — realizes mix
+/// weights exactly, without sampling noise.
+#[derive(Debug)]
+struct MixRotation {
+    weights: Vec<(ModelId, f64)>,
+    acc: Vec<f64>,
+    kind_flip: HashMap<ModelId, bool>,
+}
+
+impl MixRotation {
+    fn new(mix: &ModelMix) -> Self {
+        let total: f64 = mix.weights().iter().map(|&(_, w)| w).sum();
+        let weights: Vec<(ModelId, f64)> = mix
+            .weights()
+            .iter()
+            .map(|&(m, w)| (m, w / total))
+            .collect();
+        MixRotation {
+            acc: vec![0.0; weights.len()],
+            weights,
+            kind_flip: HashMap::new(),
+        }
+    }
+
+    fn next(&mut self) -> (ModelId, JobKind) {
+        for (i, &(_, w)) in self.weights.iter().enumerate() {
+            self.acc[i] += w;
+        }
+        let best = self
+            .acc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+            .map(|(i, _)| i)
+            .expect("mix is non-empty");
+        self.acc[best] -= 1.0;
+        let model = self.weights[best].0;
+        let kind = if model.trainable_as_fill_job() {
+            let flip = self.kind_flip.entry(model).or_insert(false);
+            *flip = !*flip;
+            if *flip {
+                JobKind::Training
+            } else {
+                JobKind::BatchInference
+            }
+        } else {
+            JobKind::BatchInference
+        };
+        (model, kind)
+    }
+}
+
+/// Draws the next backlog job for a stage and binds it to its plan.
+/// Returns `None` (leaving the bubble idle this round) if several draws
+/// in a row are infeasible on this stage.
+#[allow(clippy::too_many_arguments)]
+fn draw_job(
+    cfg: &PhysicalSimConfig,
+    stage: usize,
+    stage_slots: &[Vec<(SimDuration, pipefill_device::Bytes)>],
+    device: &pipefill_device::DeviceSpec,
+    plan_cache: &mut HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
+    tput_cache: &mut HashMap<(ModelId, JobKind), Option<f64>>,
+    next_job_id: &mut u64,
+    rng: &mut DeterministicRng,
+    mut rotation: Option<&mut MixRotation>,
+) -> Option<FillJobExecutor> {
+    const MAX_TRIES: usize = 5;
+    for _ in 0..MAX_TRIES {
+        let (model, kind) = match rotation.as_deref_mut() {
+            Some(r) => r.next(),
+            None => {
+                let model = cfg.mix.sample_model(rng);
+                (model, cfg.mix.sample_kind(model, rng))
+            }
+        };
+        let plan = plan_cache
+            .entry((model, kind, stage))
+            .or_insert_with(|| {
+                let slots = &stage_slots[stage];
+                if slots.is_empty() {
+                    return None;
+                }
+                let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
+                plan_best(&probe, slots, device, &cfg.executor).ok()
+            })
+            .clone();
+        let Some(plan) = plan else { continue };
+        let throughput = *tput_cache.entry((model, kind)).or_insert_with(|| {
+            let graph = model.build();
+            exclusive_throughput(&graph, kind, device, &FillJobSpec::default_batch_sizes())
+                .map(|(t, _)| t)
+        });
+        let Some(throughput) = throughput else { continue };
+        let samples = ((cfg.backlog_job_gpu_hours * 3600.0 * throughput).round() as u64).max(1);
+        let id = *next_job_id;
+        *next_job_id += 1;
+        let job = FillJobSpec::new(id, model, kind, samples);
+        return Some(FillJobExecutor::new(job, plan));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefill_pipeline::ScheduleKind;
+
+    fn config(fill: f64) -> PhysicalSimConfig {
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let mut cfg = PhysicalSimConfig::new(main).with_fill_fraction(fill);
+        cfg.iterations = 120;
+        cfg
+    }
+
+    #[test]
+    fn no_fill_baseline_has_zero_overhead() {
+        let r = PhysicalSim::new(config(0.0)).run();
+        assert_eq!(r.main_slowdown, 0.0);
+        assert_eq!(r.recovered_tflops_per_gpu, 0.0);
+        assert_eq!(r.jobs_completed, 0);
+    }
+
+    #[test]
+    fn default_fill_fraction_keeps_overhead_under_two_percent() {
+        // Fig. 5's headline: <2% slowdown at the 68% default.
+        let r = PhysicalSim::new(config(0.68)).run();
+        assert!(r.main_slowdown < 0.02, "slowdown {}", r.main_slowdown);
+        assert!(r.recovered_tflops_per_gpu > 2.0, "recovered {}", r.recovered_tflops_per_gpu);
+        assert!(r.jobs_completed > 0);
+    }
+
+    #[test]
+    fn aggressive_filling_hurts_the_main_job() {
+        let moderate = PhysicalSim::new(config(0.68)).run();
+        let aggressive = PhysicalSim::new(config(0.95)).run();
+        assert!(
+            aggressive.main_slowdown > moderate.main_slowdown * 2.0,
+            "moderate {} aggressive {}",
+            moderate.main_slowdown,
+            aggressive.main_slowdown
+        );
+        assert!(aggressive.main_slowdown > 0.02);
+        // But total utilization keeps rising (the Fig. 5 observation).
+        assert!(aggressive.recovered_tflops_per_gpu > moderate.recovered_tflops_per_gpu);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PhysicalSim::new(config(0.68)).run();
+        let b = PhysicalSim::new(config(0.68)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recovered_scales_with_fill_fraction() {
+        let lo = PhysicalSim::new(config(0.3)).run();
+        let hi = PhysicalSim::new(config(0.68)).run();
+        assert!(
+            hi.recovered_tflops_per_gpu > lo.recovered_tflops_per_gpu * 1.4,
+            "lo {} hi {}",
+            lo.recovered_tflops_per_gpu,
+            hi.recovered_tflops_per_gpu
+        );
+    }
+
+    #[test]
+    fn memory_jitter_causes_isolated_ooms_not_slowdown() {
+        // §4.3: a fill job exceeding its cap OOMs in isolation — the
+        // main job never notices.
+        let mut cfg = config(0.68);
+        cfg.memory_jitter_cv = 0.4;
+        let with_faults = PhysicalSim::new(cfg).run();
+        let clean = PhysicalSim::new(config(0.68)).run();
+        assert!(with_faults.isolated_ooms > 0, "no OOMs injected");
+        assert_eq!(clean.isolated_ooms, 0);
+        // Lost bubbles reduce recovered work but never the main job.
+        assert!(with_faults.recovered_tflops_per_gpu < clean.recovered_tflops_per_gpu);
+        assert!(
+            with_faults.main_slowdown < 0.02,
+            "isolation violated: slowdown {}",
+            with_faults.main_slowdown
+        );
+    }
+
+    #[test]
+    fn overhead_is_mix_independent_at_default_fill() {
+        // Fig. 6: "the overhead to the main job does not vary
+        // significantly" across fill-job types.
+        let xlm = PhysicalSim::new(
+            config(0.68).with_mix(ModelMix::single(ModelId::XlmRobertaXl)),
+        )
+        .run();
+        let eff = PhysicalSim::new(
+            config(0.68).with_mix(ModelMix::single(ModelId::EfficientNet)),
+        )
+        .run();
+        assert!(xlm.main_slowdown < 0.02, "xlm {}", xlm.main_slowdown);
+        assert!(eff.main_slowdown < 0.02, "eff {}", eff.main_slowdown);
+    }
+}

@@ -1,0 +1,31 @@
+//! # pipefill-device
+//!
+//! Hardware substrate for the PipeFill reproduction: accelerator, node and
+//! cluster specifications, an HBM memory-pool model with the allocator
+//! semantics the PipeFill engine relies on, and analytical transfer-time
+//! models for the interconnects.
+//!
+//! The paper's testbed is 16 AWS `p3.16xlarge` instances — 8× NVIDIA V100
+//! (125 TFLOPS peak, 16 GB HBM) per node, NVLink 2.0 (300 GB/s) within a
+//! node, 25 Gbps Ethernet between nodes (§5.1). Those numbers are the
+//! defaults here ([`DeviceSpec::v100`], [`NodeSpec::p3_16xlarge`],
+//! [`ClusterSpec::p3_cluster`]), but everything is parametric so the
+//! sensitivity studies can scale devices, memory and links independently.
+//!
+//! The memory model ([`MemoryPool`]) mirrors the subset of the CUDA caching
+//! allocator the paper's engine instrumentation uses:
+//! `torch.cuda.memory_allocated()` → [`MemoryPool::allocated`],
+//! `torch.cuda.empty_cache()` → [`MemoryPool::empty_cache`], and
+//! `cuda.set_per_process_memory_fraction` → [`MemoryPool::set_cap`], with
+//! OOM isolated to the capped (fill-job) process.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bytes;
+mod memory;
+mod spec;
+
+pub use bytes::Bytes;
+pub use memory::{AllocId, MemoryError, MemoryPool, Proc};
+pub use spec::{ClusterSpec, DeviceSpec, LinkSpec, NodeSpec};

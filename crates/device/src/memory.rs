@@ -1,0 +1,415 @@
+//! The device memory pool: a simulation of the CUDA caching-allocator
+//! behaviours the PipeFill engine instrumentation depends on.
+//!
+//! The paper's engine (§4.2):
+//!
+//! * reads how much memory the main job holds during a bubble
+//!   (`torch.cuda.memory_allocated()`), treating the rest of HBM as free
+//!   for fill jobs;
+//! * tells the allocator to release transient/unused buffers first
+//!   (`torch.cuda.empty_cache()`) so they are not charged to the main job;
+//! * caps the fill-job Executor's usable memory
+//!   (`cuda.set_per_process_memory_fraction`) so that a misbehaving fill
+//!   job gets an OOM error *isolated to the Executor process* instead of
+//!   crashing the main job.
+//!
+//! [`MemoryPool`] models exactly that: two logical processes
+//! ([`Proc::Main`], [`Proc::Fill`]), per-allocation transient flags, an
+//! optional per-process cap, and error variants that distinguish an
+//! isolated cap violation from a true device OOM.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::bytes::Bytes;
+
+/// Which logical process owns an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proc {
+    /// The main pipeline-parallel training job.
+    Main,
+    /// The fill-job Executor process.
+    Fill,
+}
+
+impl fmt::Display for Proc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proc::Main => write!(f, "main"),
+            Proc::Fill => write!(f, "fill"),
+        }
+    }
+}
+
+/// Handle to a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The requesting process would exceed its configured cap. For the
+    /// fill process this is the *isolated* OOM of §4.3 — it kills the fill
+    /// job attempt but never the main job.
+    CapExceeded {
+        /// The process whose cap was hit.
+        proc: Proc,
+        /// Bytes requested.
+        requested: Bytes,
+        /// The configured cap.
+        cap: Bytes,
+        /// Bytes the process already holds.
+        in_use: Bytes,
+    },
+    /// The device itself is out of memory. If the main job triggers this,
+    /// the training run crashes — the situation PipeFill's capping is
+    /// designed to make impossible for fill jobs.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: Bytes,
+        /// Bytes actually free on the device.
+        free: Bytes,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::CapExceeded {
+                proc,
+                requested,
+                cap,
+                in_use,
+            } => write!(
+                f,
+                "{proc} process cap exceeded: requested {requested} with {in_use} in use against cap {cap}"
+            ),
+            MemoryError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested}, free {free}")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Allocation {
+    proc: Proc,
+    size: Bytes,
+    transient: bool,
+}
+
+/// A simulated device memory pool.
+///
+/// # Example
+///
+/// ```
+/// use pipefill_device::{Bytes, MemoryPool, Proc};
+///
+/// let mut pool = MemoryPool::new(Bytes::from_gib(16));
+/// // Main job holds 11.5 GiB of persistent state...
+/// pool.alloc(Proc::Main, Bytes::from_gib_f64(11.5)).unwrap();
+/// // ...plus transient buffers released at each bubble.
+/// pool.alloc_transient(Proc::Main, Bytes::from_gib(2)).unwrap();
+/// pool.empty_cache(Proc::Main);
+/// assert_eq!(pool.free().as_gib(), 4.5); // the paper's measured bubble free memory
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    capacity: Bytes,
+    allocations: HashMap<u64, Allocation>,
+    next_id: u64,
+    caps: HashMap<Proc, Bytes>,
+    /// High-water mark of total allocated bytes, for reporting.
+    peak: Bytes,
+}
+
+impl MemoryPool {
+    /// Creates a pool with the given HBM capacity.
+    pub fn new(capacity: Bytes) -> Self {
+        MemoryPool {
+            capacity,
+            allocations: HashMap::new(),
+            next_id: 0,
+            caps: HashMap::new(),
+            peak: Bytes::ZERO,
+        }
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently free on the device.
+    pub fn free(&self) -> Bytes {
+        self.capacity - self.total_allocated()
+    }
+
+    /// Total bytes allocated across all processes.
+    pub fn total_allocated(&self) -> Bytes {
+        self.allocations.values().map(|a| a.size).sum()
+    }
+
+    /// Peak total allocation observed so far.
+    pub fn peak_allocated(&self) -> Bytes {
+        self.peak
+    }
+
+    /// Bytes held by one process (the `torch.cuda.memory_allocated()`
+    /// reading for that process).
+    pub fn allocated(&self, proc: Proc) -> Bytes {
+        self.allocations
+            .values()
+            .filter(|a| a.proc == proc)
+            .map(|a| a.size)
+            .sum()
+    }
+
+    /// Sets (or clears, with `None`) the cap on how much a process may
+    /// hold — the `set_per_process_memory_fraction` analogue, in absolute
+    /// bytes.
+    pub fn set_cap(&mut self, proc: Proc, cap: Option<Bytes>) {
+        match cap {
+            Some(c) => {
+                self.caps.insert(proc, c);
+            }
+            None => {
+                self.caps.remove(&proc);
+            }
+        }
+    }
+
+    /// The currently configured cap for a process, if any.
+    pub fn cap(&self, proc: Proc) -> Option<Bytes> {
+        self.caps.get(&proc).copied()
+    }
+
+    /// Allocates persistent memory.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::CapExceeded`] if the process would exceed its cap
+    /// (checked first, so fill-job failures are isolated), else
+    /// [`MemoryError::OutOfMemory`] if the device lacks free bytes.
+    pub fn alloc(&mut self, proc: Proc, size: Bytes) -> Result<AllocId, MemoryError> {
+        self.alloc_inner(proc, size, false)
+    }
+
+    /// Allocates a transient buffer — memory the owner can bulk-release
+    /// via [`MemoryPool::empty_cache`] (activation workspaces, fragmented
+    /// cached blocks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MemoryPool::alloc`].
+    pub fn alloc_transient(&mut self, proc: Proc, size: Bytes) -> Result<AllocId, MemoryError> {
+        self.alloc_inner(proc, size, true)
+    }
+
+    fn alloc_inner(
+        &mut self,
+        proc: Proc,
+        size: Bytes,
+        transient: bool,
+    ) -> Result<AllocId, MemoryError> {
+        if let Some(&cap) = self.caps.get(&proc) {
+            let in_use = self.allocated(proc);
+            if in_use + size > cap {
+                return Err(MemoryError::CapExceeded {
+                    proc,
+                    requested: size,
+                    cap,
+                    in_use,
+                });
+            }
+        }
+        let free = self.free();
+        if size > free {
+            return Err(MemoryError::OutOfMemory {
+                requested: size,
+                free,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocations.insert(
+            id,
+            Allocation {
+                proc,
+                size,
+                transient,
+            },
+        );
+        self.peak = self.peak.max(self.total_allocated());
+        Ok(AllocId(id))
+    }
+
+    /// Frees one allocation. Returns the freed size, or `None` if the id
+    /// was already freed (double-free is benign, mirroring a caching
+    /// allocator's refcounted blocks).
+    pub fn release(&mut self, id: AllocId) -> Option<Bytes> {
+        self.allocations.remove(&id.0).map(|a| a.size)
+    }
+
+    /// Releases every transient buffer owned by `proc` — the
+    /// `torch.cuda.empty_cache()` analogue the engine invokes at each
+    /// bubble start. Returns the total bytes released.
+    pub fn empty_cache(&mut self, proc: Proc) -> Bytes {
+        let ids: Vec<u64> = self
+            .allocations
+            .iter()
+            .filter(|(_, a)| a.proc == proc && a.transient)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut freed = Bytes::ZERO;
+        for id in ids {
+            freed += self.allocations.remove(&id).expect("id collected above").size;
+        }
+        freed
+    }
+
+    /// Releases everything owned by `proc` (process exit).
+    pub fn release_all(&mut self, proc: Proc) -> Bytes {
+        let ids: Vec<u64> = self
+            .allocations
+            .iter()
+            .filter(|(_, a)| a.proc == proc)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut freed = Bytes::ZERO;
+        for id in ids {
+            freed += self.allocations.remove(&id).expect("id collected above").size;
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_16g() -> MemoryPool {
+        MemoryPool::new(Bytes::from_gib(16))
+    }
+
+    #[test]
+    fn alloc_and_release_round_trip() {
+        let mut pool = pool_16g();
+        let id = pool.alloc(Proc::Main, Bytes::from_gib(4)).unwrap();
+        assert_eq!(pool.allocated(Proc::Main), Bytes::from_gib(4));
+        assert_eq!(pool.free(), Bytes::from_gib(12));
+        assert_eq!(pool.release(id), Some(Bytes::from_gib(4)));
+        assert_eq!(pool.free(), Bytes::from_gib(16));
+        assert_eq!(pool.release(id), None, "double free is benign");
+    }
+
+    #[test]
+    fn device_oom_when_exhausted() {
+        let mut pool = pool_16g();
+        pool.alloc(Proc::Main, Bytes::from_gib(15)).unwrap();
+        let err = pool.alloc(Proc::Main, Bytes::from_gib(2)).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::OutOfMemory {
+                requested: Bytes::from_gib(2),
+                free: Bytes::from_gib(1),
+            }
+        );
+    }
+
+    #[test]
+    fn fill_cap_is_checked_before_device_oom() {
+        let mut pool = pool_16g();
+        pool.alloc(Proc::Main, Bytes::from_gib(11)).unwrap();
+        pool.set_cap(Proc::Fill, Some(Bytes::from_gib(4)));
+        // 5 GiB are free on the device, but the cap is 4 GiB: the fill
+        // process sees an isolated CapExceeded, not a device OOM.
+        let err = pool.alloc(Proc::Fill, Bytes::from_gib_f64(4.5)).unwrap_err();
+        assert!(matches!(err, MemoryError::CapExceeded { proc: Proc::Fill, .. }));
+        // Within the cap it succeeds.
+        pool.alloc(Proc::Fill, Bytes::from_gib(4)).unwrap();
+        // Main job is unaffected and can still allocate the true remainder.
+        pool.alloc(Proc::Main, Bytes::from_gib(1)).unwrap();
+    }
+
+    #[test]
+    fn cap_accounts_for_existing_usage() {
+        let mut pool = pool_16g();
+        pool.set_cap(Proc::Fill, Some(Bytes::from_gib(4)));
+        pool.alloc(Proc::Fill, Bytes::from_gib(3)).unwrap();
+        let err = pool.alloc(Proc::Fill, Bytes::from_gib(2)).unwrap_err();
+        match err {
+            MemoryError::CapExceeded { in_use, cap, .. } => {
+                assert_eq!(in_use, Bytes::from_gib(3));
+                assert_eq!(cap, Bytes::from_gib(4));
+            }
+            other => panic!("expected CapExceeded, got {other:?}"),
+        }
+        pool.set_cap(Proc::Fill, None);
+        pool.alloc(Proc::Fill, Bytes::from_gib(2)).unwrap();
+    }
+
+    #[test]
+    fn empty_cache_frees_only_transient_of_that_proc() {
+        let mut pool = pool_16g();
+        pool.alloc(Proc::Main, Bytes::from_gib(8)).unwrap();
+        pool.alloc_transient(Proc::Main, Bytes::from_gib(2)).unwrap();
+        pool.alloc_transient(Proc::Main, Bytes::from_gib(1)).unwrap();
+        pool.alloc_transient(Proc::Fill, Bytes::from_gib(1)).unwrap();
+        let freed = pool.empty_cache(Proc::Main);
+        assert_eq!(freed, Bytes::from_gib(3));
+        assert_eq!(pool.allocated(Proc::Main), Bytes::from_gib(8));
+        assert_eq!(pool.allocated(Proc::Fill), Bytes::from_gib(1));
+        assert_eq!(pool.empty_cache(Proc::Main), Bytes::ZERO);
+    }
+
+    #[test]
+    fn release_all_clears_process() {
+        let mut pool = pool_16g();
+        pool.alloc(Proc::Fill, Bytes::from_gib(2)).unwrap();
+        pool.alloc_transient(Proc::Fill, Bytes::from_gib(1)).unwrap();
+        pool.alloc(Proc::Main, Bytes::from_gib(5)).unwrap();
+        assert_eq!(pool.release_all(Proc::Fill), Bytes::from_gib(3));
+        assert_eq!(pool.allocated(Proc::Fill), Bytes::ZERO);
+        assert_eq!(pool.allocated(Proc::Main), Bytes::from_gib(5));
+    }
+
+    #[test]
+    fn paper_bubble_free_memory_scenario() {
+        // 16 GB HBM, main job holds ~11.5 GiB persistent after releasing
+        // transient buffers -> 4.5 GiB free, matching §6.1.
+        let mut pool = pool_16g();
+        pool.alloc(Proc::Main, Bytes::from_gib_f64(11.5)).unwrap();
+        pool.alloc_transient(Proc::Main, Bytes::from_gib(3)).unwrap();
+        pool.empty_cache(Proc::Main);
+        assert_eq!(pool.free(), Bytes::from_gib_f64(4.5));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut pool = pool_16g();
+        let a = pool.alloc(Proc::Main, Bytes::from_gib(10)).unwrap();
+        pool.release(a);
+        pool.alloc(Proc::Main, Bytes::from_gib(2)).unwrap();
+        assert_eq!(pool.peak_allocated(), Bytes::from_gib(10));
+    }
+
+    #[test]
+    fn errors_format_usefully() {
+        let e = MemoryError::OutOfMemory {
+            requested: Bytes::from_gib(2),
+            free: Bytes::from_gib(1),
+        };
+        assert!(e.to_string().contains("out of memory"));
+        let e = MemoryError::CapExceeded {
+            proc: Proc::Fill,
+            requested: Bytes::from_gib(5),
+            cap: Bytes::from_gib(4),
+            in_use: Bytes::ZERO,
+        };
+        assert!(e.to_string().contains("fill process cap exceeded"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the memory pool: capacity, cap isolation and
+//! accounting invariants under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use pipefill_device::{AllocId, Bytes, MemoryError, MemoryPool, Proc};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(Proc, u64),
+    AllocTransient(Proc, u64),
+    Release(usize),
+    EmptyCache(Proc),
+    SetCap(Proc, Option<u64>),
+    ReleaseAll(Proc),
+}
+
+fn proc_strategy() -> impl Strategy<Value = Proc> {
+    prop_oneof![Just(Proc::Main), Just(Proc::Fill)]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (proc_strategy(), 1u64..4_000).prop_map(|(p, s)| Op::Alloc(p, s)),
+        (proc_strategy(), 1u64..4_000).prop_map(|(p, s)| Op::AllocTransient(p, s)),
+        (0usize..64).prop_map(Op::Release),
+        proc_strategy().prop_map(Op::EmptyCache),
+        (proc_strategy(), prop::option::of(0u64..8_000)).prop_map(|(p, c)| Op::SetCap(p, c)),
+        proc_strategy().prop_map(Op::ReleaseAll),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence: total allocation never exceeds
+    /// capacity, per-process accounting sums to the total, failed
+    /// allocations change nothing, and a capped process never exceeds its
+    /// cap at allocation time.
+    #[test]
+    fn pool_invariants(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let capacity = Bytes::new(10_000);
+        let mut pool = MemoryPool::new(capacity);
+        // (id, owner, transient) for allocations we believe are live.
+        let mut live: Vec<(AllocId, Proc, bool)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(p, s) | Op::AllocTransient(p, s) => {
+                    let transient = matches!(op, Op::AllocTransient(..));
+                    let before = (pool.total_allocated(), pool.allocated(p));
+                    let result = if transient {
+                        pool.alloc_transient(p, Bytes::new(s))
+                    } else {
+                        pool.alloc(p, Bytes::new(s))
+                    };
+                    match result {
+                        Ok(id) => {
+                            live.push((id, p, transient));
+                            if let Some(cap) = pool.cap(p) {
+                                prop_assert!(pool.allocated(p) <= cap);
+                            }
+                        }
+                        Err(MemoryError::CapExceeded { .. })
+                        | Err(MemoryError::OutOfMemory { .. }) => {
+                            prop_assert_eq!(
+                                (pool.total_allocated(), pool.allocated(p)),
+                                before,
+                                "failed alloc mutated state"
+                            );
+                        }
+                    }
+                }
+                Op::Release(i) => {
+                    if !live.is_empty() {
+                        let (id, _, _) = live.remove(i % live.len());
+                        prop_assert!(pool.release(id).is_some());
+                        prop_assert!(pool.release(id).is_none(), "double free not benign");
+                    }
+                }
+                Op::EmptyCache(p) => {
+                    let expected: u64 = live
+                        .iter()
+                        .filter(|&&(_, owner, transient)| owner == p && transient)
+                        .count() as u64;
+                    let _ = expected;
+                    let freed = pool.empty_cache(p);
+                    prop_assert!(freed <= capacity);
+                    live.retain(|&(_, owner, transient)| !(owner == p && transient));
+                }
+                Op::SetCap(p, c) => pool.set_cap(p, c.map(Bytes::new)),
+                Op::ReleaseAll(p) => {
+                    pool.release_all(p);
+                    prop_assert_eq!(pool.allocated(p), Bytes::ZERO);
+                    live.retain(|&(_, owner, _)| owner != p);
+                }
+            }
+            // Global invariants after every operation.
+            prop_assert!(pool.total_allocated() <= capacity);
+            prop_assert_eq!(
+                pool.allocated(Proc::Main) + pool.allocated(Proc::Fill),
+                pool.total_allocated()
+            );
+            prop_assert_eq!(pool.free() + pool.total_allocated(), capacity);
+            prop_assert!(pool.peak_allocated() >= pool.total_allocated());
+        }
+    }
+
+    /// A fill-process cap always isolates: with the cap at or below the
+    /// free space, a fill allocation can never trigger a device OOM.
+    #[test]
+    fn cap_isolates_fill_process(
+        main_use in 0u64..9_000,
+        requests in prop::collection::vec(1u64..5_000, 1..20),
+    ) {
+        let mut pool = MemoryPool::new(Bytes::new(10_000));
+        pool.alloc(Proc::Main, Bytes::new(main_use)).unwrap();
+        let cap = pool.free();
+        pool.set_cap(Proc::Fill, Some(cap));
+        for r in requests {
+            match pool.alloc(Proc::Fill, Bytes::new(r)) {
+                Ok(_) => {}
+                Err(MemoryError::CapExceeded { .. }) => {}
+                Err(MemoryError::OutOfMemory { .. }) => {
+                    prop_assert!(false, "capped fill process hit device OOM");
+                }
+            }
+        }
+    }
+}

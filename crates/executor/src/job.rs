@@ -1,0 +1,136 @@
+//! Fill-job descriptions.
+
+use pipefill_model_zoo::{JobKind, ModelGraph, ModelId};
+use pipefill_sim_core::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Unique fill-job identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A fill job as submitted to PipeFill: "PIPEFILL takes as input the model
+/// used for the fill-job, as well as valid batch-sizes; given the job
+/// configuration, it will attempt to execute the fill-job with maximum
+/// throughput" (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FillJobSpec {
+    /// Job identifier.
+    pub id: JobId,
+    /// Which Table-1 model the job runs.
+    pub model: ModelId,
+    /// Training or batch inference.
+    pub kind: JobKind,
+    /// Samples the job must process to complete.
+    pub samples: u64,
+    /// Batch sizes the job's code supports (powers of two up to 256 by
+    /// default).
+    pub valid_batch_sizes: Vec<usize>,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Optional completion deadline (drives deadline-aware policies).
+    pub deadline: Option<SimTime>,
+}
+
+impl FillJobSpec {
+    /// Default batch-size menu: powers of two from 1 to 512.
+    pub fn default_batch_sizes() -> Vec<usize> {
+        (0..=9).map(|i| 1usize << i).collect()
+    }
+
+    /// Creates a job with the default batch-size menu, arriving at time
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(id: u64, model: ModelId, kind: JobKind, samples: u64) -> Self {
+        assert!(samples > 0, "a job must process at least one sample");
+        FillJobSpec {
+            id: JobId(id),
+            model,
+            kind,
+            samples,
+            valid_batch_sizes: Self::default_batch_sizes(),
+            arrival: SimTime::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// Sets the arrival time.
+    pub fn with_arrival(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets a deadline.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Restricts the batch-size menu.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty or contains zero.
+    pub fn with_batch_sizes(mut self, sizes: Vec<usize>) -> Self {
+        assert!(
+            !sizes.is_empty() && sizes.iter().all(|&b| b > 0),
+            "batch sizes must be non-empty and positive"
+        );
+        self.valid_batch_sizes = sizes;
+        self
+    }
+
+    /// Builds the model graph for this job.
+    pub fn model_graph(&self) -> ModelGraph {
+        self.model.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefill_model_zoo::ModelId;
+
+    #[test]
+    fn default_batch_menu_is_powers_of_two() {
+        let job = FillJobSpec::new(1, ModelId::BertBase, JobKind::BatchInference, 100);
+        assert_eq!(
+            job.valid_batch_sizes,
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+        );
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let job = FillJobSpec::new(2, ModelId::EfficientNet, JobKind::Training, 50)
+            .with_arrival(SimTime::from_secs_f64(10.0))
+            .with_deadline(SimTime::from_secs_f64(100.0))
+            .with_batch_sizes(vec![4, 8]);
+        assert_eq!(job.arrival, SimTime::from_secs_f64(10.0));
+        assert_eq!(job.deadline, Some(SimTime::from_secs_f64(100.0)));
+        assert_eq!(job.valid_batch_sizes, vec![4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = FillJobSpec::new(3, ModelId::BertBase, JobKind::Training, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty and positive")]
+    fn zero_batch_size_rejected() {
+        let _ = FillJobSpec::new(4, ModelId::BertBase, JobKind::Training, 10)
+            .with_batch_sizes(vec![0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for Algorithm 1: the plan must respect every bubble's
+//! duration and memory constraints for arbitrary graphs and cycles, pack
+//! all nodes in order, and drive the executor to completion.
+
+use proptest::prelude::*;
+
+use pipefill_device::Bytes;
+use pipefill_executor::{
+    plan_for_config, ExecConfig, ExecTechnique, ExecutorConfig, FillJobExecutor, FillJobSpec,
+    JobProfile, NodeProfile, PlanError,
+};
+use pipefill_model_zoo::{JobKind, ModelId};
+use pipefill_sim_core::SimDuration;
+
+fn profile_from(nodes: Vec<(u64, u64)>) -> JobProfile {
+    JobProfile {
+        config: ExecConfig {
+            batch_size: 2,
+            technique: ExecTechnique::Plain,
+        },
+        nodes: nodes
+            .into_iter()
+            .map(|(ms, mib)| NodeProfile {
+                duration: SimDuration::from_millis(ms),
+                memory: Bytes::from_mib(mib),
+                flops: ms as f64 * 1e9,
+            })
+            .collect(),
+        samples_per_iteration: 2,
+    }
+}
+
+fn exact_exec() -> ExecutorConfig {
+    ExecutorConfig {
+        fill_fraction: 1.0,
+        cold_start_factor: 1.0,
+        switch_overhead: SimDuration::ZERO,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every partition honours its bubble slot's duration and memory
+    /// limits; all replicated nodes are packed exactly once, in order.
+    #[test]
+    fn partitions_respect_all_constraints(
+        nodes in prop::collection::vec((1u64..50, 1u64..512), 1..30),
+        bubbles in prop::collection::vec((60u64..500, 256u64..2048), 1..6),
+    ) {
+        let profile = profile_from(nodes.clone());
+        let slots: Vec<(SimDuration, Bytes)> = bubbles
+            .iter()
+            .map(|&(ms, mib)| (SimDuration::from_millis(ms), Bytes::from_mib(mib)))
+            .collect();
+        match plan_for_config(&profile, &slots, &exact_exec()) {
+            Err(PlanError::NodeDoesNotFit) => {
+                // Legitimate only if some node really fits no bubble.
+                let unfit = profile.nodes.iter().any(|n| {
+                    !slots.iter().any(|&(d, m)| n.duration <= d && n.memory <= m)
+                });
+                prop_assert!(unfit, "planner gave up although every node fits somewhere");
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            Ok(plan) => {
+                for part in &plan.partitions {
+                    let (cap_d, cap_m) = slots[part.bubble_index];
+                    prop_assert!(part.duration <= cap_d, "duration violated");
+                    prop_assert!(part.memory <= cap_m, "memory violated");
+                    prop_assert!(part.node_count > 0);
+                }
+                let packed: usize = plan.partitions.iter().map(|p| p.node_count).sum();
+                prop_assert_eq!(
+                    packed,
+                    profile.nodes.len() * plan.iterations_per_pass as usize,
+                    "not every node packed exactly once"
+                );
+                let iters: u64 = plan.partitions.iter().map(|p| p.iterations_completed).sum();
+                prop_assert_eq!(iters, plan.iterations_per_pass);
+                // Replication is bounded by Algorithm 1 line 4.
+                let graph: SimDuration = profile.nodes.iter().map(|n| n.duration).sum();
+                let total: SimDuration = slots.iter().map(|&(d, _)| d).sum();
+                if plan.iterations_per_pass > 1 {
+                    prop_assert!(graph * plan.iterations_per_pass < total + graph);
+                }
+            }
+        }
+    }
+
+    /// Fill-fraction scaling: a smaller fraction never packs more work
+    /// per pass-iteration.
+    #[test]
+    fn fill_fraction_monotonicity(
+        nodes in prop::collection::vec((1u64..30, 1u64..256), 1..15),
+        frac_pct in 30u64..100,
+    ) {
+        let profile = profile_from(nodes);
+        let slots = vec![(SimDuration::from_millis(600), Bytes::from_mib(2048))];
+        let full = plan_for_config(&profile, &slots, &exact_exec());
+        let partial = plan_for_config(
+            &profile,
+            &slots,
+            &ExecutorConfig {
+                fill_fraction: frac_pct as f64 / 100.0,
+                cold_start_factor: 1.0,
+                switch_overhead: SimDuration::ZERO,
+            },
+        );
+        if let (Ok(f), Ok(p)) = (full, partial) {
+            prop_assert!(
+                p.samples_per_main_iteration() <= f.samples_per_main_iteration() + 1e-9
+            );
+        }
+    }
+
+    /// The executor driven slot-by-slot completes any finite job, and
+    /// its FLOPs/time accounting matches the partitions it executed.
+    #[test]
+    fn executor_completes_and_accounts(samples in 1u64..5_000, seed in 0u64..8) {
+        // Vary the job type with the seed for coverage.
+        let (model, kind) = match seed % 4 {
+            0 => (ModelId::BertBase, JobKind::BatchInference),
+            1 => (ModelId::BertBase, JobKind::Training),
+            2 => (ModelId::BertLarge, JobKind::BatchInference),
+            _ => (ModelId::EfficientNet, JobKind::BatchInference),
+        };
+        let job = FillJobSpec::new(seed, model, kind, samples);
+        let slots = vec![
+            (SimDuration::from_millis(1900), Bytes::from_gib_f64(4.5)),
+            (SimDuration::from_millis(1000), Bytes::from_gib_f64(4.5)),
+        ];
+        let plan = pipefill_executor::plan_best(
+            &job,
+            &slots,
+            &pipefill_device::DeviceSpec::v100(),
+            &ExecutorConfig::default(),
+        ).unwrap();
+        let mut ex = FillJobExecutor::new(job, plan);
+        let mut flops = 0.0;
+        let mut time = SimDuration::ZERO;
+        let mut slot = 0usize;
+        let mut guard = 0u64;
+        while !ex.is_complete() {
+            let r = ex.on_bubble(slot);
+            flops += r.flops;
+            time += r.time_used;
+            slot = (slot + 1) % 2;
+            guard += 1;
+            prop_assert!(guard < 10_000_000, "did not terminate");
+        }
+        prop_assert_eq!(ex.samples_done(), samples);
+        prop_assert!((ex.flops_done() - flops).abs() < 1.0);
+        prop_assert_eq!(ex.bubble_time_used(), time);
+    }
+}

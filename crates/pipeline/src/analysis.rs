@@ -1,0 +1,111 @@
+//! Closed-form pipeline analysis: the bubble-fraction formula and the
+//! training-time arithmetic behind Figs. 1 and 4.
+
+use pipefill_sim_core::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The idle-time fraction of synchronous unidirectional pipeline
+/// schedules: `(p − 1) / (m + p − 1)` (§2.1), for `p` stages and `m`
+/// microbatches.
+///
+/// # Example
+///
+/// ```
+/// use pipefill_pipeline::bubble_fraction;
+///
+/// // The paper's 8K-GPU point: p=16, m=8 → 65.2%.
+/// assert!((bubble_fraction(16, 8) - 0.652).abs() < 0.001);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` or `m` is zero.
+pub fn bubble_fraction(p: usize, m: usize) -> f64 {
+    assert!(p > 0 && m > 0, "p and m must be positive");
+    (p - 1) as f64 / (m + p - 1) as f64
+}
+
+/// Wall-clock days to finish a token budget at one iteration per
+/// `iteration_time`.
+///
+/// # Panics
+///
+/// Panics if `tokens_per_iteration` is not positive.
+pub fn days_to_train(
+    total_tokens: f64,
+    tokens_per_iteration: f64,
+    iteration_time: SimDuration,
+) -> f64 {
+    assert!(
+        tokens_per_iteration > 0.0,
+        "tokens per iteration must be positive"
+    );
+    let steps = total_tokens / tokens_per_iteration;
+    steps * iteration_time.as_secs_f64() / 86_400.0
+}
+
+/// One point of the scaling study (a row of Fig. 4's series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Total GPUs.
+    pub gpus: usize,
+    /// Microbatches per pipeline replica.
+    pub microbatches: usize,
+    /// Engine-measured bubble ratio.
+    pub bubble_ratio: f64,
+    /// Fillable bubble ratio (excludes non-contiguous gaps).
+    pub fillable_ratio: f64,
+    /// Minibatch iteration time.
+    pub iteration_time: SimDuration,
+    /// Days to complete the training-token budget.
+    pub days_to_train: f64,
+    /// Main-job TFLOPS per GPU averaged over the iteration (Fig. 4c's
+    /// "Traditional PP" series).
+    pub main_job_tflops_per_gpu: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubble_fraction_matches_paper_series() {
+        // DESIGN.md: m = 64/32/16/8/4 ↔ 19.0/31.9/48.4/65.2/78.9 %.
+        let cases = [
+            (64, 0.1899),
+            (32, 0.3191),
+            (16, 0.4839),
+            (8, 0.6522),
+            (4, 0.7895),
+        ];
+        for (m, expect) in cases {
+            let got = bubble_fraction(16, m);
+            assert!((got - expect).abs() < 5e-4, "m={m}: {got}");
+        }
+    }
+
+    #[test]
+    fn bubble_fraction_limits() {
+        assert_eq!(bubble_fraction(1, 10), 0.0);
+        assert!(bubble_fraction(1000, 1) >= 0.999);
+    }
+
+    #[test]
+    fn figure2_doubling_example() {
+        // Fig. 2: p=4; doubling pipelines halves m from 4 to 2; the bubble
+        // fraction rises from 3/7 to 3/5 — "about 40%".
+        let before = bubble_fraction(4, 4);
+        let after = bubble_fraction(4, 2);
+        let increase = (after - before) / before;
+        assert!((increase - 0.4).abs() < 0.01, "increase {increase}");
+    }
+
+    #[test]
+    fn days_scale_inversely_with_iteration_time() {
+        let d1 = days_to_train(1.0e12, 2.0e6, SimDuration::from_secs_f64(10.0));
+        let d2 = days_to_train(1.0e12, 2.0e6, SimDuration::from_secs_f64(5.0));
+        assert!((d1 / d2 - 2.0).abs() < 1e-9);
+        // 500K steps × 10 s ≈ 57.9 days.
+        assert!((d1 - 57.87).abs() < 0.01, "{d1}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Bubble taxonomy and the bubble windows the engine exposes to the rest
+//! of PipeFill.
+
+use pipefill_device::Bytes;
+use pipefill_sim_core::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The three bubble kinds the paper identifies (§4.5):
+///
+/// * *fill-drain* — between the drain of one minibatch iteration and the
+///   fill of the next (identical for GPipe and 1F1B);
+/// * *fwd-bwd* — between a stage's forward-pass saturation and the start
+///   of its backward work (schedule-dependent);
+/// * *non-contiguous* — the small steady-state gaps inside 1F1B, **which
+///   PipeFill does not fill**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BubbleKind {
+    /// Iteration-boundary bubble (drain + next fill).
+    FillDrain,
+    /// Mid-iteration bubble between forward and backward phases.
+    FwdBwd,
+    /// Fragmented steady-state gaps (1F1B only); not fillable.
+    NonContiguous,
+}
+
+impl BubbleKind {
+    /// Whether PipeFill attempts to fill this kind of bubble.
+    pub fn fillable(self) -> bool {
+        !matches!(self, BubbleKind::NonContiguous)
+    }
+}
+
+impl std::fmt::Display for BubbleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BubbleKind::FillDrain => write!(f, "fill-drain"),
+            BubbleKind::FwdBwd => write!(f, "fwd-bwd"),
+            BubbleKind::NonContiguous => write!(f, "non-contiguous"),
+        }
+    }
+}
+
+/// One idle window on one stage within a single iteration period.
+///
+/// `offset` is relative to the period start, so the absolute start of the
+/// window in iteration `k` is `k · period + offset`. `free_memory` is what
+/// the engine measured as available to a fill job during this window
+/// (after releasing transient buffers, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BubbleWindow {
+    /// Bubble kind.
+    pub kind: BubbleKind,
+    /// Start offset within the iteration period.
+    pub offset: SimDuration,
+    /// Window length.
+    pub duration: SimDuration,
+    /// HBM available to fill jobs during the window.
+    pub free_memory: Bytes,
+}
+
+impl BubbleWindow {
+    /// Absolute start time of this window in iteration `k`.
+    pub fn start_in_iteration(&self, period: SimDuration, k: u64) -> SimTime {
+        SimTime::ZERO + period * k + self.offset
+    }
+
+    /// True if PipeFill will try to fill this window.
+    pub fn fillable(&self) -> bool {
+        self.kind.fillable() && !self.duration.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_contiguous_is_not_fillable() {
+        assert!(BubbleKind::FillDrain.fillable());
+        assert!(BubbleKind::FwdBwd.fillable());
+        assert!(!BubbleKind::NonContiguous.fillable());
+    }
+
+    #[test]
+    fn zero_duration_window_is_not_fillable() {
+        let w = BubbleWindow {
+            kind: BubbleKind::FwdBwd,
+            offset: SimDuration::ZERO,
+            duration: SimDuration::ZERO,
+            free_memory: Bytes::from_gib(4),
+        };
+        assert!(!w.fillable());
+    }
+
+    #[test]
+    fn window_start_advances_with_iterations() {
+        let w = BubbleWindow {
+            kind: BubbleKind::FillDrain,
+            offset: SimDuration::from_millis(250),
+            duration: SimDuration::from_millis(100),
+            free_memory: Bytes::from_gib(4),
+        };
+        let period = SimDuration::from_secs(2);
+        assert_eq!(
+            w.start_in_iteration(period, 0),
+            SimTime::from_secs_f64(0.25)
+        );
+        assert_eq!(
+            w.start_in_iteration(period, 3),
+            SimTime::from_secs_f64(6.25)
+        );
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(BubbleKind::FillDrain.to_string(), "fill-drain");
+        assert_eq!(BubbleKind::FwdBwd.to_string(), "fwd-bwd");
+        assert_eq!(BubbleKind::NonContiguous.to_string(), "non-contiguous");
+    }
+}

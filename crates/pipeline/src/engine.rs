@@ -1,0 +1,529 @@
+//! The instrumented pipeline engine: executes per-stage instruction
+//! streams through a deterministic dependency simulation and extracts each
+//! stage's periodic bubble timeline — the artifact PipeFill's Executor and
+//! Scheduler consume.
+//!
+//! Instead of hand-coding the paper's closed-form bubble formulas, the
+//! engine *derives* bubbles from actual instruction timing (forwards wait
+//! for upstream activations, backwards for downstream gradients), and the
+//! unit tests then verify the paper's formulas fall out. This keeps 1F1B's
+//! non-contiguous bubbles — the ones PipeFill deliberately does not fill
+//! (§4.5) — emergent rather than asserted.
+
+use std::collections::HashMap;
+
+use pipefill_sim_core::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::bubbles::{BubbleKind, BubbleWindow};
+use crate::instructions::PipelineInstruction;
+use crate::memory::BubbleMemoryModel;
+use crate::schedule::ScheduleKind;
+
+/// Number of iterations simulated; the timeline is extracted from a
+/// steady-state iteration in the middle.
+const SIM_ITERATIONS: usize = 4;
+/// Which iteration the timeline is extracted from.
+const STEADY_ITER: usize = 2;
+
+/// Everything the engine needs to run one main job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Microbatches per iteration (`m`).
+    pub microbatches: usize,
+    /// Per-stage forward time for one microbatch.
+    pub stage_fwd: Vec<SimDuration>,
+    /// Per-stage backward time for one microbatch.
+    pub stage_bwd: Vec<SimDuration>,
+    /// Per-stage optimizer-step time.
+    pub stage_opt: Vec<SimDuration>,
+    /// Activation/gradient hand-off latency between adjacent stages.
+    pub comm: SimDuration,
+    /// Data-parallel gradient all-reduce duration.
+    pub grad_sync: SimDuration,
+    /// Whether gradient sync is overlapped with backward (contributing no
+    /// timeline length, the common production setting). Either way its
+    /// duration defines the onload window for main-job offloading.
+    pub overlap_grad_sync: bool,
+    /// How bubble free-memory is reported.
+    pub memory: BubbleMemoryModel,
+}
+
+impl EngineConfig {
+    /// Uniform-stage convenience constructor (used heavily in tests).
+    pub fn uniform(
+        schedule: ScheduleKind,
+        stages: usize,
+        microbatches: usize,
+        fwd: SimDuration,
+        bwd: SimDuration,
+    ) -> Self {
+        EngineConfig {
+            schedule,
+            microbatches,
+            stage_fwd: vec![fwd; stages],
+            stage_bwd: vec![bwd; stages],
+            stage_opt: vec![SimDuration::ZERO; stages],
+            comm: SimDuration::ZERO,
+            grad_sync: SimDuration::ZERO,
+            overlap_grad_sync: true,
+            memory: BubbleMemoryModel::measured_default(),
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn num_stages(&self) -> usize {
+        self.stage_fwd.len()
+    }
+
+    fn validate(&self) {
+        let p = self.num_stages();
+        assert!(p > 0, "need at least one stage");
+        assert_eq!(self.stage_bwd.len(), p, "stage_bwd length mismatch");
+        assert_eq!(self.stage_opt.len(), p, "stage_opt length mismatch");
+        assert!(self.microbatches > 0, "need at least one microbatch");
+        if let BubbleMemoryModel::PerStage(v) = &self.memory {
+            assert_eq!(v.len(), p, "per-stage memory length mismatch");
+        }
+    }
+
+    /// Runs the dependency simulation and extracts the steady-state
+    /// timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration inconsistencies or if the schedule
+    /// deadlocks (which would indicate a generator bug).
+    pub fn run(&self) -> EngineTimeline {
+        self.validate();
+        let p = self.num_stages();
+        let m = self.microbatches;
+
+        // Build per-stage instruction streams for SIM_ITERATIONS.
+        let streams: Vec<Vec<(usize, PipelineInstruction)>> = (0..p)
+            .map(|s| {
+                (0..SIM_ITERATIONS)
+                    .flat_map(|iter| {
+                        self.schedule
+                            .stage_instructions(s, p, m)
+                            .into_iter()
+                            .map(move |i| (iter, i))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Dependency-driven list scheduling.
+        let mut fwd_end: HashMap<(usize, usize, usize), SimTime> = HashMap::new();
+        let mut bwd_end: HashMap<(usize, usize, usize), SimTime> = HashMap::new();
+        let mut next = vec![0usize; p];
+        let mut free = vec![SimTime::ZERO; p];
+        let mut records: Vec<Vec<(usize, PipelineInstruction, SimTime, SimTime)>> =
+            vec![Vec::new(); p];
+
+        loop {
+            let mut progressed = false;
+            for s in 0..p {
+                while next[s] < streams[s].len() {
+                    let (iter, instr) = streams[s][next[s]];
+                    let dep = match instr {
+                        PipelineInstruction::Forward { microbatch } => {
+                            if s == 0 {
+                                Some(SimTime::ZERO)
+                            } else {
+                                fwd_end
+                                    .get(&(iter, s - 1, microbatch))
+                                    .map(|&t| t + self.comm)
+                            }
+                        }
+                        PipelineInstruction::Backward { microbatch } => {
+                            if s == p - 1 {
+                                Some(SimTime::ZERO)
+                            } else {
+                                bwd_end
+                                    .get(&(iter, s + 1, microbatch))
+                                    .map(|&t| t + self.comm)
+                            }
+                        }
+                        _ => Some(SimTime::ZERO),
+                    };
+                    let Some(dep) = dep else { break };
+                    let dur = match instr {
+                        PipelineInstruction::Forward { .. } => self.stage_fwd[s],
+                        PipelineInstruction::Backward { .. } => self.stage_bwd[s],
+                        PipelineInstruction::OptimizerStep => self.stage_opt[s],
+                        PipelineInstruction::GradSync => {
+                            if self.overlap_grad_sync {
+                                SimDuration::ZERO
+                            } else {
+                                self.grad_sync
+                            }
+                        }
+                        PipelineInstruction::Bubble { .. } => SimDuration::ZERO,
+                    };
+                    let start = free[s].max(dep);
+                    let end = start + dur;
+                    match instr {
+                        PipelineInstruction::Forward { microbatch } => {
+                            fwd_end.insert((iter, s, microbatch), end);
+                        }
+                        PipelineInstruction::Backward { microbatch } => {
+                            bwd_end.insert((iter, s, microbatch), end);
+                        }
+                        _ => {}
+                    }
+                    records[s].push((iter, instr, start, end));
+                    free[s] = end;
+                    next[s] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        for s in 0..p {
+            assert_eq!(
+                next[s],
+                streams[s].len(),
+                "pipeline schedule deadlocked on stage {s}"
+            );
+        }
+
+        self.extract_timeline(&records)
+    }
+
+    fn extract_timeline(
+        &self,
+        records: &[Vec<(usize, PipelineInstruction, SimTime, SimTime)>],
+    ) -> EngineTimeline {
+        let p = self.num_stages();
+        // Start of an iteration on a stage = start of its first busy
+        // (non-zero-duration) instruction of that iteration.
+        let iter_start = |s: usize, k: usize| -> SimTime {
+            records[s]
+                .iter()
+                .find(|(iter, _, start, end)| *iter == k && end > start)
+                .map(|&(_, _, start, _)| start)
+                .expect("iteration has at least one busy instruction")
+        };
+
+        let t0 = iter_start(0, STEADY_ITER);
+        let period = iter_start(0, STEADY_ITER + 1) - t0;
+        // Periodicity check: the previous iteration must show the same
+        // period, or we are not in steady state.
+        let prev_period = t0 - iter_start(0, STEADY_ITER - 1);
+        assert_eq!(
+            period, prev_period,
+            "engine not in steady state by iteration {STEADY_ITER}"
+        );
+
+        let mut stages = Vec::with_capacity(p);
+        for s in 0..p {
+            let window_start = iter_start(s, STEADY_ITER);
+            let window_end = iter_start(s, STEADY_ITER + 1);
+            let anchor_offset = window_start.saturating_since(t0);
+
+            // Busy intervals inside the stage's window, in time order.
+            let mut intervals: Vec<(SimTime, SimTime, PipelineInstruction)> = records[s]
+                .iter()
+                .filter(|(iter, _, start, end)| *iter == STEADY_ITER && end > start)
+                .map(|&(_, instr, start, end)| (start, end, instr))
+                .collect();
+            intervals.sort_by_key(|&(start, _, _)| start);
+
+            let first_bwd_start = intervals
+                .iter()
+                .find(|(_, _, i)| matches!(i, PipelineInstruction::Backward { .. }))
+                .map(|&(start, _, _)| start);
+
+            let mut windows = Vec::new();
+            let mut busy = SimDuration::ZERO;
+            let mut cursor = window_start;
+            for &(start, end, _) in &intervals {
+                if start > cursor {
+                    let kind = if Some(start) == first_bwd_start {
+                        BubbleKind::FwdBwd
+                    } else {
+                        BubbleKind::NonContiguous
+                    };
+                    windows.push(BubbleWindow {
+                        kind,
+                        offset: cursor - window_start,
+                        duration: start - cursor,
+                        free_memory: self.memory.free(s, kind),
+                    });
+                }
+                busy += end - start;
+                cursor = cursor.max(end);
+            }
+            if window_end > cursor {
+                windows.push(BubbleWindow {
+                    kind: BubbleKind::FillDrain,
+                    offset: cursor - window_start,
+                    duration: window_end - cursor,
+                    free_memory: self.memory.free(s, BubbleKind::FillDrain),
+                });
+            }
+
+            stages.push(StageTimeline {
+                stage: s,
+                anchor_offset,
+                windows,
+                busy,
+            });
+        }
+
+        EngineTimeline { period, stages }
+    }
+}
+
+/// One stage's periodic timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTimeline {
+    /// Stage index.
+    pub stage: usize,
+    /// Phase of this stage's period window relative to stage 0's.
+    pub anchor_offset: SimDuration,
+    /// Idle windows within one period, ordered by offset (relative to
+    /// this stage's anchor).
+    pub windows: Vec<BubbleWindow>,
+    /// Device-busy time per period.
+    pub busy: SimDuration,
+}
+
+impl StageTimeline {
+    /// Total bubble time per period.
+    pub fn bubble_time(&self) -> SimDuration {
+        self.windows.iter().map(|w| w.duration).sum()
+    }
+
+    /// Total fillable bubble time per period.
+    pub fn fillable_time(&self) -> SimDuration {
+        self.windows
+            .iter()
+            .filter(|w| w.fillable())
+            .map(|w| w.duration)
+            .sum()
+    }
+
+    /// The fillable windows, in period order.
+    pub fn fillable_windows(&self) -> Vec<BubbleWindow> {
+        self.windows.iter().filter(|w| w.fillable()).copied().collect()
+    }
+}
+
+/// The engine's steady-state output: one period length plus per-stage
+/// windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineTimeline {
+    /// Iteration period (identical across stages).
+    pub period: SimDuration,
+    /// Per-stage timelines, indexed by stage.
+    pub stages: Vec<StageTimeline>,
+}
+
+impl EngineTimeline {
+    /// Fraction of all GPU time spent in bubbles — the paper's
+    /// `(p-1)/(m+p-1)` for uniform stages.
+    pub fn bubble_ratio(&self) -> f64 {
+        let total: SimDuration = self.stages.iter().map(|s| s.bubble_time()).sum();
+        total.ratio(self.period * self.stages.len() as u64)
+    }
+
+    /// Fraction of all GPU time in *fillable* bubbles (excludes 1F1B's
+    /// non-contiguous gaps).
+    pub fn fillable_ratio(&self) -> f64 {
+        let total: SimDuration = self.stages.iter().map(|s| s.fillable_time()).sum();
+        total.ratio(self.period * self.stages.len() as u64)
+    }
+
+    /// Total bubble time per iteration across stages.
+    pub fn total_bubble_time(&self) -> SimDuration {
+        self.stages.iter().map(|s| s.bubble_time()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    /// GPipe with uniform stages and zero comm must reproduce the
+    /// closed-form bubble structure exactly.
+    #[test]
+    fn gpipe_matches_closed_form() {
+        let (p, m) = (4usize, 6usize);
+        let (tf, tb) = (ms(10), ms(20));
+        let tl = EngineConfig::uniform(ScheduleKind::GPipe, p, m, tf, tb).run();
+        // Period = (m + p - 1) (tf + tb).
+        assert_eq!(tl.period, (tf + tb) * (m + p - 1) as u64);
+        for (s, st) in tl.stages.iter().enumerate() {
+            // Busy = m (tf + tb).
+            assert_eq!(st.busy, (tf + tb) * m as u64, "stage {s}");
+            // fwd-bwd bubble = (p-1-s)(tf+tb); fill-drain = s(tf+tb).
+            let fwd_bwd: SimDuration = st
+                .windows
+                .iter()
+                .filter(|w| w.kind == BubbleKind::FwdBwd)
+                .map(|w| w.duration)
+                .sum();
+            let fill_drain: SimDuration = st
+                .windows
+                .iter()
+                .filter(|w| w.kind == BubbleKind::FillDrain)
+                .map(|w| w.duration)
+                .sum();
+            assert_eq!(fwd_bwd, (tf + tb) * (p - 1 - s) as u64, "stage {s} fwd-bwd");
+            assert_eq!(fill_drain, (tf + tb) * s as u64, "stage {s} fill-drain");
+            assert!(
+                st.windows
+                    .iter()
+                    .all(|w| w.kind != BubbleKind::NonContiguous),
+                "GPipe with uniform stages has no non-contiguous bubbles"
+            );
+        }
+        // Bubble ratio = (p-1)/(m+p-1).
+        let expect = (p - 1) as f64 / (m + p - 1) as f64;
+        assert!((tl.bubble_ratio() - expect).abs() < 1e-9);
+        assert!((tl.fillable_ratio() - expect).abs() < 1e-9);
+    }
+
+    /// 1F1B keeps the same period and total bubble time as GPipe but part
+    /// of it becomes non-contiguous (§4.5: "the total bubble time is the
+    /// same for both schedules").
+    #[test]
+    fn one_f_one_b_same_total_bubble_less_fillable() {
+        let (p, m) = (4usize, 8usize);
+        let (tf, tb) = (ms(10), ms(20));
+        let gpipe = EngineConfig::uniform(ScheduleKind::GPipe, p, m, tf, tb).run();
+        let ofob = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb).run();
+        assert_eq!(gpipe.period, ofob.period);
+        assert!((gpipe.bubble_ratio() - ofob.bubble_ratio()).abs() < 1e-9);
+        assert!(
+            ofob.fillable_ratio() < gpipe.fillable_ratio(),
+            "1F1B: {} vs GPipe: {}",
+            ofob.fillable_ratio(),
+            gpipe.fillable_ratio()
+        );
+        // Non-contiguous bubbles exist on early stages.
+        assert!(ofob.stages[0]
+            .windows
+            .iter()
+            .any(|w| w.kind == BubbleKind::NonContiguous));
+    }
+
+    /// The paper's 1F1B fwd-bwd bubble formula:
+    /// (p-s-1)·t_bwd + max(0, p-s-m)·t_fwd.
+    #[test]
+    fn one_f_one_b_fwd_bwd_formula() {
+        let (p, m) = (6usize, 4usize);
+        let (tf, tb) = (ms(10), ms(20));
+        let tl = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb).run();
+        for (s, st) in tl.stages.iter().enumerate() {
+            let fwd_bwd: SimDuration = st
+                .windows
+                .iter()
+                .filter(|w| w.kind == BubbleKind::FwdBwd)
+                .map(|w| w.duration)
+                .sum();
+            let expect = tb * (p - 1 - s) as u64 + tf * (p - s).saturating_sub(m) as u64;
+            assert_eq!(fwd_bwd, expect, "stage {s}");
+        }
+    }
+
+    /// At large scale (small m) the non-contiguous share shrinks, closing
+    /// the GPipe↔1F1B fillable gap (Fig. 8's trend).
+    #[test]
+    fn schedule_gap_closes_at_scale() {
+        let (p, tf, tb) = (16usize, ms(10), ms(20));
+        let gap = |m: usize| {
+            let g = EngineConfig::uniform(ScheduleKind::GPipe, p, m, tf, tb)
+                .run()
+                .fillable_ratio();
+            let o = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb)
+                .run()
+                .fillable_ratio();
+            (g - o) / g
+        };
+        let gap_low_scale = gap(64); // 1K GPUs
+        let gap_high_scale = gap(4); // 16K GPUs
+        assert!(
+            gap_high_scale < gap_low_scale,
+            "low={gap_low_scale} high={gap_high_scale}"
+        );
+        // Raw fillable-time gap at m=4 is (m-1)·tf per stage ≈ 6-7%; the
+        // paper's <5% figure is after fill-job efficiency compression.
+        assert!(gap_high_scale < 0.08, "high-scale gap {gap_high_scale}");
+    }
+
+    #[test]
+    fn bubble_windows_partition_idle_time() {
+        let tl = EngineConfig::uniform(ScheduleKind::OneFOneB, 5, 7, ms(13), ms(29)).run();
+        for st in &tl.stages {
+            assert_eq!(st.busy + st.bubble_time(), tl.period, "stage {}", st.stage);
+            // Windows are ordered and non-overlapping.
+            let mut cursor = SimDuration::ZERO;
+            for w in &st.windows {
+                assert!(w.offset >= cursor, "window overlap on stage {}", st.stage);
+                cursor = w.offset + w.duration;
+            }
+        }
+    }
+
+    #[test]
+    fn comm_latency_stretches_period() {
+        let base = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20));
+        let mut with_comm = base.clone();
+        with_comm.comm = ms(2);
+        assert!(with_comm.run().period > base.run().period);
+    }
+
+    #[test]
+    fn optimizer_time_adds_busy_time() {
+        let mut cfg = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20));
+        cfg.stage_opt = vec![ms(5); 4];
+        let tl = cfg.run();
+        assert_eq!(tl.stages[0].busy, ms((10 + 20) * 4 + 5));
+    }
+
+    #[test]
+    fn non_overlapped_grad_sync_is_busy() {
+        let mut cfg = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20));
+        cfg.grad_sync = ms(50);
+        cfg.overlap_grad_sync = false;
+        let tl = cfg.run();
+        assert_eq!(tl.stages[0].busy, ms((10 + 20) * 4 + 50));
+        cfg.overlap_grad_sync = true;
+        assert_eq!(cfg.run().stages[0].busy, ms((10 + 20) * 4));
+    }
+
+    #[test]
+    fn anchor_offsets_increase_downstream_for_gpipe() {
+        let tl = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20)).run();
+        // Stage s starts its forward phase s·tf after stage 0.
+        for (s, st) in tl.stages.iter().enumerate() {
+            assert_eq!(st.anchor_offset, ms(10) * s as u64, "stage {s}");
+        }
+    }
+
+    #[test]
+    fn single_stage_pipeline_has_no_bubbles() {
+        let tl = EngineConfig::uniform(ScheduleKind::GPipe, 1, 4, ms(10), ms(20)).run();
+        assert_eq!(tl.bubble_ratio(), 0.0);
+        assert!(tl.stages[0].windows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage_bwd length mismatch")]
+    fn mismatched_config_rejected() {
+        let mut cfg = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20));
+        cfg.stage_bwd.pop();
+        let _ = cfg.run();
+    }
+}

@@ -1,0 +1,90 @@
+//! The pipeline-instruction IR.
+//!
+//! "Existing pipeline engines execute a sequence of pipeline instructions
+//! … PipeFill's bubble instruction is inserted into the schedule to
+//! indicate where large bubbles are expected to occur" (§4.2). Schedules
+//! here are per-stage instruction sequences; activation/gradient
+//! send/receive pairs are represented as cross-stage dependencies resolved
+//! by the engine (with a configurable transfer cost) rather than separate
+//! instructions, which keeps the streams compact without losing timing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bubbles::BubbleKind;
+
+/// One instruction in a stage's pipeline schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineInstruction {
+    /// Forward computation of one microbatch (global microbatch index
+    /// within the iteration).
+    Forward {
+        /// Microbatch index in `0..m`.
+        microbatch: usize,
+    },
+    /// Backward computation of one microbatch.
+    Backward {
+        /// Microbatch index in `0..m`.
+        microbatch: usize,
+    },
+    /// PipeFill's explicit bubble marker: zero-cost, but tells the engine
+    /// where to profile and where to signal the fill-job Executor.
+    Bubble {
+        /// Which bubble this marker announces.
+        kind: BubbleKind,
+    },
+    /// Data-parallel gradient synchronization (all-reduce across
+    /// replicas). The engine can model it as overlapped with backward
+    /// (contributing no timeline length) while still exposing its duration
+    /// as the onload window for main-job offloading.
+    GradSync,
+    /// Optimizer step (Adam update of this stage's parameters).
+    OptimizerStep,
+}
+
+impl PipelineInstruction {
+    /// True for instructions that occupy the device (forward/backward/
+    /// optimizer); false for markers and overlapped communication.
+    pub fn is_compute(self) -> bool {
+        matches!(
+            self,
+            PipelineInstruction::Forward { .. }
+                | PipelineInstruction::Backward { .. }
+                | PipelineInstruction::OptimizerStep
+        )
+    }
+
+    /// The microbatch this instruction processes, if any.
+    pub fn microbatch(self) -> Option<usize> {
+        match self {
+            PipelineInstruction::Forward { microbatch }
+            | PipelineInstruction::Backward { microbatch } => Some(microbatch),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_classification() {
+        assert!(PipelineInstruction::Forward { microbatch: 0 }.is_compute());
+        assert!(PipelineInstruction::Backward { microbatch: 0 }.is_compute());
+        assert!(PipelineInstruction::OptimizerStep.is_compute());
+        assert!(!PipelineInstruction::GradSync.is_compute());
+        assert!(!PipelineInstruction::Bubble {
+            kind: BubbleKind::FwdBwd
+        }
+        .is_compute());
+    }
+
+    #[test]
+    fn microbatch_extraction() {
+        assert_eq!(
+            PipelineInstruction::Forward { microbatch: 3 }.microbatch(),
+            Some(3)
+        );
+        assert_eq!(PipelineInstruction::GradSync.microbatch(), None);
+    }
+}

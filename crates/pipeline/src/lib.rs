@@ -1,0 +1,56 @@
+//! # pipefill-pipeline
+//!
+//! The pipeline-parallel training engine substrate: parallelism
+//! configuration, model-to-stage partitioning, pipeline instruction
+//! sequences with PipeFill's explicit *bubble instruction*, GPipe and 1F1B
+//! schedule generators, a dependency-driven engine that derives each
+//! stage's busy/bubble timeline, the bubble-duration profiler, the
+//! main-job memory model, and the optimizer-state offload planner.
+//!
+//! This is the reproduction of §4.2 of the paper ("Pipeline Engine
+//! Instrumentation") plus the §2 background machinery it instruments. The
+//! engine here executes instruction streams through a deterministic
+//! dependency simulation rather than CUDA streams, but exposes exactly
+//! the artifacts PipeFill consumes: per-stage bubble windows (kind,
+//! duration, free memory) repeating every minibatch iteration.
+//!
+//! # Example
+//!
+//! ```
+//! use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+//!
+//! // The paper's 8K-GPU setting: 40B LLM, 16 stages, 8 microbatches.
+//! let job = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
+//! let timeline = job.engine_timeline();
+//! let ratio = timeline.bubble_ratio();
+//! assert!((ratio - 0.652).abs() < 0.03); // (p-1)/(m+p-1) = 15/23
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod bubbles;
+mod engine;
+mod instructions;
+mod job;
+mod memory;
+mod offload;
+mod parallelism;
+mod partition;
+mod profiler;
+mod render;
+mod schedule;
+
+pub use analysis::{bubble_fraction, days_to_train, ScalingPoint};
+pub use bubbles::{BubbleKind, BubbleWindow};
+pub use engine::{EngineConfig, EngineTimeline, StageTimeline};
+pub use instructions::PipelineInstruction;
+pub use job::MainJobSpec;
+pub use memory::{BubbleMemoryModel, MainJobMemoryModel};
+pub use offload::{OffloadPlan, OffloadPlanner};
+pub use parallelism::ParallelismConfig;
+pub use partition::{StagePartition, StageProfile};
+pub use profiler::{BubbleProbe, ProbeOutcome};
+pub use render::render_timeline;
+pub use schedule::ScheduleKind;

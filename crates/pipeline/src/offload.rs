@@ -1,0 +1,155 @@
+//! Main-job offloading (§4.2): moving the main job's optimizer state to
+//! host memory to enlarge the free memory fill jobs see, *without ever
+//! blocking the main job*.
+//!
+//! The feasibility rule from the paper: optimizer state is only needed at
+//! the optimizer update, so it can live on the host during the rest of the
+//! iteration — provided the offload transfer hides under the forward pass
+//! and the onload transfer hides under gradient synchronization. The
+//! planner computes how many bytes satisfy both windows.
+
+use pipefill_device::Bytes;
+use pipefill_sim_core::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Plans optimizer-state offloading for one stage's GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadPlanner {
+    /// Host↔device link bandwidth in bytes/second (PCIe on the paper's
+    /// V100 nodes).
+    pub host_link_bandwidth: f64,
+}
+
+/// The planner's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffloadPlan {
+    /// Optimizer-state bytes the stage holds.
+    pub requested: Bytes,
+    /// Bytes that can be offloaded without blocking the main job — the
+    /// amount added to every bubble's free memory.
+    pub offloaded: Bytes,
+    /// Transfer time to push `offloaded` to the host (hidden under the
+    /// forward pass).
+    pub offload_time: SimDuration,
+    /// Transfer time to pull it back (hidden under gradient sync).
+    pub onload_time: SimDuration,
+}
+
+impl OffloadPlan {
+    /// True if everything requested fits in the overlap windows.
+    pub fn is_complete(&self) -> bool {
+        self.offloaded == self.requested
+    }
+}
+
+impl OffloadPlanner {
+    /// Creates a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_link_bandwidth` is not positive.
+    pub fn new(host_link_bandwidth: f64) -> Self {
+        assert!(
+            host_link_bandwidth > 0.0 && host_link_bandwidth.is_finite(),
+            "bandwidth must be positive, got {host_link_bandwidth}"
+        );
+        OffloadPlanner {
+            host_link_bandwidth,
+        }
+    }
+
+    /// Computes the offloadable bytes given the stage's optimizer-state
+    /// size and the two overlap windows: the forward-phase duration (for
+    /// offload) and the gradient-sync duration (for onload).
+    pub fn plan(
+        &self,
+        optimizer_state: Bytes,
+        fwd_window: SimDuration,
+        sync_window: SimDuration,
+    ) -> OffloadPlan {
+        let offload_cap = Bytes::new(
+            (fwd_window.as_secs_f64() * self.host_link_bandwidth).floor() as u64,
+        );
+        let onload_cap = Bytes::new(
+            (sync_window.as_secs_f64() * self.host_link_bandwidth).floor() as u64,
+        );
+        let offloaded = optimizer_state.min(offload_cap).min(onload_cap);
+        OffloadPlan {
+            requested: optimizer_state,
+            offloaded,
+            offload_time: self.transfer_time(offloaded),
+            onload_time: self.transfer_time(offloaded),
+        }
+    }
+
+    fn transfer_time(&self, bytes: Bytes) -> SimDuration {
+        SimDuration::from_secs_f64(bytes.as_f64() / self.host_link_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> OffloadPlanner {
+        OffloadPlanner::new(12.0e9) // V100 PCIe
+    }
+
+    #[test]
+    fn ample_windows_offload_everything() {
+        // 3.6 GB of optimizer state (≈300M params × 12 B), 1 s windows.
+        let plan = planner().plan(
+            Bytes::from_gib_f64(3.6),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+        );
+        assert!(plan.is_complete());
+        assert!(plan.offload_time.as_secs_f64() < 0.4);
+    }
+
+    #[test]
+    fn narrow_forward_window_limits_offload() {
+        let plan = planner().plan(
+            Bytes::from_gib_f64(3.6),
+            SimDuration::from_millis(100), // only 1.2 GB fits
+            SimDuration::from_secs(1),
+        );
+        assert!(!plan.is_complete());
+        let gib = plan.offloaded.as_gib();
+        assert!((gib - 1.2e9 / (1u64 << 30) as f64).abs() < 0.01, "got {gib}");
+    }
+
+    #[test]
+    fn narrow_sync_window_limits_onload() {
+        let plan = planner().plan(
+            Bytes::from_gib_f64(3.6),
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(50), // 0.6 GB
+        );
+        assert!(plan.offloaded < Bytes::from_gib(1));
+    }
+
+    #[test]
+    fn transfer_times_match_offloaded_bytes() {
+        let plan = planner().plan(
+            Bytes::new(12_000_000_000),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+        );
+        assert!((plan.offload_time.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(plan.offload_time, plan.onload_time);
+    }
+
+    #[test]
+    fn zero_state_is_trivially_complete() {
+        let plan = planner().plan(Bytes::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+        assert!(plan.is_complete());
+        assert_eq!(plan.offloaded, Bytes::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = OffloadPlanner::new(0.0);
+    }
+}

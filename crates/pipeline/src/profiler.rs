@@ -1,0 +1,188 @@
+//! Bubble-duration profiling (§4.2, "Bubble characterization").
+//!
+//! "For each bubble instruction, the pipeline engine will wait a certain
+//! amount of time (e.g. 100 ms) before proceeding … if \[the main job's
+//! throughput\] is unaffected then on the next minibatch iteration it will
+//! wait 2× … until the pipeline engine observes a drop in the main job's
+//! throughput, at which point it will know the duration of the pipeline
+//! bubble."
+//!
+//! The doubling phase brackets the duration within a factor of two; we add
+//! a short bisection phase (still one probe per minibatch iteration) so the
+//! measured value converges from below — the engine must never report a
+//! duration longer than the true bubble, or fill jobs would overrun it.
+
+use pipefill_sim_core::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The probing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BubbleProbe {
+    /// First wait issued at the bubble instruction (paper example: 100 ms).
+    pub initial_wait: SimDuration,
+    /// Bisection refinements after the doubling phase brackets the
+    /// duration.
+    pub refine_steps: usize,
+    /// Safety cap on doubling iterations.
+    pub max_doublings: usize,
+}
+
+impl Default for BubbleProbe {
+    fn default() -> Self {
+        BubbleProbe {
+            initial_wait: SimDuration::from_millis(100),
+            refine_steps: 6,
+            max_doublings: 24,
+        }
+    }
+}
+
+/// Result of profiling one bubble instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeOutcome {
+    /// The duration the engine will report to the Executor. Guaranteed
+    /// `≤` the true duration.
+    pub measured: SimDuration,
+    /// Every wait issued, in order (each costs one minibatch iteration of
+    /// profiling).
+    pub probes: Vec<SimDuration>,
+}
+
+impl ProbeOutcome {
+    /// Minibatch iterations consumed by profiling this bubble.
+    pub fn iterations(&self) -> usize {
+        self.probes.len()
+    }
+}
+
+impl BubbleProbe {
+    /// Profiles a bubble whose true duration is `true_duration` (known to
+    /// the simulation, unknown to the engine).
+    ///
+    /// A probe of length `w` leaves the main job's throughput unaffected
+    /// iff `w ≤ true_duration`; a longer probe delays the next instruction
+    /// and is observed as a throughput drop.
+    pub fn profile(&self, true_duration: SimDuration) -> ProbeOutcome {
+        let mut probes = Vec::new();
+        let mut lo = SimDuration::ZERO;
+        let mut hi: Option<SimDuration> = None;
+        let mut w = self.initial_wait;
+
+        for _ in 0..self.max_doublings {
+            probes.push(w);
+            if w <= true_duration {
+                lo = w;
+                w = match w.checked_add(w) {
+                    Some(next) => next,
+                    None => break,
+                };
+            } else {
+                hi = Some(w);
+                break;
+            }
+        }
+
+        if let Some(mut hi) = hi {
+            for _ in 0..self.refine_steps {
+                let mid = lo + (hi - lo) / 2;
+                if mid == lo {
+                    break; // nanosecond-converged
+                }
+                probes.push(mid);
+                if mid <= true_duration {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+
+        ProbeOutcome {
+            measured: lo,
+            probes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn measured_never_exceeds_true_duration() {
+        let probe = BubbleProbe::default();
+        for true_ms in [0u64, 1, 37, 99, 100, 101, 250, 777, 1600, 10_000] {
+            let out = probe.profile(ms(true_ms));
+            assert!(
+                out.measured <= ms(true_ms),
+                "true={true_ms}ms measured={}",
+                out.measured
+            );
+        }
+    }
+
+    #[test]
+    fn doubling_phase_matches_paper_description() {
+        // A 777 ms bubble: probes go 100, 200, 400, 800(drop), then bisect.
+        let out = BubbleProbe::default().profile(ms(777));
+        assert_eq!(&out.probes[..4], &[ms(100), ms(200), ms(400), ms(800)]);
+        assert!(out.measured >= ms(700), "measured={}", out.measured);
+        assert!(out.measured <= ms(777));
+    }
+
+    #[test]
+    fn refinement_tightens_the_bracket() {
+        let coarse = BubbleProbe {
+            refine_steps: 0,
+            ..Default::default()
+        };
+        let fine = BubbleProbe {
+            refine_steps: 10,
+            ..Default::default()
+        };
+        let d = ms(777);
+        let c = coarse.profile(d).measured;
+        let f = fine.profile(d).measured;
+        assert_eq!(c, ms(400), "doubling alone brackets to the lower bound");
+        assert!(f > c);
+        // 10 bisections on a 400ms bracket: within 1ms.
+        assert!(d - f < ms(1), "residual {}", d - f);
+    }
+
+    #[test]
+    fn sub_initial_bubbles_are_still_measured() {
+        // A 40 ms bubble: the very first 100 ms probe already drops
+        // throughput; bisection on [0, 100ms) recovers it.
+        let out = BubbleProbe::default().profile(ms(40));
+        assert!(out.measured <= ms(40));
+        assert!(out.measured >= ms(37), "measured={}", out.measured);
+    }
+
+    #[test]
+    fn zero_bubble_measures_zero() {
+        let out = BubbleProbe::default().profile(SimDuration::ZERO);
+        assert_eq!(out.measured, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn profiling_cost_is_logarithmic() {
+        let out = BubbleProbe::default().profile(ms(100_000));
+        // 10 doublings + ≤6 refinements, not thousands of iterations.
+        assert!(out.iterations() <= 20, "used {}", out.iterations());
+    }
+
+    #[test]
+    fn huge_bubble_hits_doubling_cap() {
+        let probe = BubbleProbe {
+            max_doublings: 4,
+            ..Default::default()
+        };
+        let out = probe.profile(SimDuration::from_secs(3600));
+        assert_eq!(out.probes.len(), 4);
+        assert_eq!(out.measured, ms(800));
+    }
+}

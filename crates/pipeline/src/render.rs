@@ -1,0 +1,142 @@
+//! ASCII rendering of engine timelines — the textual equivalent of the
+//! paper's Fig. 2 pipeline diagrams, used by the examples and the CLI to
+//! make bubble structure visible.
+
+use crate::bubbles::BubbleKind;
+use crate::engine::EngineTimeline;
+
+/// Glyphs used by [`render_timeline`].
+pub const GLYPH_BUSY: char = '█';
+/// Fwd-bwd bubble glyph.
+pub const GLYPH_FWD_BWD: char = '░';
+/// Fill-drain bubble glyph.
+pub const GLYPH_FILL_DRAIN: char = '·';
+/// Non-contiguous (unfillable) bubble glyph.
+pub const GLYPH_NON_CONTIG: char = '▒';
+
+/// Renders one steady-state iteration of every stage as fixed-width rows
+/// of glyphs: `█` busy, `░` fwd-bwd bubble, `·` fill-drain bubble, `▒`
+/// non-contiguous bubble. Stage phases are aligned on a common absolute
+/// axis, so the diagonal pipeline fill/drain pattern of the paper's
+/// Fig. 2 is visible directly.
+///
+/// # Example
+///
+/// ```
+/// use pipefill_pipeline::{render_timeline, EngineConfig, ScheduleKind};
+/// use pipefill_sim_core::SimDuration;
+///
+/// let tl = EngineConfig::uniform(
+///     ScheduleKind::GPipe, 4, 4,
+///     SimDuration::from_millis(10), SimDuration::from_millis(20),
+/// ).run();
+/// let art = render_timeline(&tl, 70);
+/// assert_eq!(art.lines().count(), 4 + 1); // stages + legend
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn render_timeline(timeline: &EngineTimeline, width: usize) -> String {
+    assert!(width > 0, "render width must be positive");
+    let period = timeline.period.as_secs_f64();
+    let mut out = String::new();
+
+    for stage in &timeline.stages {
+        let mut row = vec![GLYPH_BUSY; width];
+        let anchor = stage.anchor_offset.as_secs_f64();
+        for w in &stage.windows {
+            let glyph = match w.kind {
+                BubbleKind::FwdBwd => GLYPH_FWD_BWD,
+                BubbleKind::FillDrain => GLYPH_FILL_DRAIN,
+                BubbleKind::NonContiguous => GLYPH_NON_CONTIG,
+            };
+            // Absolute offsets within the common period, wrapped.
+            let start = (anchor + w.offset.as_secs_f64()) / period;
+            let end = start + w.duration.as_secs_f64() / period;
+            let lo = (start * width as f64).round() as usize;
+            let hi = (end * width as f64).round() as usize;
+            // Cells wrap across the period boundary (fill-drain bubbles
+            // straddle it).
+            for k in lo..hi {
+                row[k % width] = glyph;
+            }
+        }
+        out.push_str(&format!("s{:02} ", stage.stage));
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "    {GLYPH_BUSY}=compute {GLYPH_FWD_BWD}=fwd-bwd {GLYPH_FILL_DRAIN}=fill-drain {GLYPH_NON_CONTIG}=non-contiguous  (one iteration, {:.3}s)",
+        period
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::schedule::ScheduleKind;
+    use pipefill_sim_core::SimDuration;
+
+    fn tl(schedule: ScheduleKind, p: usize, m: usize) -> EngineTimeline {
+        EngineConfig::uniform(
+            schedule,
+            p,
+            m,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        )
+        .run()
+    }
+
+    #[test]
+    fn renders_one_row_per_stage_plus_legend() {
+        let art = render_timeline(&tl(ScheduleKind::GPipe, 4, 4), 80);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("s00 "));
+        assert!(lines[3].starts_with("s03 "));
+        assert!(lines[4].contains("compute"));
+    }
+
+    #[test]
+    fn glyph_budget_matches_bubble_ratio() {
+        let timeline = tl(ScheduleKind::GPipe, 4, 6);
+        let width = 200;
+        let art = render_timeline(&timeline, width);
+        let bubbles = art
+            .lines()
+            .take(4)
+            .flat_map(|l| l.chars())
+            .filter(|&c| c == GLYPH_FWD_BWD || c == GLYPH_FILL_DRAIN || c == GLYPH_NON_CONTIG)
+            .count();
+        let got = bubbles as f64 / (4 * width) as f64;
+        let expect = timeline.bubble_ratio();
+        assert!(
+            (got - expect).abs() < 0.04,
+            "rendered bubble share {got} vs actual {expect}"
+        );
+    }
+
+    #[test]
+    fn first_stage_has_no_fill_drain_and_last_no_fwd_bwd() {
+        let art = render_timeline(&tl(ScheduleKind::GPipe, 4, 4), 120);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(!lines[0].contains(GLYPH_FILL_DRAIN));
+        assert!(!lines[3].contains(GLYPH_FWD_BWD));
+    }
+
+    #[test]
+    fn one_f_one_b_shows_non_contiguous_gaps() {
+        let art = render_timeline(&tl(ScheduleKind::OneFOneB, 4, 8), 240);
+        assert!(art.contains(GLYPH_NON_CONTIG));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = render_timeline(&tl(ScheduleKind::GPipe, 2, 2), 0);
+    }
+}

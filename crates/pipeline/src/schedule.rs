@@ -1,0 +1,206 @@
+//! Pipeline schedule generators: GPipe and 1F1B per-stage instruction
+//! sequences with PipeFill's bubble markers inserted where the large
+//! bubbles are expected (§4.2, §4.5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bubbles::BubbleKind;
+use crate::instructions::PipelineInstruction;
+
+/// Which pipeline schedule the main job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// GPipe (Huang et al., 2019): all forwards, then all backwards.
+    GPipe,
+    /// 1F1B (PipeDream-flush; Narayanan et al., 2019): warmup forwards,
+    /// then alternate one-forward-one-backward, then drain.
+    OneFOneB,
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleKind::GPipe => write!(f, "GPipe"),
+            ScheduleKind::OneFOneB => write!(f, "1F1B"),
+        }
+    }
+}
+
+impl ScheduleKind {
+    /// The instruction stream for one iteration on stage `stage` of a
+    /// `p`-stage pipeline processing `m` microbatches.
+    ///
+    /// Both schedules end with gradient sync, the optimizer step, and the
+    /// fill-drain bubble marker; both carry a fwd-bwd marker immediately
+    /// before the stage's first backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= p` or `m == 0`.
+    pub fn stage_instructions(
+        self,
+        stage: usize,
+        p: usize,
+        m: usize,
+    ) -> Vec<PipelineInstruction> {
+        assert!(stage < p, "stage {stage} out of range for {p} stages");
+        assert!(m > 0, "need at least one microbatch");
+        let mut out = Vec::with_capacity(2 * m + 4);
+        match self {
+            ScheduleKind::GPipe => {
+                for i in 0..m {
+                    out.push(PipelineInstruction::Forward { microbatch: i });
+                }
+                out.push(PipelineInstruction::Bubble {
+                    kind: BubbleKind::FwdBwd,
+                });
+                for i in 0..m {
+                    out.push(PipelineInstruction::Backward { microbatch: i });
+                }
+            }
+            ScheduleKind::OneFOneB => {
+                let warmup = (p - 1 - stage).min(m);
+                for i in 0..warmup {
+                    out.push(PipelineInstruction::Forward { microbatch: i });
+                }
+                out.push(PipelineInstruction::Bubble {
+                    kind: BubbleKind::FwdBwd,
+                });
+                let mut next_fwd = warmup;
+                for bwd in 0..m {
+                    if next_fwd < m {
+                        out.push(PipelineInstruction::Forward {
+                            microbatch: next_fwd,
+                        });
+                        next_fwd += 1;
+                    }
+                    out.push(PipelineInstruction::Backward { microbatch: bwd });
+                }
+            }
+        }
+        out.push(PipelineInstruction::GradSync);
+        out.push(PipelineInstruction::OptimizerStep);
+        out.push(PipelineInstruction::Bubble {
+            kind: BubbleKind::FillDrain,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_fwd_bwd(instrs: &[PipelineInstruction]) -> (usize, usize) {
+        let f = instrs
+            .iter()
+            .filter(|i| matches!(i, PipelineInstruction::Forward { .. }))
+            .count();
+        let b = instrs
+            .iter()
+            .filter(|i| matches!(i, PipelineInstruction::Backward { .. }))
+            .count();
+        (f, b)
+    }
+
+    #[test]
+    fn gpipe_emits_all_forwards_then_all_backwards() {
+        let instrs = ScheduleKind::GPipe.stage_instructions(2, 4, 3);
+        let kinds: Vec<_> = instrs.iter().collect();
+        assert!(matches!(
+            kinds[0],
+            PipelineInstruction::Forward { microbatch: 0 }
+        ));
+        assert!(matches!(
+            kinds[3],
+            PipelineInstruction::Bubble {
+                kind: BubbleKind::FwdBwd
+            }
+        ));
+        assert!(matches!(
+            kinds[4],
+            PipelineInstruction::Backward { microbatch: 0 }
+        ));
+        assert_eq!(count_fwd_bwd(&instrs), (3, 3));
+    }
+
+    #[test]
+    fn one_f_one_b_warmup_depends_on_stage() {
+        let p = 4;
+        let m = 6;
+        // Last stage: no warmup, strict F,B alternation.
+        let last = ScheduleKind::OneFOneB.stage_instructions(3, p, m);
+        assert!(matches!(
+            last[0],
+            PipelineInstruction::Bubble {
+                kind: BubbleKind::FwdBwd
+            }
+        ));
+        assert!(matches!(
+            last[1],
+            PipelineInstruction::Forward { microbatch: 0 }
+        ));
+        assert!(matches!(
+            last[2],
+            PipelineInstruction::Backward { microbatch: 0 }
+        ));
+        // First stage: p-1 = 3 warmup forwards.
+        let first = ScheduleKind::OneFOneB.stage_instructions(0, p, m);
+        let warmups = first
+            .iter()
+            .take_while(|i| matches!(i, PipelineInstruction::Forward { .. }))
+            .count();
+        assert_eq!(warmups, 3);
+        assert_eq!(count_fwd_bwd(&first), (m, m));
+        assert_eq!(count_fwd_bwd(&last), (m, m));
+    }
+
+    #[test]
+    fn warmup_capped_by_microbatch_count() {
+        // p=8, m=2: stage 0 would want 7 warmups but only 2 exist.
+        let instrs = ScheduleKind::OneFOneB.stage_instructions(0, 8, 2);
+        assert_eq!(count_fwd_bwd(&instrs), (2, 2));
+        let warmups = instrs
+            .iter()
+            .take_while(|i| matches!(i, PipelineInstruction::Forward { .. }))
+            .count();
+        assert_eq!(warmups, 2);
+    }
+
+    #[test]
+    fn both_schedules_end_with_sync_opt_filldrain() {
+        for kind in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            let instrs = kind.stage_instructions(1, 4, 4);
+            let n = instrs.len();
+            assert_eq!(instrs[n - 3], PipelineInstruction::GradSync);
+            assert_eq!(instrs[n - 2], PipelineInstruction::OptimizerStep);
+            assert_eq!(
+                instrs[n - 1],
+                PipelineInstruction::Bubble {
+                    kind: BubbleKind::FillDrain
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn backwards_are_in_microbatch_order() {
+        for kind in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            let instrs = kind.stage_instructions(1, 4, 5);
+            let bwds: Vec<usize> = instrs
+                .iter()
+                .filter_map(|i| match i {
+                    PipelineInstruction::Backward { microbatch } => Some(*microbatch),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(bwds, vec![0, 1, 2, 3, 4], "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_stage_rejected() {
+        let _ = ScheduleKind::GPipe.stage_instructions(4, 4, 2);
+    }
+}

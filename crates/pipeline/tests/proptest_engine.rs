@@ -1,0 +1,114 @@
+//! Property tests for the pipeline engine: the closed-form bubble
+//! formulas must fall out of the dependency simulation for arbitrary
+//! pipeline shapes.
+
+use proptest::prelude::*;
+
+use pipefill_pipeline::{bubble_fraction, BubbleKind, EngineConfig, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GPipe with uniform stages and no communication matches
+    /// (p-1)/(m+p-1) exactly, with the per-stage split
+    /// fwd-bwd = (p-1-s)(tf+tb), fill-drain = s(tf+tb).
+    #[test]
+    fn gpipe_closed_form(
+        p in 1usize..12,
+        m in 1usize..24,
+        tf_ms in 1u64..40,
+        tb_mult in 1u64..4,
+    ) {
+        let tf = SimDuration::from_millis(tf_ms);
+        let tb = SimDuration::from_millis(tf_ms * tb_mult);
+        let tl = EngineConfig::uniform(ScheduleKind::GPipe, p, m, tf, tb).run();
+        prop_assert_eq!(tl.period, (tf + tb) * (m + p - 1) as u64);
+        prop_assert!((tl.bubble_ratio() - bubble_fraction(p, m)).abs() < 1e-9);
+        for (s, st) in tl.stages.iter().enumerate() {
+            let fwd_bwd: SimDuration = st.windows.iter()
+                .filter(|w| w.kind == BubbleKind::FwdBwd)
+                .map(|w| w.duration)
+                .sum();
+            let fill_drain: SimDuration = st.windows.iter()
+                .filter(|w| w.kind == BubbleKind::FillDrain)
+                .map(|w| w.duration)
+                .sum();
+            prop_assert_eq!(fwd_bwd, (tf + tb) * (p - 1 - s) as u64);
+            prop_assert_eq!(fill_drain, (tf + tb) * s as u64);
+        }
+    }
+
+    /// For any schedule and shape: busy + bubbles = period on every
+    /// stage, windows are disjoint and ordered, and every window's free
+    /// memory matches the memory model.
+    #[test]
+    fn timeline_partitions_the_period(
+        schedule in prop_oneof![Just(ScheduleKind::GPipe), Just(ScheduleKind::OneFOneB)],
+        p in 1usize..10,
+        m in 1usize..16,
+        tf_ms in 1u64..30,
+        tb_ms in 1u64..60,
+        comm_us in 0u64..2_000,
+    ) {
+        let mut cfg = EngineConfig::uniform(
+            schedule,
+            p,
+            m,
+            SimDuration::from_millis(tf_ms),
+            SimDuration::from_millis(tb_ms),
+        );
+        cfg.comm = SimDuration::from_micros(comm_us);
+        let tl = cfg.run();
+        for st in &tl.stages {
+            prop_assert_eq!(st.busy + st.bubble_time(), tl.period);
+            let mut cursor = SimDuration::ZERO;
+            for w in &st.windows {
+                prop_assert!(w.offset >= cursor);
+                cursor = w.offset + w.duration;
+            }
+            prop_assert!(cursor <= tl.period);
+        }
+        prop_assert!(tl.fillable_ratio() <= tl.bubble_ratio() + 1e-12);
+    }
+
+    /// 1F1B and GPipe have identical total bubble time for uniform
+    /// stages without communication, and 1F1B never fills more.
+    #[test]
+    fn one_f_one_b_vs_gpipe(
+        p in 2usize..10,
+        m in 1usize..16,
+        tf_ms in 1u64..30,
+        tb_ms in 1u64..60,
+    ) {
+        let tf = SimDuration::from_millis(tf_ms);
+        let tb = SimDuration::from_millis(tb_ms);
+        let g = EngineConfig::uniform(ScheduleKind::GPipe, p, m, tf, tb).run();
+        let o = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb).run();
+        prop_assert_eq!(g.period, o.period);
+        prop_assert!((g.bubble_ratio() - o.bubble_ratio()).abs() < 1e-9);
+        prop_assert!(o.fillable_ratio() <= g.fillable_ratio() + 1e-9);
+    }
+
+    /// The 1F1B fwd-bwd bubble formula from §4.5:
+    /// (p-s-1)·t_bwd + max(0, p-s-m)·t_fwd.
+    #[test]
+    fn one_f_one_b_fwd_bwd_formula(
+        p in 2usize..10,
+        m in 1usize..16,
+        tf_ms in 1u64..30,
+        tb_ms in 1u64..60,
+    ) {
+        let tf = SimDuration::from_millis(tf_ms);
+        let tb = SimDuration::from_millis(tb_ms);
+        let tl = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb).run();
+        for (s, st) in tl.stages.iter().enumerate() {
+            let fwd_bwd: SimDuration = st.windows.iter()
+                .filter(|w| w.kind == BubbleKind::FwdBwd)
+                .map(|w| w.duration)
+                .sum();
+            let expect = tb * (p - 1 - s) as u64 + tf * (p - s).saturating_sub(m) as u64;
+            prop_assert_eq!(fwd_bwd, expect, "stage {}", s);
+        }
+    }
+}

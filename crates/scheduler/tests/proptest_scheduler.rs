@@ -1,0 +1,161 @@
+//! Property tests for the scheduler: conservation, projection
+//! consistency, and policy sanity under arbitrary job populations.
+
+use proptest::prelude::*;
+
+use pipefill_executor::JobId;
+use pipefill_scheduler::{
+    Fifo, FillJobScheduler, JobInfo, MakespanMin, SchedulingPolicy, ShortestJobFirst, SystemState,
+};
+use pipefill_sim_core::{SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct RawJob {
+    arrival: u32,
+    procs: Vec<Option<u32>>, // per executor, seconds
+    deadline: Option<u32>,
+}
+
+fn job_strategy(executors: usize) -> impl Strategy<Value = RawJob> {
+    (
+        0u32..1_000,
+        prop::collection::vec(prop::option::of(1u32..500), executors),
+        prop::option::of(1u32..5_000),
+    )
+        .prop_map(|(arrival, procs, deadline)| RawJob {
+            arrival,
+            procs,
+            deadline,
+        })
+}
+
+fn build(jobs: &[RawJob]) -> Vec<JobInfo> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let mut info = JobInfo::new(
+                JobId(i as u64),
+                SimTime::from_secs_f64(j.arrival as f64),
+                j.procs
+                    .iter()
+                    .map(|p| p.map(|s| SimDuration::from_secs(s as u64)))
+                    .collect(),
+            );
+            if let Some(d) = j.deadline {
+                info = info.with_deadline(SimTime::from_secs_f64(d as f64));
+            }
+            info
+        })
+        .collect()
+}
+
+fn policies() -> Vec<Box<dyn SchedulingPolicy>> {
+    vec![Box::new(Fifo), Box::new(ShortestJobFirst), Box::new(MakespanMin)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dispatching drains exactly the feasible jobs, each exactly once,
+    /// under every policy.
+    #[test]
+    fn dispatch_conserves_jobs(
+        raw in prop::collection::vec(job_strategy(3), 0..30),
+        policy_idx in 0usize..3,
+    ) {
+        let jobs = build(&raw);
+        let mut sched = FillJobScheduler::new(policies().remove(policy_idx));
+        for j in &jobs {
+            sched.submit(j.clone());
+        }
+        let state = SystemState::idle(SimTime::ZERO, 3);
+        let mut dispatched: Vec<JobId> = Vec::new();
+        // Round-robin executors until nothing moves.
+        loop {
+            let mut progressed = false;
+            for e in 0..3 {
+                if let Some(j) = sched.pick_for(e, &state) {
+                    prop_assert!(j.feasible_on(e));
+                    dispatched.push(j.id);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let feasible = jobs.iter().filter(|j| j.min_proc_time().is_some()).count();
+        prop_assert_eq!(dispatched.len(), feasible);
+        dispatched.sort();
+        dispatched.dedup();
+        prop_assert_eq!(dispatched.len(), feasible, "a job was dispatched twice");
+    }
+
+    /// The projection covers every feasible job exactly once, respects
+    /// per-executor serialization, and never projects a completion before
+    /// `now + proc`.
+    #[test]
+    fn projection_is_consistent(
+        raw in prop::collection::vec(job_strategy(2), 0..25),
+        policy_idx in 0usize..3,
+    ) {
+        let jobs = build(&raw);
+        let mut sched = FillJobScheduler::new(policies().remove(policy_idx));
+        for j in &jobs {
+            sched.submit(j.clone());
+        }
+        let state = SystemState::idle(SimTime::ZERO, 2);
+        let projection = sched.project_schedule(&state);
+        let feasible = jobs.iter().filter(|j| j.min_proc_time().is_some()).count();
+        prop_assert_eq!(projection.len(), feasible);
+
+        let mut seen: Vec<JobId> = projection.iter().map(|p| p.id).collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), feasible, "duplicate in projection");
+
+        for e in 0..2 {
+            let mut cursor = SimTime::ZERO;
+            for p in projection.iter().filter(|p| p.executor == e) {
+                prop_assert!(p.starts >= cursor, "overlap on executor {e}");
+                prop_assert!(p.completes > p.starts);
+                cursor = p.completes;
+            }
+        }
+        for p in &projection {
+            let job = jobs.iter().find(|j| j.id == p.id).unwrap();
+            let proc = job.proc_times[p.executor].unwrap();
+            prop_assert_eq!(p.completes, p.starts + proc);
+        }
+    }
+
+    /// SJF's mean projected completion is never worse than FIFO's on a
+    /// single executor (the classic exchange argument).
+    #[test]
+    fn sjf_dominates_fifo_on_one_executor(
+        procs in prop::collection::vec(1u32..500, 1..20),
+    ) {
+        let jobs: Vec<JobInfo> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                JobInfo::new(
+                    JobId(i as u64),
+                    SimTime::ZERO,
+                    vec![Some(SimDuration::from_secs(p as u64))],
+                )
+            })
+            .collect();
+        let mean_completion = |policy: Box<dyn SchedulingPolicy>| {
+            let mut s = FillJobScheduler::new(policy);
+            for j in &jobs {
+                s.submit(j.clone());
+            }
+            let proj = s.project_schedule(&SystemState::idle(SimTime::ZERO, 1));
+            proj.iter().map(|p| p.completes.as_secs_f64()).sum::<f64>() / proj.len() as f64
+        };
+        let sjf = mean_completion(Box::new(ShortestJobFirst));
+        let fifo = mean_completion(Box::new(Fifo));
+        prop_assert!(sjf <= fifo + 1e-9, "SJF {sjf} vs FIFO {fifo}");
+    }
+}

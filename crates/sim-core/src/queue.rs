@@ -1,0 +1,165 @@
+//! The event queue: a time-ordered priority queue with deterministic
+//! FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A future event: its firing time plus an insertion sequence number so
+/// that events scheduled for the same instant pop in insertion order.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events pushed for the same [`SimTime`] are returned in push order, which
+/// keeps multi-component simulations (engine signals, executor wake-ups,
+/// scheduler placements) reproducible without fragile epsilon offsets.
+///
+/// # Example
+///
+/// ```
+/// use pipefill_sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_secs_f64(1.0);
+/// q.push(t, "a");
+/// q.push(t, "b");
+/// assert_eq!(q.pop(), Some((t, "a")));
+/// assert_eq!(q.pop(), Some((t, "b")));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Ties break in push order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(3.0), 3);
+        q.push(SimTime::from_secs_f64(1.0), 1);
+        q.push(SimTime::from_secs_f64(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs_f64(5.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        let base = SimTime::ZERO;
+        q.push(base + SimDuration::from_secs(2), "late");
+        q.push(base + SimDuration::from_secs(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(base + SimDuration::from_millis(1500), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs_f64(1.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(1.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

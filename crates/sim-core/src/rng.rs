@@ -1,0 +1,321 @@
+//! Deterministic random numbers and the distributions the workload
+//! generators need.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! non-uniform distributions (exponential, normal, lognormal, Poisson) are
+//! implemented here from first principles: inverse-transform sampling for
+//! the exponential, Box–Muller for the normal, exp(normal) for the
+//! lognormal, and Knuth's product method (with a normal approximation for
+//! large rates) for the Poisson.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source producing the distributions used across the
+/// PipeFill reproduction (trace inter-arrivals, job sizes, execution-time
+/// jitter).
+///
+/// Two generators constructed with the same seed produce identical
+/// streams, which is what makes every experiment in `EXPERIMENTS.md`
+/// re-runnable to the digit.
+///
+/// # Example
+///
+/// ```
+/// use pipefill_sim_core::rng::DeterministicRng;
+///
+/// let mut a = DeterministicRng::seed_from(42);
+/// let mut b = DeterministicRng::seed_from(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: SmallRng,
+    /// Spare normal variate from the last Box–Muller pair.
+    spare_normal: Option<f64>,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DeterministicRng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each simulated
+    /// component its own stream so adding draws in one component does not
+    /// perturb another.
+    pub fn fork(&mut self) -> Self {
+        DeterministicRng::seed_from(self.inner.gen::<u64>())
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "invalid uniform range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponential sample with the given `rate` (mean `1/rate`), via
+    /// inverse-transform sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        // u in (0, 1]: avoid ln(0).
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// Standard-normal-based sample with mean `mean` and standard deviation
+    /// `std_dev`, via the Box–Muller transform (pairs are cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or non-finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "normal std_dev must be non-negative, got {std_dev}"
+        );
+        let z = match self.spare_normal.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller: two uniforms -> two independent N(0,1).
+                let u1: f64 = 1.0 - self.inner.gen::<f64>(); // (0, 1]
+                let u2: f64 = self.inner.gen::<f64>();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare_normal = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std_dev * z
+    }
+
+    /// Lognormal sample: `exp(N(mu, sigma))`. `mu`/`sigma` are the
+    /// parameters of the underlying normal (natural-log scale), matching
+    /// the convention used for GPU-hour job-size distributions in cluster
+    /// trace studies.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Poisson sample with rate `lambda`. Uses Knuth's product method for
+    /// small rates and a rounded normal approximation for `lambda > 64`
+    /// (where the approximation error is far below trace noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson rate must be non-negative, got {lambda}"
+        );
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let x = self.normal(lambda, lambda.sqrt());
+            return x.max(0.0).round() as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.inner.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Multiplicative jitter `max(0, N(1, cv))`, used to perturb profiled
+    /// durations in the fine-grained "physical" simulator. `cv` is the
+    /// coefficient of variation.
+    pub fn jitter(&mut self, cv: f64) -> f64 {
+        self.normal(1.0, cv).max(0.0)
+    }
+
+    /// Picks an index according to `weights` (need not be normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must sum to a positive value, got {total}"
+        );
+        let mut x = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DeterministicRng::seed_from(7);
+        let mut b = DeterministicRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 10.0), b.uniform(0.0, 10.0));
+            assert_eq!(a.poisson(5.0), b.poisson(5.0));
+        }
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut parent = DeterministicRng::seed_from(7);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let s1: Vec<f64> = (0..10).map(|_| c1.uniform(0.0, 1.0)).collect();
+        let s2: Vec<f64> = (0..10).map(|_| c2.uniform(0.0, 1.0)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = DeterministicRng::seed_from(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = DeterministicRng::seed_from(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = DeterministicRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(rng.lognormal(0.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_lambda() {
+        let mut rng = DeterministicRng::seed_from(4);
+        for &lambda in &[0.5, 8.0, 200.0] {
+            let n = 10_000;
+            let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let tol = 3.0 * (lambda / n as f64).sqrt() + 0.05;
+            assert!(
+                (mean - lambda).abs() < tol,
+                "lambda={lambda} mean={mean} tol={tol}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = DeterministicRng::seed_from(5);
+        let weights = [1.0, 3.0];
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| rng.weighted_index(&weights) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_cases() {
+        let mut rng = DeterministicRng::seed_from(6);
+        assert_eq!(rng.weighted_index(&[5.0]), 0);
+        // Zero-weight entries are never chosen.
+        for _ in 0..100 {
+            assert_eq!(rng.weighted_index(&[0.0, 1.0, 0.0]), 1);
+        }
+    }
+
+    #[test]
+    fn jitter_never_negative() {
+        let mut rng = DeterministicRng::seed_from(8);
+        for _ in 0..10_000 {
+            assert!(rng.jitter(0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DeterministicRng::seed_from(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = DeterministicRng::seed_from(10);
+        let _ = rng.uniform(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = DeterministicRng::seed_from(11);
+        let _ = rng.exponential(0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The simulation driver loop.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation component: consumes events, may schedule more.
+///
+/// Implementors hold all mutable simulation state; the driver owns only the
+/// clock and the queue, which keeps borrow scopes simple for large
+/// multi-component models.
+pub trait EventHandler {
+    /// The event alphabet of this simulation.
+    type Event;
+
+    /// Handles one event fired at `now`. New events are scheduled through
+    /// `queue`; scheduling in the past is a logic error that
+    /// [`Simulation::run`] turns into a panic.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// What a single [`Simulation::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was dispatched.
+    Dispatched,
+    /// The queue was empty; nothing happened.
+    Idle,
+    /// The next event lies beyond the configured horizon; nothing happened.
+    PastHorizon,
+}
+
+/// A discrete-event simulation: a clock plus an event queue.
+///
+/// # Example
+///
+/// ```
+/// use pipefill_sim_core::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+///
+/// struct Counter {
+///     fired: u32,
+/// }
+///
+/// impl EventHandler for Counter {
+///     type Event = ();
+///     fn handle(&mut self, now: SimTime, _e: (), q: &mut EventQueue<()>) {
+///         self.fired += 1;
+///         if self.fired < 3 {
+///             q.push(now + SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule(SimTime::ZERO, ());
+/// let mut counter = Counter { fired: 0 };
+/// sim.run(&mut counter, None);
+/// assert_eq!(counter.fired, 3);
+/// assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+/// ```
+pub struct Simulation<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Current simulated time (the firing time of the last dispatched
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedules an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — an event in the
+    /// past means causality is broken and results would silently be wrong.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Access to the underlying queue (for handlers that need to inspect
+    /// the next firing time).
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Dispatches the next event, if one exists and lies at or before
+    /// `horizon` (when given).
+    pub fn step<H>(&mut self, handler: &mut H, horizon: Option<SimTime>) -> StepOutcome
+    where
+        H: EventHandler<Event = E>,
+    {
+        match self.queue.peek_time() {
+            None => StepOutcome::Idle,
+            Some(t) if horizon.is_some_and(|h| t > h) => StepOutcome::PastHorizon,
+            Some(_) => {
+                let (at, event) = self.queue.pop().expect("peeked entry must pop");
+                debug_assert!(at >= self.now, "queue returned an event from the past");
+                self.now = at;
+                self.dispatched += 1;
+                handler.handle(at, event, &mut self.queue);
+                StepOutcome::Dispatched
+            }
+        }
+    }
+
+    /// Runs until the queue drains or the next event would pass `horizon`.
+    /// Returns the number of events dispatched by this call.
+    pub fn run<H>(&mut self, handler: &mut H, horizon: Option<SimTime>) -> u64
+    where
+        H: EventHandler<Event = E>,
+    {
+        let start = self.dispatched;
+        while self.step(handler, horizon) == StepOutcome::Dispatched {}
+        self.dispatched - start
+    }
+}
+
+impl<E> std::fmt::Debug for Simulation<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Collect {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl EventHandler for Collect {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, event: u32, q: &mut EventQueue<u32>) {
+            self.seen.push((now, event));
+            if event == 1 {
+                // Chain: event 1 schedules events 10 and 11.
+                q.push(now + SimDuration::from_secs(1), 10);
+                q.push(now + SimDuration::from_secs(2), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, 1);
+        let mut h = Collect { seen: vec![] };
+        let n = sim.run(&mut h, None);
+        assert_eq!(n, 3);
+        assert_eq!(
+            h.seen,
+            vec![
+                (SimTime::ZERO, 1),
+                (SimTime::from_secs_f64(1.0), 10),
+                (SimTime::from_secs_f64(2.0), 11),
+            ]
+        );
+        assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn horizon_stops_dispatch() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_secs_f64(1.0), 1);
+        sim.schedule(SimTime::from_secs_f64(5.0), 2);
+        let mut h = Collect { seen: vec![] };
+        sim.run(&mut h, Some(SimTime::from_secs_f64(3.0)));
+        // Event 1 fires (and schedules 10@2s, 11@3s which are within
+        // horizon); event 2 at 5s stays queued.
+        let ids: Vec<u32> = h.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(ids, vec![1, 10, 11]);
+        assert_eq!(sim.queue().len(), 1);
+        assert_eq!(
+            sim.step(&mut h, Some(SimTime::from_secs_f64(3.0))),
+            StepOutcome::PastHorizon
+        );
+    }
+
+    #[test]
+    fn idle_on_empty_queue() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        let mut h = Collect { seen: vec![] };
+        assert_eq!(sim.step(&mut h, None), StepOutcome::Idle);
+        assert_eq!(sim.run(&mut h, None), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_secs_f64(2.0), 1);
+        let mut h = Collect { seen: vec![] };
+        sim.run(&mut h, None);
+        sim.schedule(SimTime::from_secs_f64(1.0), 2);
+    }
+}

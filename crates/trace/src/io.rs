@@ -1,0 +1,206 @@
+//! Trace persistence: save generated traces to CSV and load them back —
+//! the seam where a real cluster trace (e.g. the Alibaba PAI trace the
+//! paper uses, which is not redistributable here) can be substituted for
+//! the synthetic generator.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pipefill_model_zoo::{JobKind, ModelId};
+use pipefill_sim_core::SimTime;
+
+use crate::generator::TraceJob;
+
+/// CSV header written and expected by this module.
+pub const TRACE_CSV_HEADER: &str = "id,arrival_secs,model,kind,gpu_hours,deadline_secs";
+
+/// Serializes a trace to CSV text.
+pub fn trace_to_csv(jobs: &[TraceJob]) -> String {
+    let mut out = String::with_capacity(64 * (jobs.len() + 1));
+    out.push_str(TRACE_CSV_HEADER);
+    out.push('\n');
+    for j in jobs {
+        let deadline = j
+            .deadline
+            .map(|d| d.as_secs_f64().to_string())
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            j.id,
+            j.arrival.as_secs_f64(),
+            j.model.name(),
+            match j.kind {
+                JobKind::Training => "training",
+                JobKind::BatchInference => "batch-inference",
+            },
+            j.gpu_hours,
+            deadline
+        )
+        .expect("string writes are infallible");
+    }
+    out
+}
+
+/// Writes a trace to a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_trace<P: AsRef<Path>>(jobs: &[TraceJob], path: P) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, trace_to_csv(jobs))
+}
+
+/// Parses a trace from CSV text.
+///
+/// # Errors
+///
+/// Returns a line-numbered message on malformed headers, fields, counts,
+/// or unknown model/kind names.
+pub fn trace_from_csv(text: &str) -> Result<Vec<TraceJob>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == TRACE_CSV_HEADER => {}
+        other => {
+            return Err(format!(
+                "bad header: expected '{TRACE_CSV_HEADER}', got {other:?}"
+            ))
+        }
+    }
+    let mut jobs = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let n = lineno + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(format!("line {n}: expected 6 fields, got {}", fields.len()));
+        }
+        let id: u64 = fields[0]
+            .parse()
+            .map_err(|_| format!("line {n}: bad id '{}'", fields[0]))?;
+        let arrival: f64 = fields[1]
+            .parse()
+            .map_err(|_| format!("line {n}: bad arrival '{}'", fields[1]))?;
+        let model = parse_model(fields[2]).ok_or_else(|| {
+            format!("line {n}: unknown model '{}'", fields[2])
+        })?;
+        let kind = match fields[3] {
+            "training" => JobKind::Training,
+            "batch-inference" => JobKind::BatchInference,
+            other => return Err(format!("line {n}: unknown kind '{other}'")),
+        };
+        let gpu_hours: f64 = fields[4]
+            .parse()
+            .map_err(|_| format!("line {n}: bad gpu_hours '{}'", fields[4]))?;
+        if !(gpu_hours > 0.0) {
+            return Err(format!("line {n}: gpu_hours must be positive"));
+        }
+        let deadline = if fields[5].is_empty() {
+            None
+        } else {
+            let secs: f64 = fields[5]
+                .parse()
+                .map_err(|_| format!("line {n}: bad deadline '{}'", fields[5]))?;
+            Some(SimTime::from_secs_f64(secs))
+        };
+        jobs.push(TraceJob {
+            id,
+            arrival: SimTime::from_secs_f64(arrival),
+            model,
+            kind,
+            gpu_hours,
+            deadline,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Reads a trace from a CSV file.
+///
+/// # Errors
+///
+/// Propagates I/O errors and parse errors as strings.
+pub fn load_trace<P: AsRef<Path>>(path: P) -> Result<Vec<TraceJob>, String> {
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+    trace_from_csv(&text)
+}
+
+fn parse_model(name: &str) -> Option<ModelId> {
+    ModelId::ALL.into_iter().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn round_trips_a_generated_trace() {
+        let (jobs, _) = TraceGenerator::new(TraceConfig::physical(55)).generate();
+        assert!(!jobs.is_empty());
+        let csv = trace_to_csv(&jobs);
+        let parsed = trace_from_csv(&csv).unwrap();
+        assert_eq!(jobs, parsed);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (jobs, _) = TraceGenerator::new(TraceConfig::physical(56)).generate();
+        let dir = std::env::temp_dir().join(format!("pipefill-trace-{}", std::process::id()));
+        let path = dir.join("trace.csv");
+        save_trace(&jobs, &path).unwrap();
+        let parsed = load_trace(&path).unwrap();
+        assert_eq!(jobs, parsed);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(trace_from_csv("nonsense\n").is_err());
+        let hdr = format!("{TRACE_CSV_HEADER}\n");
+        assert!(trace_from_csv(&format!("{hdr}1,2,3\n")).is_err(), "field count");
+        assert!(
+            trace_from_csv(&format!("{hdr}x,0.0,Bert-base,training,0.5,\n")).is_err(),
+            "bad id"
+        );
+        assert!(
+            trace_from_csv(&format!("{hdr}1,0.0,NoSuchModel,training,0.5,\n")).is_err(),
+            "bad model"
+        );
+        assert!(
+            trace_from_csv(&format!("{hdr}1,0.0,Bert-base,sometimes,0.5,\n")).is_err(),
+            "bad kind"
+        );
+        assert!(
+            trace_from_csv(&format!("{hdr}1,0.0,Bert-base,training,-1,\n")).is_err(),
+            "negative size"
+        );
+    }
+
+    #[test]
+    fn empty_deadline_means_none() {
+        let hdr = format!("{TRACE_CSV_HEADER}\n");
+        let jobs =
+            trace_from_csv(&format!("{hdr}1,5.5,Bert-base,training,0.25,\n")).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].deadline, None);
+        assert_eq!(jobs[0].arrival, SimTime::from_secs_f64(5.5));
+        let jobs =
+            trace_from_csv(&format!("{hdr}1,5.5,Bert-base,training,0.25,99.5\n")).unwrap();
+        assert_eq!(jobs[0].deadline, Some(SimTime::from_secs_f64(99.5)));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let (jobs, _) = TraceGenerator::new(TraceConfig::physical(57)).generate();
+        let csv = trace_to_csv(&jobs).replace('\n', "\n\n");
+        let parsed = trace_from_csv(&csv).unwrap();
+        assert_eq!(jobs.len(), parsed.len());
+    }
+}

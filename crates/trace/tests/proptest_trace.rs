@@ -1,0 +1,79 @@
+//! Property tests for the trace generator: filters, determinism and
+//! distribution invariants for arbitrary configurations.
+
+use proptest::prelude::*;
+
+use pipefill_model_zoo::JobKind;
+use pipefill_sim_core::{SimDuration, SimTime};
+use pipefill_trace::{ModelMix, TraceConfig, TraceGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any seed and cap: arrivals sorted within the horizon, sizes
+    /// within the cap, §5.3's job-kind rule enforced, and the generator
+    /// is a pure function of its config.
+    #[test]
+    fn trace_invariants(seed in 0u64..500, cap_centi in 5u64..200, load_pct in 20u64..300) {
+        let mut cfg = TraceConfig::simulator(seed).with_load(load_pct as f64 / 100.0);
+        cfg.max_gpu_hours = cap_centi as f64 / 100.0;
+        cfg.horizon = SimDuration::from_secs(4 * 3600);
+        let horizon = SimTime::ZERO + cfg.horizon;
+
+        let (jobs, stats) = TraceGenerator::new(cfg.clone()).generate();
+        let (jobs2, _) = TraceGenerator::new(cfg.clone()).generate();
+        prop_assert_eq!(&jobs, &jobs2, "generator not deterministic");
+
+        prop_assert!(stats.kept <= stats.after_qos);
+        prop_assert!(stats.after_qos <= stats.raw);
+        prop_assert_eq!(jobs.len(), stats.kept);
+
+        for w in jobs.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+            prop_assert!(w[0].id < w[1].id);
+        }
+        for j in &jobs {
+            prop_assert!(j.arrival < horizon);
+            prop_assert!(j.gpu_hours > 0.0 && j.gpu_hours <= cfg.max_gpu_hours);
+            if !j.model.trainable_as_fill_job() {
+                prop_assert_eq!(j.kind, JobKind::BatchInference);
+            }
+            if let Some(d) = j.deadline {
+                prop_assert!(d > j.arrival);
+            }
+        }
+    }
+
+    /// A larger size cap never retains a smaller fraction of jobs.
+    #[test]
+    fn retention_is_monotone_in_cap(seed in 0u64..200) {
+        let run = |cap: f64| {
+            let mut cfg = TraceConfig::simulator(seed);
+            cfg.max_gpu_hours = cap;
+            TraceGenerator::new(cfg).generate().1.size_retention()
+        };
+        let small = run(0.15);
+        let big = run(1.0);
+        prop_assert!(big >= small, "retention fell with a larger cap: {small} -> {big}");
+    }
+
+    /// Blended mixes only emit their two models, in roughly the blend
+    /// proportions.
+    #[test]
+    fn blend_proportions(seed in 0u64..200, pct in 10u64..90) {
+        use pipefill_model_zoo::ModelId;
+        let frac = pct as f64 / 100.0;
+        let cfg = TraceConfig::simulator(seed)
+            .with_load(4.0)
+            .with_mix(ModelMix::blend(ModelId::XlmRobertaXl, ModelId::EfficientNet, frac));
+        let (jobs, _) = TraceGenerator::new(cfg).generate();
+        prop_assume!(jobs.len() >= 200);
+        let xlm = jobs.iter().filter(|j| j.model == ModelId::XlmRobertaXl).count();
+        let got = xlm as f64 / jobs.len() as f64;
+        prop_assert!((got - frac).abs() < 0.12, "blend {frac} realized as {got}");
+        prop_assert!(jobs.iter().all(|j| matches!(
+            j.model,
+            ModelId::XlmRobertaXl | ModelId::EfficientNet
+        )));
+    }
+}

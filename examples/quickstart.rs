@@ -1,0 +1,74 @@
+//! Quickstart: stand up the paper's 8K-GPU main job, inspect its bubbles,
+//! plan one fill job with Algorithm 1, and execute it bubble-by-bubble.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pipefill::executor::{plan_best, ExecutorConfig, FillJobExecutor, FillJobSpec, PlanError};
+use pipefill::models::{JobKind, ModelId};
+use pipefill::pipeline::{MainJobSpec, ScheduleKind};
+
+fn main() -> Result<(), PlanError> {
+    // 1. The main job: the paper's 40B-parameter LLM at the 8K-GPU scale
+    //    (TP=8 within nodes, 16 pipeline stages, DP=64, 8 microbatches).
+    let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
+    let timeline = main.engine_timeline();
+    println!("main job: {} on {} GPUs", main.model.name, main.parallelism.total_gpus());
+    println!("iteration period : {}", timeline.period);
+    println!(
+        "bubble ratio     : {:.1}%  (formula (p-1)/(m+p-1) = {:.1}%)",
+        100.0 * timeline.bubble_ratio(),
+        100.0 * pipefill::pipeline::bubble_fraction(16, 8),
+    );
+
+    // 2. One device's bubbles: stage 8 of 16.
+    let stage = &timeline.stages[8];
+    println!("\nstage 8 bubble windows (one per iteration cycle):");
+    for w in stage.fillable_windows() {
+        println!("  {:>12}  {}  free {}", w.kind.to_string(), w.duration, w.free_memory);
+    }
+
+    // 3. A fill job: BERT-base batch inference, 100K samples.
+    let job = FillJobSpec::new(1, ModelId::BertBase, JobKind::BatchInference, 100_000);
+    let slots: Vec<_> = stage
+        .fillable_windows()
+        .iter()
+        .map(|w| (w.duration, w.free_memory))
+        .collect();
+    let plan = plan_best(&job, &slots, &main.device, &ExecutorConfig::default())?;
+    println!("\nchosen config    : {}", plan.config);
+    println!(
+        "plan             : {} partitions, {} fill iterations/pass, {} samples/pass",
+        plan.partitions.len(),
+        plan.iterations_per_pass,
+        plan.samples_per_pass
+    );
+    println!(
+        "pass spans       : {} main-job iteration(s)",
+        plan.main_iterations_per_pass
+    );
+
+    // 4. Execute bubble-by-bubble until the job completes.
+    let n_slots = plan.bubbles_per_iteration;
+    let mut executor = FillJobExecutor::new(job, plan);
+    let mut bubbles = 0u64;
+    while !executor.is_complete() {
+        executor.on_bubble((bubbles as usize) % n_slots);
+        bubbles += 1;
+    }
+    println!(
+        "\ncompleted {} samples in {} bubbles ({} of bubble time) at {:.1} TFLOPS during execution",
+        executor.samples_done(),
+        bubbles,
+        executor.bubble_time_used(),
+        executor.tflops_during_execution(),
+    );
+    let iters = bubbles.div_ceil(n_slots as u64);
+    println!(
+        "wall-clock: ≈{} main-job iterations ≈ {:.1} s",
+        iters,
+        iters as f64 * timeline.period.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! The paper's headline story (Figs. 1 and 4): scaling a 40B LLM from 1K
+//! to 8K GPUs cuts training time ~3× but wastes ever more GPU time in
+//! pipeline bubbles — and PipeFill recovers most of it.
+//!
+//! ```sh
+//! cargo run --release --example scale_out_llm
+//! ```
+
+use pipefill::core::experiments::scaling::{fig4_scaling, print_scaling};
+
+fn main() {
+    let rows = fig4_scaling();
+    println!("Scaling the 40B LLM (GPipe, minibatch fixed at 1024 sequences):\n");
+    print_scaling(&rows);
+
+    let low = &rows[0];
+    let high = &rows[rows.len() - 1];
+    println!(
+        "\nScaling {}→{} GPUs cuts training {:.0}→{:.0} days but drops \
+         traditional utilization {:.1}→{:.1} TFLOPS/GPU.",
+        low.gpus, high.gpus, low.days_to_train, high.days_to_train,
+        low.traditional_tflops, high.traditional_tflops
+    );
+    println!(
+        "PipeFill lifts the {}-GPU point back to {:.1} TFLOPS/GPU (+{:.0}%) with the trace mix,",
+        high.gpus,
+        high.pipefill_trace_mix_tflops,
+        100.0 * (high.pipefill_trace_mix_tflops / high.traditional_tflops - 1.0)
+    );
+    println!(
+        "and {:.1} TFLOPS/GPU (+{:.0}%) with bubble-friendly BERT inference — \
+         ≈{:.0} GPUs' worth of extra work.",
+        high.pipefill_bert_inf_tflops,
+        100.0 * (high.pipefill_bert_inf_tflops / high.traditional_tflops - 1.0),
+        high.gpus_saved_best
+    );
+}

@@ -1,0 +1,96 @@
+//! # PipeFill — a reproduction of "PipeFill: Using GPUs During Bubbles in
+//! Pipeline-parallel LLM Training" (MLSys 2025)
+//!
+//! PipeFill recovers the GPU time lost to pipeline bubbles in large-scale
+//! pipeline-parallel (PP) training by context-switching to independent
+//! *fill jobs* — pending training and batch-inference jobs — during each
+//! bubble, and switching back before the bubble ends so the main job sees
+//! <2% slowdown.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel;
+//! * [`device`] — accelerator/cluster hardware models and the HBM
+//!   memory-pool semantics the engine instruments;
+//! * [`models`] — the model zoo (GPT-5B/40B main jobs, Table 1 fill
+//!   jobs) and its analytical FLOPs/memory cost model;
+//! * [`pipeline`] — pipeline schedules (GPipe, 1F1B), the instrumented
+//!   engine with explicit bubble instructions, the bubble profiler, the
+//!   main-job memory model and the optimizer-state offload planner;
+//! * [`executor`] — per-configuration fill-job profiles, the Algorithm-1
+//!   bubble-packing planner and the per-device executor state machine;
+//! * [`scheduler`] — the score-function policy interface (FIFO / SJF /
+//!   Makespan-Min / EDF / weighted compositions);
+//! * [`trace`] — the synthetic Alibaba-style fill-job trace generator
+//!   and HuggingFace-style model mix;
+//! * [`core`] — the integrated system: coarse cluster simulator,
+//!   fine-grained "physical" simulator, metrics, and one experiment
+//!   driver per figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pipefill::pipeline::{MainJobSpec, ScheduleKind};
+//! use pipefill::executor::{plan_best, ExecutorConfig, FillJobSpec};
+//! use pipefill::models::{JobKind, ModelId};
+//!
+//! // The paper's 8K-GPU setting: a 40B LLM with a 65% bubble ratio.
+//! let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
+//! let timeline = main.engine_timeline();
+//! assert!(timeline.bubble_ratio() > 0.6);
+//!
+//! // Plan a BERT batch-inference fill job into stage 8's bubbles.
+//! let slots: Vec<_> = timeline.stages[8]
+//!     .fillable_windows()
+//!     .iter()
+//!     .map(|w| (w.duration, w.free_memory))
+//!     .collect();
+//! let job = FillJobSpec::new(1, ModelId::BertBase, JobKind::BatchInference, 100_000);
+//! let plan = plan_best(&job, &slots, &main.device, &ExecutorConfig::default())?;
+//! assert!(plan.samples_per_pass > 0);
+//! # Ok::<(), pipefill::executor::PlanError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Discrete-event simulation kernel ([`pipefill_sim_core`]).
+pub mod sim {
+    pub use pipefill_sim_core::*;
+}
+
+/// Device, node and cluster hardware models ([`pipefill_device`]).
+pub mod device {
+    pub use pipefill_device::*;
+}
+
+/// Model zoo and analytical cost model ([`pipefill_model_zoo`]).
+pub mod models {
+    pub use pipefill_model_zoo::*;
+}
+
+/// Pipeline engine, schedules and bubbles ([`pipefill_pipeline`]).
+pub mod pipeline {
+    pub use pipefill_pipeline::*;
+}
+
+/// Fill-job executor and Algorithm 1 ([`pipefill_executor`]).
+pub mod executor {
+    pub use pipefill_executor::*;
+}
+
+/// Fill-job scheduler and policies ([`pipefill_scheduler`]).
+pub mod scheduler {
+    pub use pipefill_scheduler::*;
+}
+
+/// Workload trace generation ([`pipefill_trace`]).
+pub mod trace {
+    pub use pipefill_trace::*;
+}
+
+/// The integrated PipeFill system and experiment drivers
+/// ([`pipefill_core`]).
+pub mod core {
+    pub use pipefill_core::*;
+}

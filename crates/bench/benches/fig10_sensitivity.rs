@@ -41,9 +41,9 @@ fn bench(c: &mut Criterion) {
     );
     let base = steady_recovered_tflops(&main, &exec, &ModelMix::paper_mix());
     let offloaded = steady_recovered_tflops(
-        &main.clone().with_memory(
-            BubbleMemoryModel::Uniform(Bytes::from_gib_f64(4.5) + plan.offloaded),
-        ),
+        &main.clone().with_memory(BubbleMemoryModel::Uniform(
+            Bytes::from_gib_f64(4.5) + plan.offloaded,
+        )),
         &exec,
         &ModelMix::paper_mix(),
     );

@@ -10,7 +10,10 @@ use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 fn bench(c: &mut Criterion) {
     let rows = fig4_scaling();
     println!("\nFig. 1 — TFLOPS/GPU while scaling the 40B LLM:");
-    println!("{:>6} {:>18} {:>22}", "GPUs", "Traditional PP", "PipeFill (trace mix)");
+    println!(
+        "{:>6} {:>18} {:>22}",
+        "GPUs", "Traditional PP", "PipeFill (trace mix)"
+    );
     for r in &rows {
         println!(
             "{:>6} {:>18.1} {:>22.1}",

@@ -6,7 +6,7 @@ use pipefill_bench::{criterion_config, experiment_csv};
 use pipefill_core::experiments::fill_fraction::{
     fig5_fill_fraction, print_fill_fraction, save_fill_fraction,
 };
-use pipefill_core::{PhysicalSim, PhysicalSimConfig};
+use pipefill_core::{BackendConfig, PhysicalSimConfig};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 
 fn bench(c: &mut Criterion) {
@@ -15,12 +15,12 @@ fn bench(c: &mut Criterion) {
     print_fill_fraction(&rows);
     save_fill_fraction(&rows, &experiment_csv("fig5_fill_fraction.csv")).expect("csv");
 
-    c.bench_function("fig5/physical_sim_100_iters", |b| {
+    c.bench_function("fig5/physical_backend_100_iters", |b| {
         b.iter(|| {
             let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
             let mut cfg = PhysicalSimConfig::new(main);
             cfg.iterations = 100;
-            PhysicalSim::new(cfg).run()
+            BackendConfig::Physical(cfg).run().metrics
         })
     });
 }

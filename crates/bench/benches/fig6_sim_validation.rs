@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::validation::{fig6_validation, print_validation, save_validation};
+use pipefill_core::experiments::validation::{
+    fig6_agreement, fig6_validation, print_agreement, print_validation, save_validation,
+};
 use pipefill_core::steady_recovered_tflops;
 use pipefill_executor::ExecutorConfig;
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
@@ -15,12 +17,21 @@ fn bench(c: &mut Criterion) {
     println!("\nFig. 6 — simulator vs physical, varying the fill-job mix:");
     print_validation(&rows);
     let max_err = rows.iter().map(|r| r.relative_error).fold(0.0, f64::max);
-    println!("maximum simulator error: {:.2}% (paper: <2%)", 100.0 * max_err);
+    println!(
+        "maximum simulator error: {:.2}% (paper: <2%)",
+        100.0 * max_err
+    );
     save_validation(&rows, &experiment_csv("fig6_validation.csv")).expect("csv");
+
+    println!("\ncross-backend agreement (coarse vs physical on the shared kernel):");
+    let agreement = fig6_agreement(&[1, 2, 3], 200);
+    print_agreement(&agreement);
 
     c.bench_function("fig6/steady_prediction", |b| {
         let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
-        b.iter(|| steady_recovered_tflops(&main, &ExecutorConfig::default(), &ModelMix::paper_mix()))
+        b.iter(|| {
+            steady_recovered_tflops(&main, &ExecutorConfig::default(), &ModelMix::paper_mix())
+        })
     });
 }
 

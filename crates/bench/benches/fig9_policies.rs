@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipefill_bench::{criterion_config, experiment_csv};
 use pipefill_core::experiments::policies::{fig9_policies, print_policies, save_policies};
-use pipefill_core::{ClusterSim, ClusterSimConfig};
+use pipefill_core::{BackendConfig, ClusterSimConfig};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_sim_core::SimDuration;
 use pipefill_trace::TraceConfig;
@@ -15,12 +15,14 @@ fn bench(c: &mut Criterion) {
     print_policies(&rows);
     save_policies(&rows, &experiment_csv("fig9_policies.csv")).expect("csv");
 
-    c.bench_function("fig9/cluster_sim_30min_trace", |b| {
+    c.bench_function("fig9/coarse_backend_30min_trace", |b| {
         b.iter(|| {
             let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
             let mut trace = TraceConfig::physical(11);
             trace.horizon = SimDuration::from_secs(1800);
-            ClusterSim::new(ClusterSimConfig::new(main, trace)).run()
+            BackendConfig::Coarse(ClusterSimConfig::new(main, trace))
+                .run()
+                .metrics
         })
     });
 }

@@ -1,12 +1,13 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy has no
 //! CLI crate; the grammar is tiny).
 
+use pipefill_core::BackendKind;
 use pipefill_model_zoo::{JobKind, ModelId};
 use pipefill_pipeline::ScheduleKind;
 
 /// Usage text printed on parse errors and `help`.
 pub const USAGE: &str = "\
-usage: pipefill-cli <command> [options]
+usage: pipefill-cli <command> [options] [--threads N]
 
 commands:
   table1                          fill-job category table (Table 1)
@@ -19,9 +20,18 @@ commands:
   fig10                           sensitivity studies
   whatif                          offload-bandwidth what-if
   all    [--out DIR]              run everything, write CSVs
+  sim    [--backend coarse|physical] [--seed S] [--iterations N]
+         [--horizon-secs N] [--load X] [--fill-fraction F]
+                                  one simulation at a chosen fidelity
+  agree  [--seeds N] [--iterations N]
+                                  coarse-vs-physical backend agreement (Fig. 6)
   timeline [--schedule gpipe|1f1b] [--stages P] [--microbatches M] [--width W]
   plan   [--model NAME] [--kind training|inference] [--stage S]
-  help";
+  help
+
+global options:
+  --threads N                     worker threads for parallel sweeps
+                                  (default: all cores)";
 
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +74,28 @@ pub enum Command {
         /// Output directory.
         out: String,
     },
+    /// One simulation at a chosen fidelity.
+    Sim {
+        /// Which backend runs it.
+        backend: BackendKind,
+        /// RNG seed.
+        seed: u64,
+        /// Main-job iterations (physical backend).
+        iterations: usize,
+        /// Trace horizon in seconds (coarse backend).
+        horizon_secs: u64,
+        /// Offered-load multiplier (coarse backend).
+        load: f64,
+        /// Fill fraction (physical backend).
+        fill_fraction: f64,
+    },
+    /// Coarse-vs-physical agreement study (Fig. 6).
+    Agree {
+        /// Number of seeds to replicate.
+        seeds: u64,
+        /// Main-job iterations per physical run.
+        iterations: usize,
+    },
     /// ASCII schedule rendering.
     Timeline {
         /// Pipeline schedule.
@@ -88,13 +120,22 @@ pub enum Command {
     Help,
 }
 
+/// A parsed command line: the command plus global options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The command to run.
+    pub command: Command,
+    /// Worker threads for parallel sweeps (0 = all cores).
+    pub threads: usize,
+}
+
 /// Parses an argument vector (without the binary name).
 ///
 /// # Errors
 ///
 /// Returns a human-readable message on unknown commands, unknown flags,
 /// or malformed values.
-pub fn parse(argv: &[String]) -> Result<Command, String> {
+pub fn parse(argv: &[String]) -> Result<Invocation, String> {
     let mut it = argv.iter();
     let Some(cmd) = it.next() else {
         return Err("missing command".into());
@@ -102,6 +143,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let rest: Vec<&String> = it.collect();
 
     let mut flags = FlagSet::new(&rest)?;
+    // Global options are accepted by every command.
+    let threads = flags.take_usize("threads", 0)?;
     let command = match cmd.as_str() {
         "table1" => Command::Table1,
         "fig1" | "fig4" => Command::Fig4,
@@ -123,6 +166,44 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "whatif" => Command::WhatIf,
         "all" => Command::All {
             out: flags.take_string("out", "target/experiments")?,
+        },
+        "sim" => {
+            let backend = flags
+                .take_string("backend", "coarse")?
+                .parse::<BackendKind>()?;
+            // Each fidelity has its own knobs; reject the other backend's
+            // so a sweep over an inapplicable flag can't silently no-op.
+            let inapplicable = match backend {
+                BackendKind::Coarse => ["iterations", "fill-fraction"],
+                BackendKind::Physical => ["horizon-secs", "load"],
+            };
+            for flag in inapplicable {
+                if flags.provided(flag) {
+                    return Err(format!("--{flag} does not apply to the {backend} backend"));
+                }
+            }
+            let load = flags.take_f64("load", 1.0)?;
+            if !(load > 0.0 && load.is_finite()) {
+                return Err(format!("--load must be a positive number, got {load}"));
+            }
+            let fill_fraction = flags.take_f64("fill-fraction", 0.68)?;
+            if !(0.0..=1.0).contains(&fill_fraction) {
+                return Err(format!(
+                    "--fill-fraction must be within [0, 1], got {fill_fraction}"
+                ));
+            }
+            Command::Sim {
+                backend,
+                seed: flags.take_u64("seed", 7)?,
+                iterations: flags.take_usize("iterations", 300)?,
+                horizon_secs: flags.take_u64("horizon-secs", 3600)?,
+                load,
+                fill_fraction,
+            }
+        }
+        "agree" => Command::Agree {
+            seeds: flags.take_u64("seeds", 3)?,
+            iterations: flags.take_usize("iterations", 200)?,
         },
         "timeline" => Command::Timeline {
             schedule: match flags.take_string("schedule", "gpipe")?.as_str() {
@@ -147,7 +228,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         other => return Err(format!("unknown command '{other}'")),
     };
     flags.finish()?;
-    Ok(command)
+    Ok(Invocation { command, threads })
 }
 
 fn parse_model(name: &str) -> Result<ModelId, String> {
@@ -187,6 +268,10 @@ impl FlagSet {
         Ok(FlagSet { pairs })
     }
 
+    fn provided(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _, _)| n == name)
+    }
+
     fn take(&mut self, name: &str) -> Option<String> {
         for (n, v, consumed) in &mut self.pairs {
             if n == name && !*consumed {
@@ -219,6 +304,15 @@ impl FlagSet {
         }
     }
 
+    fn take_f64(&mut self, name: &str, default: f64) -> Result<f64, String> {
+        match self.take(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+
     fn finish(self) -> Result<(), String> {
         for (n, _, consumed) in &self.pairs {
             if !consumed {
@@ -237,26 +331,30 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    fn cmd(s: &str) -> Command {
+        parse(&argv(s)).unwrap().command
+    }
+
     #[test]
     fn parses_bare_commands() {
-        assert_eq!(parse(&argv("table1")).unwrap(), Command::Table1);
-        assert_eq!(parse(&argv("fig4")).unwrap(), Command::Fig4);
-        assert_eq!(parse(&argv("fig1")).unwrap(), Command::Fig4);
-        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
-        assert_eq!(parse(&argv("whatif")).unwrap(), Command::WhatIf);
+        assert_eq!(cmd("table1"), Command::Table1);
+        assert_eq!(cmd("fig4"), Command::Fig4);
+        assert_eq!(cmd("fig1"), Command::Fig4);
+        assert_eq!(cmd("help"), Command::Help);
+        assert_eq!(cmd("whatif"), Command::WhatIf);
     }
 
     #[test]
     fn parses_flags_with_defaults() {
         assert_eq!(
-            parse(&argv("fig5")).unwrap(),
+            cmd("fig5"),
             Command::Fig5 {
                 iterations: 300,
                 seed: 7
             }
         );
         assert_eq!(
-            parse(&argv("fig5 --iterations 50 --seed 9")).unwrap(),
+            cmd("fig5 --iterations 50 --seed 9"),
             Command::Fig5 {
                 iterations: 50,
                 seed: 9
@@ -265,9 +363,71 @@ mod tests {
     }
 
     #[test]
+    fn parses_global_threads_flag() {
+        let inv = parse(&argv("fig5 --threads 4")).unwrap();
+        assert_eq!(inv.threads, 4);
+        assert_eq!(
+            inv.command,
+            Command::Fig5 {
+                iterations: 300,
+                seed: 7
+            }
+        );
+        // Default: 0 = all cores.
+        assert_eq!(parse(&argv("fig4")).unwrap().threads, 0);
+        // Accepted by every command.
+        assert_eq!(parse(&argv("table1 --threads 2")).unwrap().threads, 2);
+    }
+
+    #[test]
+    fn parses_sim_command() {
+        assert_eq!(
+            cmd("sim"),
+            Command::Sim {
+                backend: BackendKind::Coarse,
+                seed: 7,
+                iterations: 300,
+                horizon_secs: 3600,
+                load: 1.0,
+                fill_fraction: 0.68,
+            }
+        );
+        assert_eq!(
+            cmd("sim --backend physical --fill-fraction 0.9 --seed 3"),
+            Command::Sim {
+                backend: BackendKind::Physical,
+                seed: 3,
+                iterations: 300,
+                horizon_secs: 3600,
+                load: 1.0,
+                fill_fraction: 0.9,
+            }
+        );
+        assert!(parse(&argv("sim --backend quantum")).is_err());
+        assert!(parse(&argv("sim --load 0")).is_err());
+        assert!(parse(&argv("sim --load -2")).is_err());
+        assert!(parse(&argv("sim --backend physical --fill-fraction 1.5")).is_err());
+        // Knobs of the other fidelity are rejected, not silently dropped.
+        assert!(parse(&argv("sim --backend coarse --fill-fraction 0.9")).is_err());
+        assert!(parse(&argv("sim --backend coarse --iterations 50")).is_err());
+        assert!(parse(&argv("sim --backend physical --load 2.0")).is_err());
+        assert!(parse(&argv("sim --backend physical --horizon-secs 60")).is_err());
+    }
+
+    #[test]
+    fn parses_agree_command() {
+        assert_eq!(
+            cmd("agree --seeds 5 --iterations 100"),
+            Command::Agree {
+                seeds: 5,
+                iterations: 100
+            }
+        );
+    }
+
+    #[test]
     fn parses_timeline_options() {
-        let c = parse(&argv("timeline --schedule 1f1b --stages 4 --microbatches 6 --width 80"))
-            .unwrap();
+        let c = cmd("timeline --schedule 1f1b --stages 4 --microbatches 6 --width 80");
         assert_eq!(
             c,
             Command::Timeline {
@@ -281,7 +441,7 @@ mod tests {
 
     #[test]
     fn parses_plan_models_case_insensitively() {
-        let c = parse(&argv("plan --model Bert-Large --kind training --stage 3")).unwrap();
+        let c = cmd("plan --model Bert-Large --kind training --stage 3");
         assert_eq!(
             c,
             Command::Plan {
@@ -290,8 +450,14 @@ mod tests {
                 stage: 3
             }
         );
-        let c = parse(&argv("plan --model resnet-50 --kind inf --stage 0")).unwrap();
-        assert!(matches!(c, Command::Plan { model: ModelId::ResNet50, .. }));
+        let c = cmd("plan --model resnet-50 --kind inf --stage 0");
+        assert!(matches!(
+            c,
+            Command::Plan {
+                model: ModelId::ResNet50,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,20 +1,25 @@
 //! Command implementations: thin glue over the experiment drivers.
 
 use pipefill_core::experiments::*;
+use pipefill_core::{
+    BackendConfig, BackendKind, BackendMetrics, ClusterSimConfig, PhysicalSimConfig,
+};
 use pipefill_executor::{plan_best, ExecutorConfig, FillJobSpec};
 use pipefill_pipeline::{render_timeline, EngineConfig, MainJobSpec, ScheduleKind};
 use pipefill_sim_core::SimDuration;
+use pipefill_trace::TraceConfig;
 
-use crate::args::{Command, USAGE};
+use crate::args::{Command, Invocation, USAGE};
 
-/// Executes a parsed command.
+/// Executes a parsed invocation.
 ///
 /// # Errors
 ///
 /// Returns a message for I/O failures or infeasible plan requests.
-pub fn run(command: Command) -> Result<(), String> {
+pub fn run(invocation: Invocation) -> Result<(), String> {
+    let threads = sweep::set_threads(invocation.threads);
     let exec = ExecutorConfig::default();
-    match command {
+    match invocation.command {
         Command::Help => println!("{USAGE}"),
         Command::Table1 => table1::print_table1(&table1()),
         Command::Fig4 => scaling::print_scaling(&fig4_scaling()),
@@ -37,6 +42,46 @@ pub fn run(command: Command) -> Result<(), String> {
         }
         Command::WhatIf => whatif::print_whatif(&whatif_offload_bandwidth()),
         Command::All { out } => run_all(&out)?,
+        Command::Sim {
+            backend,
+            seed,
+            iterations,
+            horizon_secs,
+            load,
+            fill_fraction,
+        } => {
+            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let config = match backend {
+                BackendKind::Coarse => {
+                    let mut trace = TraceConfig::physical(seed).with_load(load);
+                    trace.horizon = SimDuration::from_secs(horizon_secs);
+                    BackendConfig::Coarse(ClusterSimConfig::new(main, trace))
+                }
+                BackendKind::Physical => {
+                    let mut cfg = PhysicalSimConfig::new(main).with_fill_fraction(fill_fraction);
+                    cfg.iterations = iterations;
+                    cfg.seed = seed;
+                    BackendConfig::Physical(cfg)
+                }
+            };
+            print_metrics(&config.run().metrics);
+        }
+        Command::Agree { seeds, iterations } => {
+            let seeds: Vec<u64> = (1..=seeds).collect();
+            let rows = fig6_agreement(&seeds, iterations);
+            println!(
+                "coarse vs physical backend agreement on the 5B cluster \
+                 ({} seeds × {iterations} iterations, {threads} threads):",
+                seeds.len()
+            );
+            validation::print_agreement(&rows);
+            let max_err = rows.iter().map(|r| r.relative_error).fold(0.0, f64::max);
+            println!(
+                "maximum disagreement: {:.2}% (paper Fig. 6: <2%; tolerance {:.0}%)",
+                100.0 * max_err,
+                100.0 * validation::AGREEMENT_TOLERANCE
+            );
+        }
         Command::Timeline {
             schedule,
             stages,
@@ -77,11 +122,16 @@ pub fn run(command: Command) -> Result<(), String> {
                 .collect();
             println!("bubbles on stage {stage} (one per main-job iteration):");
             for (i, w) in stage_tl.fillable_windows().iter().enumerate() {
-                println!("  slot {i}: {} ({}), free {}", w.duration, w.kind, w.free_memory);
+                println!(
+                    "  slot {i}: {} ({}), free {}",
+                    w.duration, w.kind, w.free_memory
+                );
             }
             let job = FillJobSpec::new(0, model, kind, 1_000_000);
-            let plan = plan_best(&job, &slots, &main.device, &ExecutorConfig::default())
-                .map_err(|e| format!("no feasible plan for {model} {kind} on stage {stage}: {e}"))?;
+            let plan =
+                plan_best(&job, &slots, &main.device, &ExecutorConfig::default()).map_err(|e| {
+                    format!("no feasible plan for {model} {kind} on stage {stage}: {e}")
+                })?;
             println!("\nchosen configuration: {}", plan.config);
             println!(
                 "pass: {} partitions, {} fill iterations, {} samples, spans {} main iterations",
@@ -102,6 +152,26 @@ pub fn run(command: Command) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn print_metrics(m: &BackendMetrics) {
+    println!("backend:            {}", m.kind);
+    println!("devices:            {}", m.num_devices);
+    println!("elapsed:            {}", m.elapsed);
+    println!("events dispatched:  {}", m.events_dispatched);
+    println!("bubble ratio:       {:.1}%", 100.0 * m.bubble_ratio);
+    println!("jobs completed:     {}", m.jobs_completed);
+    println!("fill FLOPs:         {:.3e}", m.fill_flops);
+    println!(
+        "recovered TFLOPS:   {:.2} per GPU",
+        m.recovered_tflops_per_gpu
+    );
+    println!("main-job TFLOPS:    {:.2} per GPU", m.main_tflops_per_gpu);
+    println!("main-job slowdown:  {:.2}%", 100.0 * m.main_slowdown);
+    println!(
+        "total TFLOPS:       {:.2} per GPU",
+        m.total_tflops_per_gpu()
+    );
 }
 
 fn run_all(out: &str) -> Result<(), String> {
@@ -128,6 +198,11 @@ fn run_all(out: &str) -> Result<(), String> {
     let f6 = fig6_validation(300, 7);
     validation::print_validation(&f6);
     validation::save_validation(&f6, &format!("{out}/fig6_validation.csv")).map_err(io)?;
+
+    println!("\n== Fig. 6 (cross-backend agreement) ==");
+    let agreement = fig6_agreement(&[1, 2, 3], 300);
+    validation::print_agreement(&agreement);
+    validation::save_agreement(&agreement, &format!("{out}/fig6_agreement.csv")).map_err(io)?;
 
     println!("\n== Fig. 7 ==");
     let f7 = fig7_characterization(&characterization::fig7_default_main(), &exec);

@@ -14,10 +14,16 @@
 //!   fig10                          bubble-size / free-memory sensitivity
 //!   whatif                         newer-hardware offload-bandwidth sweep
 //!   all    [--out DIR]             everything + CSV output
+//!   sim    [--backend coarse|physical] [...]
+//!                                  one simulation at a chosen fidelity
+//!   agree  [--seeds N] [--iterations N]
+//!                                  coarse-vs-physical agreement (Fig. 6)
 //!   timeline [--schedule S] [--stages P] [--microbatches M] [--width W]
 //!                                  render a pipeline schedule as ASCII
 //!   plan   [--model NAME] [--kind training|inference] [--stage S]
 //!                                  show the Executor's plan for one job
+//!
+//! Every command accepts `--threads N` to bound the parallel sweep pool.
 //! ```
 
 mod args;

@@ -10,6 +10,12 @@
 //! tensor-parallel group sees identical bubbles, and data-parallel
 //! replicas are statistically identical — the paper likewise runs a
 //! single replica, §5.2).
+//!
+//! The simulator is implemented as [`CoarseBackend`], a
+//! [`SimBackend`](crate::SimBackend) over the shared
+//! [`ClusterEvent`](crate::ClusterEvent) alphabet: it owns no time loop and
+//! is driven entirely by the `sim-core` kernel. [`ClusterSim`] remains the
+//! convenience entry point wrapping the backend in a driver.
 
 use std::collections::HashMap;
 
@@ -24,6 +30,7 @@ use pipefill_sim_core::{EventHandler, EventQueue, SimDuration, SimTime, Simulati
 use pipefill_trace::{TraceConfig, TraceGenerator};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{BackendDriver, BackendKind, BackendMetrics, ClusterEvent, SimBackend};
 use crate::convert::trace_job_to_spec;
 use crate::metrics::JctStats;
 
@@ -164,12 +171,6 @@ impl ClusterSimResult {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(usize),
-    Completion(usize),
-}
-
 struct Running {
     job: FillJobSpec,
     started: SimTime,
@@ -183,8 +184,10 @@ struct Device {
     running: Option<Running>,
 }
 
-/// The coarse cluster simulator. See the module docs.
-pub struct ClusterSim {
+/// The coarse profile-driven backend: a [`SimBackend`] whose events are
+/// fill-job arrivals and completions, exactly as in the paper's simulator.
+/// All time keeping lives in the `sim-core` kernel that drives it.
+pub struct CoarseBackend {
     config: ClusterSimConfig,
     period: SimDuration,
     bubble_ratio: f64,
@@ -192,23 +195,21 @@ pub struct ClusterSim {
     /// Fillable bubble slots per stage.
     stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>>,
     plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
-}
-
-struct SimState<'a> {
-    sim: &'a mut ClusterSim,
     scheduler: FillJobScheduler,
     devices: Vec<Device>,
     specs: HashMap<JobId, FillJobSpec>,
     arrivals: Vec<FillJobSpec>,
     completed: Vec<CompletedJob>,
     rejected: usize,
+    result: Option<ClusterSimResult>,
 }
 
-impl ClusterSim {
-    /// Builds the simulator (runs the engine once to extract bubbles).
+impl CoarseBackend {
+    /// Builds the backend: runs the engine once to extract bubbles, then
+    /// generates and converts the fill-job trace.
     pub fn new(config: ClusterSimConfig) -> Self {
         let timeline = config.main_job.engine_timeline();
-        let stage_slots = timeline
+        let stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>> = timeline
             .stages
             .iter()
             .map(|s| {
@@ -219,12 +220,37 @@ impl ClusterSim {
             })
             .collect();
         let main_tflops = config.main_job.main_job_tflops_per_gpu(&timeline);
-        ClusterSim {
+        let p = stage_slots.len();
+        let num_devices = p * config.devices_per_stage;
+
+        let (trace_jobs, _) = TraceGenerator::new(config.trace.clone()).generate();
+        let arrivals: Vec<FillJobSpec> = trace_jobs
+            .iter()
+            .filter_map(|t| trace_job_to_spec(t, &config.main_job.device))
+            .collect();
+
+        let devices: Vec<Device> = (0..num_devices)
+            .map(|d| Device {
+                stage: d % p,
+                busy_until: SimTime::ZERO,
+                running: None,
+            })
+            .collect();
+
+        let scheduler = FillJobScheduler::new(config.policy.build());
+        CoarseBackend {
             period: timeline.period,
             bubble_ratio: timeline.bubble_ratio(),
             main_tflops,
             stage_slots,
             plan_cache: HashMap::new(),
+            scheduler,
+            devices,
+            specs: HashMap::new(),
+            arrivals,
+            completed: Vec::new(),
+            rejected: 0,
+            result: None,
             config,
         }
     }
@@ -239,7 +265,13 @@ impl ClusterSim {
                 // Plans depend only on (model, kind, bubbles), not on the
                 // job's sample count.
                 let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
-                plan_best(&probe, slots, &self.config.main_job.device, &self.config.executor).ok()
+                plan_best(
+                    &probe,
+                    slots,
+                    &self.config.main_job.device,
+                    &self.config.executor,
+                )
+                .ok()
             };
             self.plan_cache.insert(key, plan);
         }
@@ -256,65 +288,140 @@ impl ClusterSim {
     fn job_flops(&mut self, job: &FillJobSpec, stage: usize) -> f64 {
         match self.plan(job.model, job.kind, stage) {
             None => 0.0,
-            Some(p) => {
-                p.flops_per_pass * (job.samples as f64 / p.samples_per_pass.max(1) as f64)
-            }
+            Some(p) => p.flops_per_pass * (job.samples as f64 / p.samples_per_pass.max(1) as f64),
         }
     }
 
-    /// Runs the simulation to completion (all trace jobs finished).
-    pub fn run(&mut self) -> ClusterSimResult {
-        let p = self.stage_slots.len();
-        let num_devices = p * self.config.devices_per_stage;
-        let horizon = self.config.trace.horizon;
+    /// The detailed result. Only valid after the driver has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has not been drained yet.
+    pub fn into_result(self) -> ClusterSimResult {
+        self.result
+            .expect("backend not drained; drive it with BackendDriver::run")
+    }
 
-        // Generate and convert the trace.
-        let (trace_jobs, _) = TraceGenerator::new(self.config.trace.clone()).generate();
-        let device_spec = self.config.main_job.device.clone();
-        let arrivals: Vec<FillJobSpec> = trace_jobs
-            .iter()
-            .filter_map(|t| trace_job_to_spec(t, &device_spec))
-            .collect();
-
-        let devices: Vec<Device> = (0..num_devices)
-            .map(|d| Device {
-                stage: d % p,
-                busy_until: SimTime::ZERO,
-                running: None,
-            })
-            .collect();
-
-        let mut sim = Simulation::new();
-        for (i, job) in arrivals.iter().enumerate() {
-            sim.schedule(job.arrival, Event::Arrival(i));
+    fn snapshot(&self, now: SimTime) -> SystemState {
+        SystemState {
+            now,
+            executors: self
+                .devices
+                .iter()
+                .map(|d| ExecutorSnapshot {
+                    remaining: d.busy_until.saturating_since(now),
+                })
+                .collect(),
         }
+    }
 
-        let scheduler = FillJobScheduler::new(self.config.policy.build());
-        let mut state = SimState {
-            sim: self,
-            scheduler,
-            devices,
-            specs: HashMap::new(),
-            arrivals,
-            completed: Vec::new(),
-            rejected: 0,
-        };
-        sim.run(&mut state, None);
+    fn dispatch_idle(&mut self, now: SimTime, queue: &mut EventQueue<ClusterEvent>) {
+        let idle: Vec<usize> = self
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.busy_until <= now)
+            .map(|(i, _)| i)
+            .collect();
+        for device in idle {
+            let state = self.snapshot(now);
+            let Some(info) = self.scheduler.pick_for(device, &state) else {
+                continue;
+            };
+            let spec = self
+                .specs
+                .remove(&info.id)
+                .expect("spec recorded at arrival");
+            let stage = self.devices[device].stage;
+            let proc = info.proc_times[device].expect("picked job is feasible here");
+            let flops = self.job_flops(&spec, stage);
+            let completes = now + proc;
+            self.devices[device].busy_until = completes;
+            self.devices[device].running = Some(Running {
+                job: spec,
+                started: now,
+                completes,
+                flops,
+            });
+            queue.push(completes, ClusterEvent::JobCompletion { device });
+        }
+    }
+}
 
-        let SimState {
-            completed,
-            rejected,
-            ..
-        } = state;
+impl EventHandler for CoarseBackend {
+    type Event = ClusterEvent;
 
+    fn handle(&mut self, now: SimTime, event: ClusterEvent, queue: &mut EventQueue<ClusterEvent>) {
+        match event {
+            ClusterEvent::JobArrival(i) => {
+                let spec = self.arrivals[i].clone();
+                let proc_times: Vec<Option<SimDuration>> = (0..self.devices.len())
+                    .map(|d| {
+                        let stage = self.devices[d].stage;
+                        self.proc_time(&spec, stage)
+                    })
+                    .collect();
+                if proc_times.iter().all(|t| t.is_none()) {
+                    self.rejected += 1;
+                    return;
+                }
+                let mut info = JobInfo::new(spec.id, spec.arrival, proc_times);
+                if let Some(d) = spec.deadline {
+                    info = info.with_deadline(d);
+                }
+                self.specs.insert(spec.id, spec);
+                self.scheduler.submit(info);
+                self.dispatch_idle(now, queue);
+            }
+            ClusterEvent::JobCompletion { device } => {
+                let running = self.devices[device]
+                    .running
+                    .take()
+                    .expect("completion without running job");
+                debug_assert_eq!(running.completes, now);
+                self.completed.push(CompletedJob {
+                    id: running.job.id,
+                    model: running.job.model,
+                    kind: running.job.kind,
+                    arrival: running.job.arrival,
+                    started: running.started,
+                    completed: now,
+                    device,
+                    samples: running.job.samples,
+                    flops: running.flops,
+                    deadline: running.job.deadline,
+                });
+                self.dispatch_idle(now, queue);
+            }
+            ClusterEvent::StageBubbles { .. } | ClusterEvent::IterationEnd => {
+                debug_assert!(false, "coarse backend received a fine-grained event");
+            }
+        }
+    }
+}
+
+impl SimBackend for CoarseBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Coarse
+    }
+
+    fn prime(&mut self, sim: &mut Simulation<ClusterEvent>) {
+        for (i, job) in self.arrivals.iter().enumerate() {
+            sim.schedule(job.arrival, ClusterEvent::JobArrival(i));
+        }
+    }
+
+    fn drain(&mut self, _now: SimTime) {
         // Utilization accounting within the horizon.
+        let horizon = self.config.trace.horizon;
+        let num_devices = self.devices.len();
         let horizon_secs = horizon.as_secs_f64();
         let mut flops_in_horizon = 0.0;
-        let mut jcts = Vec::with_capacity(completed.len());
+        let mut jcts = Vec::with_capacity(self.completed.len());
         let mut makespan = SimDuration::ZERO;
         let mut deadlines_met = 0usize;
         let mut deadlines_missed = 0usize;
-        for job in &completed {
+        for job in &self.completed {
             match job.met_deadline() {
                 Some(true) => deadlines_met += 1,
                 Some(false) => deadlines_missed += 1,
@@ -335,118 +442,61 @@ impl ClusterSim {
             flops_in_horizon += job.flops * fraction;
         }
 
-        ClusterSimResult {
+        self.result = Some(ClusterSimResult {
             num_devices,
             horizon,
-            rejected,
+            rejected: self.rejected,
             fill_flops_in_horizon: flops_in_horizon,
-            recovered_tflops_per_gpu: flops_in_horizon
-                / (num_devices as f64 * horizon_secs)
-                / 1e12,
+            recovered_tflops_per_gpu: flops_in_horizon / (num_devices as f64 * horizon_secs) / 1e12,
             main_tflops_per_gpu: self.main_tflops,
             bubble_ratio: self.bubble_ratio,
             jct: JctStats::from_secs(&jcts),
             makespan,
             deadlines_met,
             deadlines_missed,
-            completed,
+            completed: std::mem::take(&mut self.completed),
+        });
+    }
+
+    fn metrics(&self, events_dispatched: u64) -> BackendMetrics {
+        let result = self
+            .result
+            .as_ref()
+            .expect("metrics requested before drain");
+        BackendMetrics {
+            kind: BackendKind::Coarse,
+            num_devices: result.num_devices,
+            elapsed: result.horizon,
+            events_dispatched,
+            fill_flops: result.fill_flops_in_horizon,
+            recovered_tflops_per_gpu: result.recovered_tflops_per_gpu,
+            main_tflops_per_gpu: result.main_tflops_per_gpu,
+            // The coarse fidelity replays profiled plans capped at the fill
+            // fraction, so it models no main-job interference.
+            main_slowdown: 0.0,
+            bubble_ratio: result.bubble_ratio,
+            jobs_completed: result.completed.len(),
         }
     }
 }
 
-impl SimState<'_> {
-    fn snapshot(&self, now: SimTime) -> SystemState {
-        SystemState {
-            now,
-            executors: self
-                .devices
-                .iter()
-                .map(|d| ExecutorSnapshot {
-                    remaining: d.busy_until.saturating_since(now),
-                })
-                .collect(),
-        }
-    }
-
-    fn dispatch_idle(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
-        let idle: Vec<usize> = self
-            .devices
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.busy_until <= now)
-            .map(|(i, _)| i)
-            .collect();
-        for device in idle {
-            let state = self.snapshot(now);
-            let Some(info) = self.scheduler.pick_for(device, &state) else {
-                continue;
-            };
-            let spec = self
-                .specs
-                .remove(&info.id)
-                .expect("spec recorded at arrival");
-            let stage = self.devices[device].stage;
-            let proc = info.proc_times[device].expect("picked job is feasible here");
-            let flops = self.sim.job_flops(&spec, stage);
-            let completes = now + proc;
-            self.devices[device].busy_until = completes;
-            self.devices[device].running = Some(Running {
-                job: spec,
-                started: now,
-                completes,
-                flops,
-            });
-            queue.push(completes, Event::Completion(device));
-        }
-    }
+/// The coarse cluster simulator: the convenience entry point wrapping
+/// [`CoarseBackend`] in a [`BackendDriver`]. See the module docs.
+pub struct ClusterSim {
+    config: ClusterSimConfig,
 }
 
-impl EventHandler for SimState<'_> {
-    type Event = Event;
+impl ClusterSim {
+    /// Creates the simulator.
+    pub fn new(config: ClusterSimConfig) -> Self {
+        ClusterSim { config }
+    }
 
-    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
-        match event {
-            Event::Arrival(i) => {
-                let spec = self.arrivals[i].clone();
-                let proc_times: Vec<Option<SimDuration>> = (0..self.devices.len())
-                    .map(|d| {
-                        let stage = self.devices[d].stage;
-                        self.sim.proc_time(&spec, stage)
-                    })
-                    .collect();
-                if proc_times.iter().all(|t| t.is_none()) {
-                    self.rejected += 1;
-                    return;
-                }
-                let mut info = JobInfo::new(spec.id, spec.arrival, proc_times);
-                if let Some(d) = spec.deadline {
-                    info = info.with_deadline(d);
-                }
-                self.specs.insert(spec.id, spec);
-                self.scheduler.submit(info);
-                self.dispatch_idle(now, queue);
-            }
-            Event::Completion(device) => {
-                let running = self.devices[device]
-                    .running
-                    .take()
-                    .expect("completion without running job");
-                debug_assert_eq!(running.completes, now);
-                self.completed.push(CompletedJob {
-                    id: running.job.id,
-                    model: running.job.model,
-                    kind: running.job.kind,
-                    arrival: running.job.arrival,
-                    started: running.started,
-                    completed: now,
-                    device,
-                    samples: running.job.samples,
-                    flops: running.flops,
-                    deadline: running.job.deadline,
-                });
-                self.dispatch_idle(now, queue);
-            }
-        }
+    /// Runs the simulation to completion (all trace jobs finished) on the
+    /// shared event kernel.
+    pub fn run(&mut self) -> ClusterSimResult {
+        let (_, backend) = BackendDriver::new(CoarseBackend::new(self.config.clone())).run();
+        backend.into_result()
     }
 }
 
@@ -467,7 +517,11 @@ mod tests {
     fn simulation_completes_all_accepted_jobs() {
         let mut sim = ClusterSim::new(quick_config(1));
         let result = sim.run();
-        assert!(result.completed.len() > 10, "only {}", result.completed.len());
+        assert!(
+            result.completed.len() > 10,
+            "only {}",
+            result.completed.len()
+        );
         assert_eq!(result.num_devices, 16);
         for job in &result.completed {
             assert!(job.started >= job.arrival);
@@ -500,9 +554,7 @@ mod tests {
     #[test]
     fn higher_load_increases_makespan_and_jct() {
         let lo = ClusterSim::new(ClusterSimConfig {
-            trace: TraceConfig::physical(4)
-                .with_load(0.3)
-                .clone(),
+            trace: TraceConfig::physical(4).with_load(0.3).clone(),
             ..quick_config(4)
         })
         .run();
@@ -527,7 +579,10 @@ mod tests {
         };
         let edf = mk(PolicyKind::DeadlineThenSjf);
         let fifo = mk(PolicyKind::Fifo);
-        assert!(edf.deadlines_met + edf.deadlines_missed > 10, "too few deadline jobs");
+        assert!(
+            edf.deadlines_met + edf.deadlines_missed > 10,
+            "too few deadline jobs"
+        );
         assert!(
             edf.deadlines_met >= fifo.deadlines_met,
             "EDF met {} vs FIFO {}",

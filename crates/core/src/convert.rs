@@ -26,8 +26,7 @@ pub fn samples_for_trace_job(job: &TraceJob, device: &DeviceSpec) -> Option<u64>
 /// Full conversion into the Executor's job description.
 pub fn trace_job_to_spec(job: &TraceJob, device: &DeviceSpec) -> Option<FillJobSpec> {
     let samples = samples_for_trace_job(job, device)?;
-    let mut spec = FillJobSpec::new(job.id, job.model, job.kind, samples)
-        .with_arrival(job.arrival);
+    let mut spec = FillJobSpec::new(job.id, job.model, job.kind, samples).with_arrival(job.arrival);
     if let Some(d) = job.deadline {
         spec = spec.with_deadline(d);
     }
@@ -84,9 +83,7 @@ mod tests {
         let d = DeviceSpec::v100();
         let t = trace_job(ModelId::BertBase, JobKind::Training, 0.5);
         let i = trace_job(ModelId::BertBase, JobKind::BatchInference, 0.5);
-        assert!(
-            samples_for_trace_job(&t, &d).unwrap() < samples_for_trace_job(&i, &d).unwrap()
-        );
+        assert!(samples_for_trace_job(&t, &d).unwrap() < samples_for_trace_job(&i, &d).unwrap());
     }
 
     #[test]

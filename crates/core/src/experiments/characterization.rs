@@ -12,6 +12,7 @@ use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvWriter;
+use crate::experiments::sweep;
 use crate::steady::{steady_rate, SteadyRate};
 
 /// One (model, kind) row of Fig. 7.
@@ -50,13 +51,16 @@ pub fn fig7_job_types() -> Vec<(ModelId, JobKind)> {
 
 /// Runs the characterization against the paper's default main job (the
 /// 8K-GPU 40B setting whose bubbles Fig. 7 measures).
-pub fn fig7_characterization(main: &MainJobSpec, exec: &ExecutorConfig) -> Vec<CharacterizationRow> {
+pub fn fig7_characterization(
+    main: &MainJobSpec,
+    exec: &ExecutorConfig,
+) -> Vec<CharacterizationRow> {
     let device = &main.device;
     let timeline = main.engine_timeline();
     let period = timeline.period.as_secs_f64();
-    fig7_job_types()
-        .into_iter()
-        .map(|(model, kind)| {
+    // One profiling/planning task per (model, kind), fanned across cores.
+    sweep::par_map(fig7_job_types(), |(model, kind)| {
+        {
             let rate: SteadyRate = steady_rate(main, exec, model, kind);
             // Exclusive baseline: best batch on a whole idle GPU.
             let graph = model.build();
@@ -117,26 +121,27 @@ pub fn fig7_characterization(main: &MainJobSpec, exec: &ExecutorConfig) -> Vec<C
                 naive_recovered_tflops: naive_sum / timeline.stages.len() as f64,
                 recovered_tflops: rate.recovered_tflops,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Mix-weighted relative performance `P` for the §6.2 GPUs-saved
 /// estimate (`C·B·P`).
-pub fn mix_relative_performance(
-    main: &MainJobSpec,
-    exec: &ExecutorConfig,
-    mix: &ModelMix,
-) -> f64 {
-    let rows = fig7_characterization(main, exec);
+pub fn mix_relative_performance(main: &MainJobSpec, exec: &ExecutorConfig, mix: &ModelMix) -> f64 {
+    mix_relative_performance_from(&fig7_characterization(main, exec), mix)
+}
+
+/// [`mix_relative_performance`] over precomputed characterization rows —
+/// the rows depend only on (main job, executor config), so callers
+/// weighting several mixes against one main job characterize once.
+pub fn mix_relative_performance_from(rows: &[CharacterizationRow], mix: &ModelMix) -> f64 {
     let mut total = 0.0;
     let mut weight_sum = 0.0;
     for &(model, weight) in mix.weights() {
         if weight == 0.0 {
             continue;
         }
-        let kinds: Vec<&CharacterizationRow> =
-            rows.iter().filter(|r| r.model == model).collect();
+        let kinds: Vec<&CharacterizationRow> = rows.iter().filter(|r| r.model == model).collect();
         if kinds.is_empty() {
             continue;
         }

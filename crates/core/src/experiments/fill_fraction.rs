@@ -5,8 +5,10 @@
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendConfig;
 use crate::csv::CsvWriter;
-use crate::physical::{PhysicalSim, PhysicalSimConfig};
+use crate::experiments::sweep;
+use crate::physical::PhysicalSimConfig;
 
 /// One fill-fraction point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,16 +27,26 @@ pub struct FillFractionRow {
 pub const FIG5_FRACTIONS: [f64; 8] = [0.0, 0.2, 0.4, 0.55, 0.68, 0.8, 0.9, 0.97];
 
 /// Runs the sweep on the paper's physical setup: 5B LLM, 16 stages,
-/// 8 microbatches (65% bubble ratio), full trace-mix backlog.
+/// 8 microbatches (65% bubble ratio), full trace-mix backlog. The points
+/// are independent physical-backend runs, so they fan out across cores.
 pub fn fig5_fill_fraction(iterations: usize, seed: u64) -> Vec<FillFractionRow> {
-    FIG5_FRACTIONS
+    let configs = FIG5_FRACTIONS
         .iter()
         .map(|&f| {
             let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
             let mut cfg = PhysicalSimConfig::new(main).with_fill_fraction(f);
             cfg.iterations = iterations;
             cfg.seed = seed;
-            let r = PhysicalSim::new(cfg).run();
+            BackendConfig::Physical(cfg)
+        })
+        .collect();
+    sweep::run_sweep(configs)
+        .into_iter()
+        .zip(FIG5_FRACTIONS)
+        .map(|(run, f)| {
+            let r = run
+                .physical()
+                .expect("physical config yields physical detail");
             FillFractionRow {
                 fill_fraction: f,
                 main_slowdown: r.main_slowdown,
@@ -70,7 +82,12 @@ pub fn print_fill_fraction(rows: &[FillFractionRow]) {
 pub fn save_fill_fraction(rows: &[FillFractionRow], path: &str) -> std::io::Result<()> {
     let mut w = CsvWriter::create(
         path,
-        &["fill_fraction", "main_slowdown", "recovered_tflops", "total_tflops"],
+        &[
+            "fill_fraction",
+            "main_slowdown",
+            "recovered_tflops",
+            "total_tflops",
+        ],
     )?;
     for r in rows {
         w.row(&[

@@ -14,22 +14,33 @@
 //! | Table 1 (fill-job categories) | [`table1::table1`] |
 //! | §6.2 newer-hardware hypothesis (extension) | [`whatif::whatif_offload_bandwidth`] |
 
+//!
+//! Simulation-backed drivers select their fidelity level by value through
+//! [`crate::BackendConfig`] rather than naming concrete simulator types,
+//! and every driver fans its configuration grid across cores through the
+//! [`sweep`] module (`--threads` on the CLI).
+
 pub mod characterization;
 pub mod fill_fraction;
 pub mod policies;
 pub mod scaling;
 pub mod schedules;
 pub mod sensitivity;
+pub mod sweep;
 pub mod table1;
 pub mod validation;
 pub mod whatif;
 
-pub use characterization::{fig7_characterization, mix_relative_performance, CharacterizationRow};
+pub use characterization::{
+    fig7_characterization, mix_relative_performance, mix_relative_performance_from,
+    CharacterizationRow,
+};
 pub use fill_fraction::{fig5_fill_fraction, FillFractionRow};
 pub use policies::{fig9_policies, PolicyRow};
 pub use scaling::{fig4_scaling, fig4_scaling_with, ScalingRow};
 pub use schedules::{fig8_schedules, ScheduleRow};
 pub use sensitivity::{fig10a_bubble_size, fig10b_free_memory, BubbleSizeRow, FreeMemoryRow};
+pub use sweep::{par_map, replicate, run_sweep, set_threads};
 pub use table1::{table1, Table1Row};
-pub use validation::{fig6_validation, ValidationRow};
+pub use validation::{fig6_agreement, fig6_validation, AgreementRow, ValidationRow};
 pub use whatif::{whatif_offload_bandwidth, WhatIfRow};

@@ -7,8 +7,10 @@ use pipefill_sim_core::SimDuration;
 use pipefill_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::{ClusterSim, ClusterSimConfig, PolicyKind};
+use crate::backend::BackendConfig;
+use crate::cluster::{ClusterSimConfig, PolicyKind};
 use crate::csv::CsvWriter;
+use crate::experiments::sweep;
 
 /// One (policy, load) point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,27 +31,40 @@ pub struct PolicyRow {
 /// end oversubscribes the 16 devices so queueing effects appear).
 pub const FIG9_LOADS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
 
-/// Runs the policy comparison on the 5B physical-cluster setting.
+/// Runs the policy comparison on the 5B physical-cluster setting. The
+/// (load, policy) grid runs as one parallel coarse-backend sweep.
 pub fn fig9_policies(seed: u64, horizon: SimDuration) -> Vec<PolicyRow> {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for &load in &FIG9_LOADS {
         for policy in [PolicyKind::Sjf, PolicyKind::MakespanMin] {
+            grid.push((load, policy));
+        }
+    }
+    let configs = grid
+        .iter()
+        .map(|&(load, policy)| {
             let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
             let mut trace = TraceConfig::physical(seed).with_load(load);
             trace.horizon = horizon;
             let mut cfg = ClusterSimConfig::new(main, trace);
             cfg.policy = policy;
-            let result = ClusterSim::new(cfg).run();
-            rows.push(PolicyRow {
+            BackendConfig::Coarse(cfg)
+        })
+        .collect();
+    sweep::run_sweep(configs)
+        .into_iter()
+        .zip(grid)
+        .map(|(run, (load, policy))| {
+            let result = run.coarse().expect("coarse config yields coarse detail");
+            PolicyRow {
                 policy,
                 load,
                 mean_jct_secs: result.jct.mean_secs,
                 makespan_secs: result.makespan.as_secs_f64(),
                 completed: result.completed.len(),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Prints both panels.
@@ -78,7 +93,13 @@ pub fn print_policies(rows: &[PolicyRow]) {
 pub fn save_policies(rows: &[PolicyRow], path: &str) -> std::io::Result<()> {
     let mut w = CsvWriter::create(
         path,
-        &["policy", "load", "mean_jct_secs", "makespan_secs", "completed"],
+        &[
+            "policy",
+            "load",
+            "mean_jct_secs",
+            "makespan_secs",
+            "completed",
+        ],
     )?;
     for r in rows {
         w.row(&[

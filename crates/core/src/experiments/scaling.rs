@@ -12,7 +12,8 @@ use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvWriter;
-use crate::experiments::characterization::mix_relative_performance;
+use crate::experiments::characterization::{fig7_characterization, mix_relative_performance_from};
+use crate::experiments::sweep;
 use crate::metrics::gpus_saved;
 use crate::steady::steady_recovered_tflops;
 
@@ -45,39 +46,48 @@ pub fn fig4_scaling() -> Vec<ScalingRow> {
 }
 
 /// Parameterized variant: one row per microbatch count (64 ↔ 1K GPUs …
-/// 8 ↔ 8K GPUs, per the fixed-minibatch scaling rule).
+/// 8 ↔ 8K GPUs, per the fixed-minibatch scaling rule). The GPU-count
+/// points are independent, so they fan out across cores.
 pub fn fig4_scaling_with(microbatches: &[usize], exec: &ExecutorConfig) -> Vec<ScalingRow> {
-    microbatches
-        .iter()
-        .map(|&m| {
-            let main = MainJobSpec::simulator_40b(m, ScheduleKind::GPipe);
-            let point = main.scaling_point();
-            let mix = ModelMix::paper_mix();
-            let bert = ModelMix::single(ModelId::BertBase);
-            let rec_mix = steady_recovered_tflops(&main, exec, &mix);
-            let rec_bert = steady_recovered_tflops(&main, exec, &bert);
-            let perf_mix = mix_relative_performance(&main, exec, &mix);
-            let perf_bert = mix_relative_performance(&main, exec, &bert);
-            ScalingRow {
-                gpus: point.gpus,
-                microbatches: m,
-                bubble_ratio: point.bubble_ratio,
-                days_to_train: point.days_to_train,
-                traditional_tflops: point.main_job_tflops_per_gpu,
-                pipefill_trace_mix_tflops: point.main_job_tflops_per_gpu + rec_mix,
-                pipefill_bert_inf_tflops: point.main_job_tflops_per_gpu + rec_bert,
-                gpus_saved_trace_mix: gpus_saved(point.gpus, point.bubble_ratio, perf_mix),
-                gpus_saved_best: gpus_saved(point.gpus, point.bubble_ratio, perf_bert),
-            }
-        })
-        .collect()
+    sweep::par_map(microbatches.to_vec(), |m| {
+        let main = MainJobSpec::simulator_40b(m, ScheduleKind::GPipe);
+        let point = main.scaling_point();
+        let mix = ModelMix::paper_mix();
+        let bert = ModelMix::single(ModelId::BertBase);
+        let rec_mix = steady_recovered_tflops(&main, exec, &mix);
+        let rec_bert = steady_recovered_tflops(&main, exec, &bert);
+        // The characterization rows depend only on the main job, so
+        // compute them once and weight both mixes against them.
+        let rows = fig7_characterization(&main, exec);
+        let perf_mix = mix_relative_performance_from(&rows, &mix);
+        let perf_bert = mix_relative_performance_from(&rows, &bert);
+        ScalingRow {
+            gpus: point.gpus,
+            microbatches: m,
+            bubble_ratio: point.bubble_ratio,
+            days_to_train: point.days_to_train,
+            traditional_tflops: point.main_job_tflops_per_gpu,
+            pipefill_trace_mix_tflops: point.main_job_tflops_per_gpu + rec_mix,
+            pipefill_bert_inf_tflops: point.main_job_tflops_per_gpu + rec_bert,
+            gpus_saved_trace_mix: gpus_saved(point.gpus, point.bubble_ratio, perf_mix),
+            gpus_saved_best: gpus_saved(point.gpus, point.bubble_ratio, perf_bert),
+        }
+    })
 }
 
 /// Prints the three Fig. 4 panels as one table.
 pub fn print_scaling(rows: &[ScalingRow]) {
     println!(
         "{:>6} {:>4} {:>8} {:>7} {:>12} {:>14} {:>13} {:>11} {:>10}",
-        "GPUs", "m", "bubble", "days", "trad TFLOPS", "mix TFLOPS", "bert TFLOPS", "saved(mix)", "saved(max)"
+        "GPUs",
+        "m",
+        "bubble",
+        "days",
+        "trad TFLOPS",
+        "mix TFLOPS",
+        "bert TFLOPS",
+        "saved(mix)",
+        "saved(max)"
     );
     for r in rows {
         println!(
@@ -153,7 +163,10 @@ mod tests {
         // Gains grow with scale.
         let low_gain = low.pipefill_trace_mix_tflops / low.traditional_tflops - 1.0;
         let high_gain = high.pipefill_trace_mix_tflops / high.traditional_tflops - 1.0;
-        assert!(high_gain > 3.0 * low_gain, "low {low_gain} high {high_gain}");
+        assert!(
+            high_gain > 3.0 * low_gain,
+            "low {low_gain} high {high_gain}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvWriter;
+use crate::experiments::sweep;
 use crate::steady::steady_recovered_tflops;
 
 /// One (GPU count, schedule) point.
@@ -26,24 +27,27 @@ pub struct ScheduleRow {
     pub recovered_tflops: f64,
 }
 
-/// Runs the sweep at the paper's 2K–16K GPU range.
+/// Runs the sweep at the paper's 2K–16K GPU range; the (scale, schedule)
+/// grid fans out across cores.
 pub fn fig8_schedules(exec: &ExecutorConfig) -> Vec<ScheduleRow> {
-    let mut rows = Vec::new();
     let mix = ModelMix::paper_mix();
+    let mut grid = Vec::new();
     for &m in &[32usize, 16, 8, 4] {
         for schedule in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
-            let main = MainJobSpec::simulator_40b(m, schedule);
-            let timeline = main.engine_timeline();
-            rows.push(ScheduleRow {
-                gpus: main.parallelism.total_gpus(),
-                schedule,
-                bubble_ratio: timeline.bubble_ratio(),
-                fillable_ratio: timeline.fillable_ratio(),
-                recovered_tflops: steady_recovered_tflops(&main, exec, &mix),
-            });
+            grid.push((m, schedule));
         }
     }
-    rows
+    sweep::par_map(grid, |(m, schedule)| {
+        let main = MainJobSpec::simulator_40b(m, schedule);
+        let timeline = main.engine_timeline();
+        ScheduleRow {
+            gpus: main.parallelism.total_gpus(),
+            schedule,
+            bubble_ratio: timeline.bubble_ratio(),
+            fillable_ratio: timeline.fillable_ratio(),
+            recovered_tflops: steady_recovered_tflops(&main, exec, &mix),
+        }
+    })
 }
 
 /// Prints the comparison.
@@ -72,7 +76,13 @@ pub fn print_schedules(rows: &[ScheduleRow]) {
 pub fn save_schedules(rows: &[ScheduleRow], path: &str) -> std::io::Result<()> {
     let mut w = CsvWriter::create(
         path,
-        &["gpus", "schedule", "bubble_ratio", "fillable_ratio", "recovered_tflops"],
+        &[
+            "gpus",
+            "schedule",
+            "bubble_ratio",
+            "fillable_ratio",
+            "recovered_tflops",
+        ],
     )?;
     for r in rows {
         w.row(&[

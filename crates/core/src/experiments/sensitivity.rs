@@ -10,6 +10,7 @@ use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvWriter;
+use crate::experiments::sweep;
 use crate::steady::steady_recovered_tflops;
 
 /// One model-scale point (Fig. 10a).
@@ -35,46 +36,43 @@ pub struct FreeMemoryRow {
 /// Fig. 10a: scale the main-job model 50–200%, free memory pinned at the
 /// measured 4.5 GB.
 pub fn fig10a_bubble_size(exec: &ExecutorConfig) -> Vec<BubbleSizeRow> {
-    [0.5f64, 0.75, 1.0, 1.5, 2.0]
-        .iter()
-        .map(|&scale| {
-            let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe)
-                .with_model(gpt_40b_scaled(scale));
-            let timeline = main.engine_timeline();
-            let mean_fillable = timeline
-                .stages
-                .iter()
-                .map(|s| s.fillable_time().as_secs_f64())
-                .sum::<f64>()
-                / timeline.stages.len() as f64;
-            BubbleSizeRow {
-                model_scale: scale,
-                mean_fillable_secs: mean_fillable,
-                recovered_tflops: steady_recovered_tflops(&main, exec, &ModelMix::paper_mix()),
-            }
-        })
-        .collect()
+    sweep::par_map(vec![0.5f64, 0.75, 1.0, 1.5, 2.0], |scale| {
+        let main =
+            MainJobSpec::simulator_40b(8, ScheduleKind::GPipe).with_model(gpt_40b_scaled(scale));
+        let timeline = main.engine_timeline();
+        let mean_fillable = timeline
+            .stages
+            .iter()
+            .map(|s| s.fillable_time().as_secs_f64())
+            .sum::<f64>()
+            / timeline.stages.len() as f64;
+        BubbleSizeRow {
+            model_scale: scale,
+            mean_fillable_secs: mean_fillable,
+            recovered_tflops: steady_recovered_tflops(&main, exec, &ModelMix::paper_mix()),
+        }
+    })
 }
 
 /// Fig. 10b: sweep bubble free memory 2–8 GiB at the original model size.
 pub fn fig10b_free_memory(exec: &ExecutorConfig) -> Vec<FreeMemoryRow> {
-    [2.0f64, 3.0, 4.0, 4.5, 6.0, 8.0]
-        .iter()
-        .map(|&gib| {
-            let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe)
-                .with_memory(BubbleMemoryModel::Uniform(Bytes::from_gib_f64(gib)));
-            FreeMemoryRow {
-                free_gib: gib,
-                recovered_tflops: steady_recovered_tflops(&main, exec, &ModelMix::paper_mix()),
-            }
-        })
-        .collect()
+    sweep::par_map(vec![2.0f64, 3.0, 4.0, 4.5, 6.0, 8.0], |gib| {
+        let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe)
+            .with_memory(BubbleMemoryModel::Uniform(Bytes::from_gib_f64(gib)));
+        FreeMemoryRow {
+            free_gib: gib,
+            recovered_tflops: steady_recovered_tflops(&main, exec, &ModelMix::paper_mix()),
+        }
+    })
 }
 
 /// Prints both panels.
 pub fn print_sensitivity(a: &[BubbleSizeRow], b: &[FreeMemoryRow]) {
     println!("Fig. 10a — bubble size (model scale), free memory fixed at 4.5 GiB");
-    println!("{:>8} {:>16} {:>12}", "scale", "fillable s/iter", "fill TFLOPS");
+    println!(
+        "{:>8} {:>16} {:>12}",
+        "scale", "fillable s/iter", "fill TFLOPS"
+    );
     for r in a {
         println!(
             "{:>8.2} {:>16.2} {:>12.2}",
@@ -99,7 +97,10 @@ pub fn save_sensitivity(
     path_a: &str,
     path_b: &str,
 ) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(path_a, &["model_scale", "mean_fillable_secs", "recovered_tflops"])?;
+    let mut w = CsvWriter::create(
+        path_a,
+        &["model_scale", "mean_fillable_secs", "recovered_tflops"],
+    )?;
     for r in a {
         w.row(&[&r.model_scale, &r.mean_fillable_secs, &r.recovered_tflops])?;
     }
@@ -137,7 +138,12 @@ mod tests {
         // Fig. 10b: "4GB recovers 30% more TFLOPS than 2GB, but 8GB only
         // recovers 12.2% more than 4GB".
         let rows = fig10b_free_memory(&ExecutorConfig::default());
-        let at = |g: f64| rows.iter().find(|r| r.free_gib == g).unwrap().recovered_tflops;
+        let at = |g: f64| {
+            rows.iter()
+                .find(|r| r.free_gib == g)
+                .unwrap()
+                .recovered_tflops
+        };
         let gain_2_to_4 = at(4.0) / at(2.0) - 1.0;
         let gain_4_to_8 = at(8.0) / at(4.0) - 1.0;
         assert!(gain_2_to_4 > 0.1, "2→4 GiB gain {gain_2_to_4}");

@@ -59,7 +59,13 @@ pub fn print_table1(rows: &[Table1Row]) {
 pub fn save_table1(rows: &[Table1Row], path: &str) -> std::io::Result<()> {
     let mut w = CsvWriter::create(
         path,
-        &["size_class", "model", "params_millions", "paper_params_millions", "domain"],
+        &[
+            "size_class",
+            "model",
+            "params_millions",
+            "paper_params_millions",
+            "domain",
+        ],
     )?;
     for r in rows {
         w.row(&[

@@ -9,11 +9,15 @@ use pipefill_executor::ExecutorConfig;
 use pipefill_model_zoo::ModelId;
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_sim_core::stats::relative_error;
-use pipefill_trace::ModelMix;
+use pipefill_sim_core::SimDuration;
+use pipefill_trace::{ModelMix, TraceConfig};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendConfig;
+use crate::cluster::ClusterSimConfig;
 use crate::csv::CsvWriter;
-use crate::physical::{PhysicalSim, PhysicalSimConfig};
+use crate::experiments::sweep;
+use crate::physical::PhysicalSimConfig;
 use crate::steady::steady_recovered_tflops;
 
 /// One mix point of the validation sweep.
@@ -35,32 +39,136 @@ pub struct ValidationRow {
 /// The sweep points of Fig. 6.
 pub const FIG6_FRACTIONS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
-/// Runs the validation sweep.
+/// Runs the validation sweep; the mix points fan out across cores.
 pub fn fig6_validation(iterations: usize, seed: u64) -> Vec<ValidationRow> {
-    FIG6_FRACTIONS
-        .iter()
-        .map(|&frac| {
-            let mix = ModelMix::blend(ModelId::XlmRobertaXl, ModelId::EfficientNet, frac);
-            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
-            let mut cfg = PhysicalSimConfig::new(main.clone()).with_mix(mix.clone());
-            cfg.iterations = iterations;
-            cfg.seed = seed;
-            cfg.deterministic_mix = true;
-            let phys = PhysicalSim::new(cfg).run();
-            let sim = steady_recovered_tflops(&main, &ExecutorConfig::default(), &mix);
-            ValidationRow {
-                xlm_fraction: frac,
-                physical_slowdown: phys.main_slowdown,
-                physical_recovered: phys.recovered_tflops_per_gpu,
-                simulator_recovered: sim,
-                relative_error: if sim == 0.0 {
-                    0.0
-                } else {
-                    relative_error(phys.recovered_tflops_per_gpu, sim)
-                },
-            }
-        })
-        .collect()
+    sweep::par_map(FIG6_FRACTIONS.to_vec(), |frac| {
+        let mix = ModelMix::blend(ModelId::XlmRobertaXl, ModelId::EfficientNet, frac);
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let mut cfg = PhysicalSimConfig::new(main.clone()).with_mix(mix.clone());
+        cfg.iterations = iterations;
+        cfg.seed = seed;
+        cfg.deterministic_mix = true;
+        let phys = BackendConfig::Physical(cfg).run().metrics;
+        let sim = steady_recovered_tflops(&main, &ExecutorConfig::default(), &mix);
+        ValidationRow {
+            xlm_fraction: frac,
+            physical_slowdown: phys.main_slowdown,
+            physical_recovered: phys.recovered_tflops_per_gpu,
+            simulator_recovered: sim,
+            relative_error: if sim == 0.0 {
+                0.0
+            } else {
+                relative_error(phys.recovered_tflops_per_gpu, sim)
+            },
+        }
+    })
+}
+
+/// One seed of the cross-backend agreement study: both fidelity levels run
+/// from the same experiment spec (5B main job, paper mix, saturated
+/// backlog) through the same driver, and must agree on recovered TFLOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgreementRow {
+    /// RNG seed shared by both backends.
+    pub seed: u64,
+    /// Recovered TFLOPS per GPU, coarse event-driven backend.
+    pub coarse_recovered: f64,
+    /// Recovered TFLOPS per GPU, fine-grained physical backend.
+    pub physical_recovered: f64,
+    /// Main-job slowdown the physical backend measured.
+    pub physical_slowdown: f64,
+    /// `|physical − coarse| / coarse`.
+    pub relative_error: f64,
+}
+
+/// Agreement tolerance for [`fig6_agreement`]: the paper reports <2%
+/// simulator error on full-length runs; the shortened runs used here and
+/// in CI budget 10% for trace granularity (finite jobs vs an infinite
+/// backlog) plus jitter noise.
+pub const AGREEMENT_TOLERANCE: f64 = 0.10;
+
+/// Runs both backends from one shared spec, per seed, across cores.
+///
+/// The coarse backend is saturated (offered load far above capacity) so
+/// its devices never idle — the regime where the paper's profile-replay
+/// simulator and the physical cluster are expected to coincide (Fig. 6).
+pub fn fig6_agreement(seeds: &[u64], iterations: usize) -> Vec<AgreementRow> {
+    sweep::replicate(seeds, |seed| {
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let mix = ModelMix::paper_mix();
+
+        let mut phys = PhysicalSimConfig::new(main.clone()).with_mix(mix.clone());
+        phys.iterations = iterations;
+        phys.seed = seed;
+        phys.deterministic_mix = true;
+
+        let mut trace = TraceConfig::physical(seed).with_load(8.0).with_mix(mix);
+        trace.horizon = SimDuration::from_secs(7200);
+        let coarse_cfg = ClusterSimConfig::new(main, trace);
+
+        let runs = sweep::run_sweep(vec![
+            BackendConfig::Coarse(coarse_cfg),
+            BackendConfig::Physical(phys),
+        ]);
+        let coarse = runs[0].metrics;
+        let physical = runs[1].metrics;
+        AgreementRow {
+            seed,
+            coarse_recovered: coarse.recovered_tflops_per_gpu,
+            physical_recovered: physical.recovered_tflops_per_gpu,
+            physical_slowdown: physical.main_slowdown,
+            relative_error: relative_error(
+                physical.recovered_tflops_per_gpu,
+                coarse.recovered_tflops_per_gpu,
+            ),
+        }
+    })
+}
+
+/// Writes the agreement rows as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_agreement(rows: &[AgreementRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &[
+            "seed",
+            "coarse_recovered",
+            "physical_recovered",
+            "physical_slowdown",
+            "relative_error",
+        ],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.seed,
+            &r.coarse_recovered,
+            &r.physical_recovered,
+            &r.physical_slowdown,
+            &r.relative_error,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
+/// Prints the agreement rows.
+pub fn print_agreement(rows: &[AgreementRow]) {
+    println!(
+        "{:>6} {:>14} {:>14} {:>11} {:>9}",
+        "seed", "coarse TFLOPS", "phys TFLOPS", "slowdown", "error"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>10.2}% {:>8.2}%",
+            r.seed,
+            r.coarse_recovered,
+            r.physical_recovered,
+            100.0 * r.physical_slowdown,
+            100.0 * r.relative_error,
+        );
+    }
 }
 
 /// Prints the sweep.

@@ -17,6 +17,7 @@ use pipefill_model_zoo::{JobKind, ModelId};
 use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvWriter;
+use crate::experiments::sweep;
 
 /// One host-bandwidth point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,46 +42,43 @@ pub const WHATIF_BANDWIDTHS_GBPS: [f64; 4] = [12.0, 24.0, 50.0, 100.0];
 pub fn whatif_offload_bandwidth() -> Vec<WhatIfRow> {
     let xlm = ModelId::XlmRobertaXl.build();
     let bert = ModelId::BertBase.build();
-    WHATIF_BANDWIDTHS_GBPS
-        .iter()
-        .map(|&gbps| {
-            let device = DeviceSpec::v100().with_host_link_bandwidth(gbps * 1e9);
-            let streamed = build_profile(
-                &xlm,
-                JobKind::BatchInference,
-                ExecConfig {
-                    batch_size: 8,
-                    technique: ExecTechnique::OffloadParams,
-                },
-                &device,
-            );
-            let on_device = build_profile(
-                &xlm,
-                JobKind::BatchInference,
-                ExecConfig {
-                    batch_size: 8,
-                    technique: ExecTechnique::Plain,
-                },
-                &device,
-            );
-            let control = build_profile(
-                &bert,
-                JobKind::BatchInference,
-                ExecConfig {
-                    batch_size: 256,
-                    technique: ExecTechnique::Plain,
-                },
-                &device,
-            );
-            WhatIfRow {
-                host_gbps: gbps,
-                xlm_streamed_iter_ms: streamed.iteration_time().as_millis_f64(),
-                offload_tax: streamed.iteration_time().as_secs_f64()
-                    / on_device.iteration_time().as_secs_f64(),
-                bert_plain_iter_ms: control.iteration_time().as_millis_f64(),
-            }
-        })
-        .collect()
+    sweep::par_map(WHATIF_BANDWIDTHS_GBPS.to_vec(), |gbps| {
+        let device = DeviceSpec::v100().with_host_link_bandwidth(gbps * 1e9);
+        let streamed = build_profile(
+            &xlm,
+            JobKind::BatchInference,
+            ExecConfig {
+                batch_size: 8,
+                technique: ExecTechnique::OffloadParams,
+            },
+            &device,
+        );
+        let on_device = build_profile(
+            &xlm,
+            JobKind::BatchInference,
+            ExecConfig {
+                batch_size: 8,
+                technique: ExecTechnique::Plain,
+            },
+            &device,
+        );
+        let control = build_profile(
+            &bert,
+            JobKind::BatchInference,
+            ExecConfig {
+                batch_size: 256,
+                technique: ExecTechnique::Plain,
+            },
+            &device,
+        );
+        WhatIfRow {
+            host_gbps: gbps,
+            xlm_streamed_iter_ms: streamed.iteration_time().as_millis_f64(),
+            offload_tax: streamed.iteration_time().as_secs_f64()
+                / on_device.iteration_time().as_secs_f64(),
+            bert_plain_iter_ms: control.iteration_time().as_millis_f64(),
+        }
+    })
 }
 
 /// Prints the sweep.
@@ -105,7 +103,12 @@ pub fn print_whatif(rows: &[WhatIfRow]) {
 pub fn save_whatif(rows: &[WhatIfRow], path: &str) -> std::io::Result<()> {
     let mut w = CsvWriter::create(
         path,
-        &["host_gbps", "xlm_streamed_iter_ms", "offload_tax", "bert_plain_iter_ms"],
+        &[
+            "host_gbps",
+            "xlm_streamed_iter_ms",
+            "offload_tax",
+            "bert_plain_iter_ms",
+        ],
     )?;
     for r in rows {
         w.row(&[

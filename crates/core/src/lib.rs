@@ -19,6 +19,11 @@
 //!   than an assumption. Comparing the two reproduces the paper's
 //!   simulator-validation experiment (Fig. 6, max error <2%).
 //!
+//! Both are [`SimBackend`]s over the shared [`ClusterEvent`] alphabet,
+//! driven by the `pipefill-sim-core` kernel through [`BackendDriver`];
+//! experiment drivers select fidelity by value with [`BackendConfig`] and
+//! read the common [`BackendMetrics`] (see the `backend` module docs).
+//!
 //! The [`experiments`] module contains one driver per table/figure; each
 //! returns typed rows, prints the same series the paper plots, and writes
 //! CSV under `target/experiments/`.
@@ -26,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backend;
 mod cluster;
 mod convert;
 mod csv;
@@ -35,9 +41,15 @@ mod steady;
 
 pub mod experiments;
 
-pub use cluster::{ClusterSim, ClusterSimConfig, ClusterSimResult, CompletedJob, PolicyKind};
+pub use backend::{
+    BackendConfig, BackendDetail, BackendDriver, BackendKind, BackendMetrics, BackendRun,
+    ClusterEvent, SimBackend,
+};
+pub use cluster::{
+    ClusterSim, ClusterSimConfig, ClusterSimResult, CoarseBackend, CompletedJob, PolicyKind,
+};
 pub use convert::{kind_allowed, samples_for_trace_job, trace_job_to_spec};
 pub use csv::{experiments_dir, CsvWriter};
 pub use metrics::{gpus_saved, JctStats, UtilizationBreakdown};
-pub use physical::{PhysicalSim, PhysicalSimConfig, PhysicalSimResult};
+pub use physical::{PhysicalBackend, PhysicalSim, PhysicalSimConfig, PhysicalSimResult};
 pub use steady::{stage_plans, steady_rate, steady_recovered_tflops, SteadyRate};

@@ -13,6 +13,16 @@
 //! Because this models the same plans through an independent mechanism,
 //! comparing its recovered FLOPS against the coarse simulator reproduces
 //! the paper's simulator-validation experiment (Fig. 6, error <2%).
+//!
+//! The simulator is implemented as [`PhysicalBackend`], a
+//! [`SimBackend`](crate::SimBackend) on the shared event kernel: each
+//! main-job iteration unfolds as one `StageBubbles` event per stage (the
+//! per-bubble fill execution happens in
+//! [`SimBackend::on_bubble`](crate::SimBackend::on_bubble)) followed by an
+//! `IterationEnd` event that folds the per-stage stalls into the pipeline's
+//! critical path and schedules the next iteration at the *stretched* period
+//! — so the kernel clock itself carries the emergent slowdown.
+//! [`PhysicalSim`] remains the convenience entry point.
 
 use std::collections::HashMap;
 
@@ -20,11 +30,13 @@ use pipefill_executor::{
     exclusive_throughput, plan_best, ExecutionPlan, ExecutorConfig, FillJobExecutor, FillJobSpec,
 };
 use pipefill_model_zoo::{JobKind, ModelId};
-use pipefill_pipeline::MainJobSpec;
+use pipefill_pipeline::{BubbleWindow, MainJobSpec};
 use pipefill_sim_core::rng::DeterministicRng;
-use pipefill_sim_core::SimDuration;
+use pipefill_sim_core::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
 use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
+
+use crate::backend::{BackendDriver, BackendKind, BackendMetrics, ClusterEvent, SimBackend};
 
 /// Fine-grained simulation parameters.
 #[derive(Debug, Clone)]
@@ -128,7 +140,324 @@ impl PhysicalSimResult {
     }
 }
 
-/// The fine-grained simulator. See module docs.
+/// The fine-grained backend: a [`SimBackend`] that unfolds every main-job
+/// iteration into per-stage bubble events on the shared kernel. See the
+/// module docs for the event flow.
+pub struct PhysicalBackend {
+    cfg: PhysicalSimConfig,
+    period: SimDuration,
+    main_nominal: f64,
+    bubble_ratio: f64,
+    /// Fillable windows per stage (profiled once, like the engine does).
+    stage_windows: Vec<Vec<BubbleWindow>>,
+    /// The same windows as `(duration, free_memory)` planner slots.
+    stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>>,
+    rng: DeterministicRng,
+    plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
+    tput_cache: HashMap<(ModelId, JobKind), Option<f64>>,
+    executors: Vec<Option<FillJobExecutor>>,
+    rotation: Option<MixRotation>,
+    next_job_id: u64,
+    iterations_done: usize,
+    /// Per-stage stall of the iteration in flight.
+    stage_delays: Vec<SimDuration>,
+    total_delay: SimDuration,
+    fill_flops: f64,
+    jobs_completed: usize,
+    isolated_ooms: u64,
+    result: Option<PhysicalSimResult>,
+}
+
+impl PhysicalBackend {
+    /// Builds the backend (runs the engine once to extract bubbles).
+    pub fn new(cfg: PhysicalSimConfig) -> Self {
+        let timeline = cfg.main_job.engine_timeline();
+        let period = timeline.period;
+        let main_nominal = cfg.main_job.main_job_tflops_per_gpu(&timeline);
+        let p = timeline.stages.len();
+        let stage_windows: Vec<Vec<BubbleWindow>> = timeline
+            .stages
+            .iter()
+            .map(|s| s.fillable_windows())
+            .collect();
+        let stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>> = stage_windows
+            .iter()
+            .map(|ws| ws.iter().map(|w| (w.duration, w.free_memory)).collect())
+            .collect();
+        let rng = DeterministicRng::seed_from(cfg.seed);
+        let rotation = cfg.deterministic_mix.then(|| MixRotation::new(&cfg.mix));
+        let bubble_ratio = timeline.bubble_ratio();
+        PhysicalBackend {
+            period,
+            main_nominal,
+            bubble_ratio,
+            stage_windows,
+            stage_slots,
+            rng,
+            plan_cache: HashMap::new(),
+            tput_cache: HashMap::new(),
+            executors: (0..p).map(|_| None).collect(),
+            rotation,
+            next_job_id: 0,
+            iterations_done: 0,
+            stage_delays: Vec::with_capacity(p),
+            total_delay: SimDuration::ZERO,
+            fill_flops: 0.0,
+            jobs_completed: 0,
+            isolated_ooms: 0,
+            result: None,
+            cfg,
+        }
+    }
+
+    /// Pipeline depth.
+    fn stages(&self) -> usize {
+        self.stage_windows.len()
+    }
+
+    /// Draws the next backlog job for a stage and binds it to its plan.
+    /// Returns `None` (leaving the bubble idle this round) if several
+    /// draws in a row are infeasible on this stage.
+    fn draw_job(&mut self, stage: usize) -> Option<FillJobExecutor> {
+        const MAX_TRIES: usize = 5;
+        let cfg = &self.cfg;
+        let device = &cfg.main_job.device;
+        for _ in 0..MAX_TRIES {
+            let (model, kind) = match self.rotation.as_mut() {
+                Some(r) => r.next(),
+                None => {
+                    let model = cfg.mix.sample_model(&mut self.rng);
+                    (model, cfg.mix.sample_kind(model, &mut self.rng))
+                }
+            };
+            let plan = self
+                .plan_cache
+                .entry((model, kind, stage))
+                .or_insert_with(|| {
+                    let slots = &self.stage_slots[stage];
+                    if slots.is_empty() {
+                        return None;
+                    }
+                    let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
+                    plan_best(&probe, slots, device, &cfg.executor).ok()
+                })
+                .clone();
+            let Some(plan) = plan else { continue };
+            let throughput = *self.tput_cache.entry((model, kind)).or_insert_with(|| {
+                let graph = model.build();
+                exclusive_throughput(&graph, kind, device, &FillJobSpec::default_batch_sizes())
+                    .map(|(t, _)| t)
+            });
+            let Some(throughput) = throughput else {
+                continue;
+            };
+            let samples = ((cfg.backlog_job_gpu_hours * 3600.0 * throughput).round() as u64).max(1);
+            let id = self.next_job_id;
+            self.next_job_id += 1;
+            let job = FillJobSpec::new(id, model, kind, samples);
+            return Some(FillJobExecutor::new(job, plan));
+        }
+        None
+    }
+
+    /// Critical-path aggregation of the in-flight iteration's stalls:
+    /// stalls on different stages partially overlap, so the longest is
+    /// fully paid and the rest half.
+    fn aggregate_delay(&self) -> SimDuration {
+        let max = self
+            .stage_delays
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let sum: SimDuration = self.stage_delays.iter().copied().sum();
+        max + (sum - max).mul_f64(0.5)
+    }
+
+    /// The detailed result. Only valid after the driver has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has not been drained yet.
+    pub fn into_result(self) -> PhysicalSimResult {
+        self.result
+            .expect("backend not drained; drive it with BackendDriver::run")
+    }
+}
+
+impl EventHandler for PhysicalBackend {
+    type Event = ClusterEvent;
+
+    fn handle(&mut self, now: SimTime, event: ClusterEvent, queue: &mut EventQueue<ClusterEvent>) {
+        match event {
+            ClusterEvent::StageBubbles { stage } => {
+                self.stage_delays.push(SimDuration::ZERO);
+                for slot in 0..self.stage_windows[stage].len() {
+                    self.on_bubble(now, stage, slot, queue);
+                }
+                // Once the last stage of this iteration ran, the stall
+                // aggregate is known; the iteration boundary lands at the
+                // *stretched* period so the kernel clock carries the
+                // emergent slowdown.
+                if stage + 1 == self.stages() {
+                    queue.push(
+                        now + self.period + self.aggregate_delay(),
+                        ClusterEvent::IterationEnd,
+                    );
+                }
+            }
+            ClusterEvent::IterationEnd => {
+                self.total_delay += self.aggregate_delay();
+                self.stage_delays.clear();
+                self.iterations_done += 1;
+                if self.iterations_done < self.cfg.iterations {
+                    for stage in 0..self.stages() {
+                        queue.push(now, ClusterEvent::StageBubbles { stage });
+                    }
+                }
+            }
+            ClusterEvent::JobArrival(_) | ClusterEvent::JobCompletion { .. } => {
+                debug_assert!(false, "physical backend received a coarse event");
+            }
+        }
+    }
+}
+
+impl SimBackend for PhysicalBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Physical
+    }
+
+    fn prime(&mut self, sim: &mut Simulation<ClusterEvent>) {
+        // A fill fraction of exactly 0.0 is the no-filling baseline: no
+        // bubble events exist, the run is the nominal pipeline.
+        if self.cfg.executor.fill_fraction == 0.0 || self.cfg.iterations == 0 {
+            return;
+        }
+        for stage in 0..self.stages() {
+            sim.schedule(SimTime::ZERO, ClusterEvent::StageBubbles { stage });
+        }
+    }
+
+    fn on_bubble(
+        &mut self,
+        _now: SimTime,
+        stage: usize,
+        slot: usize,
+        _queue: &mut EventQueue<ClusterEvent>,
+    ) {
+        let window = self.stage_windows[stage][slot];
+        // Refill the device's backlog if idle.
+        if self.executors[stage].is_none() {
+            self.executors[stage] = self.draw_job(stage);
+        }
+        let cfg_jitter = self.cfg.jitter_cv;
+        let Some(executor) = self.executors[stage].as_mut() else {
+            return;
+        };
+        // Failure injection: the engine capped the Executor at the
+        // profiled free memory, but the *actual* free memory this bubble
+        // may be less. A request over the cap dies as an isolated OOM; the
+        // bubble idles and the partition retries next cycle.
+        if self.cfg.memory_jitter_cv > 0.0 {
+            if let Some(need) = executor.pending_memory(slot) {
+                let actual_free = window
+                    .free_memory
+                    .mul_f64(self.rng.jitter(self.cfg.memory_jitter_cv));
+                if need > actual_free {
+                    self.isolated_ooms += 1;
+                    return;
+                }
+            }
+        }
+        let run = executor.on_bubble(slot);
+        if run.time_used.is_zero() && run.samples_completed == 0 && !run.job_finished {
+            return;
+        }
+        self.fill_flops += run.flops;
+        // Jittered reality: the bubble and the partition both deviate from
+        // their profiled durations.
+        let actual_window = window.duration.mul_f64(self.rng.jitter(cfg_jitter));
+        let used =
+            self.cfg.executor.switch_overhead + run.time_used.mul_f64(self.rng.jitter(cfg_jitter));
+        let usable = actual_window.mul_f64(self.cfg.usable_fraction);
+        let delay = used.saturating_sub(usable);
+        // Normally `handle(StageBubbles)` opened this iteration's stall
+        // accumulator; when `on_bubble` is driven directly (the trait is
+        // public), open one on demand instead of panicking.
+        if self.stage_delays.is_empty() {
+            self.stage_delays.push(SimDuration::ZERO);
+        }
+        *self
+            .stage_delays
+            .last_mut()
+            .expect("just ensured non-empty") += delay;
+        if run.job_finished {
+            self.jobs_completed += 1;
+            self.executors[stage] = None;
+        }
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        let p = self.stages();
+        let iterations = self.cfg.iterations;
+        let nominal_total = self.period * iterations as u64;
+        let elapsed = nominal_total + self.total_delay;
+        debug_assert!(
+            self.cfg.executor.fill_fraction == 0.0
+                || iterations == 0
+                || now.saturating_since(SimTime::ZERO) == elapsed,
+            "kernel clock diverged from delay accounting"
+        );
+        let slowdown = if iterations == 0 {
+            0.0
+        } else {
+            self.total_delay.as_secs_f64() / nominal_total.as_secs_f64()
+        };
+        self.result = Some(PhysicalSimResult {
+            iterations,
+            nominal_period: self.period,
+            mean_period: if iterations == 0 {
+                self.period
+            } else {
+                self.period + self.total_delay / iterations as u64
+            },
+            main_slowdown: slowdown,
+            fill_flops: self.fill_flops,
+            recovered_tflops_per_gpu: if self.fill_flops == 0.0 {
+                0.0
+            } else {
+                self.fill_flops / (p as f64 * elapsed.as_secs_f64()) / 1e12
+            },
+            main_tflops_per_gpu: self.main_nominal / (1.0 + slowdown),
+            jobs_completed: self.jobs_completed,
+            isolated_ooms: self.isolated_ooms,
+        });
+    }
+
+    fn metrics(&self, events_dispatched: u64) -> BackendMetrics {
+        let result = self
+            .result
+            .as_ref()
+            .expect("metrics requested before drain");
+        let elapsed = self.period * result.iterations as u64 + self.total_delay;
+        BackendMetrics {
+            kind: BackendKind::Physical,
+            num_devices: self.stages(),
+            elapsed,
+            events_dispatched,
+            fill_flops: result.fill_flops,
+            recovered_tflops_per_gpu: result.recovered_tflops_per_gpu,
+            main_tflops_per_gpu: result.main_tflops_per_gpu,
+            main_slowdown: result.main_slowdown,
+            bubble_ratio: self.bubble_ratio,
+            jobs_completed: result.jobs_completed,
+        }
+    }
+}
+
+/// The fine-grained simulator: the convenience entry point wrapping
+/// [`PhysicalBackend`] in a [`BackendDriver`]. See module docs.
 #[derive(Debug)]
 pub struct PhysicalSim {
     config: PhysicalSimConfig,
@@ -140,137 +469,10 @@ impl PhysicalSim {
         PhysicalSim { config }
     }
 
-    /// Runs the simulation.
+    /// Runs the simulation on the shared event kernel.
     pub fn run(&self) -> PhysicalSimResult {
-        let cfg = &self.config;
-        let timeline = cfg.main_job.engine_timeline();
-        let period = timeline.period;
-        let main_nominal = cfg.main_job.main_job_tflops_per_gpu(&timeline);
-        let p = timeline.stages.len();
-
-        if cfg.executor.fill_fraction == 0.0 {
-            return PhysicalSimResult {
-                iterations: cfg.iterations,
-                nominal_period: period,
-                mean_period: period,
-                main_slowdown: 0.0,
-                fill_flops: 0.0,
-                recovered_tflops_per_gpu: 0.0,
-                main_tflops_per_gpu: main_nominal,
-                jobs_completed: 0,
-                isolated_ooms: 0,
-            };
-        }
-
-        let device = &cfg.main_job.device;
-        let mut rng = DeterministicRng::seed_from(cfg.seed);
-        let mut plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>> =
-            HashMap::new();
-        let mut tput_cache: HashMap<(ModelId, JobKind), Option<f64>> = HashMap::new();
-
-        let stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>> = timeline
-            .stages
-            .iter()
-            .map(|s| {
-                s.fillable_windows()
-                    .iter()
-                    .map(|w| (w.duration, w.free_memory))
-                    .collect()
-            })
-            .collect();
-
-        let mut executors: Vec<Option<FillJobExecutor>> = (0..p).map(|_| None).collect();
-        let mut rotation = cfg.deterministic_mix.then(|| MixRotation::new(&cfg.mix));
-        let mut next_job_id = 0u64;
-        let mut total_delay = SimDuration::ZERO;
-        let mut fill_flops = 0.0;
-        let mut jobs_completed = 0usize;
-        let mut isolated_ooms = 0u64;
-
-        for _iter in 0..cfg.iterations {
-            let mut stage_delays: Vec<SimDuration> = Vec::with_capacity(p);
-            for stage in 0..p {
-                let mut delay = SimDuration::ZERO;
-                let windows = timeline.stages[stage].fillable_windows();
-                for (slot, window) in windows.iter().enumerate() {
-                    // Refill the device's backlog if idle.
-                    if executors[stage].is_none() {
-                        executors[stage] = draw_job(
-                            cfg,
-                            stage,
-                            &stage_slots,
-                            device,
-                            &mut plan_cache,
-                            &mut tput_cache,
-                            &mut next_job_id,
-                            &mut rng,
-                            rotation.as_mut(),
-                        );
-                    }
-                    let Some(executor) = executors[stage].as_mut() else {
-                        continue;
-                    };
-                    // Failure injection: the engine capped the Executor at
-                    // the profiled free memory, but the *actual* free
-                    // memory this bubble may be less. A request over the
-                    // cap dies as an isolated OOM; the bubble idles and
-                    // the partition retries next cycle.
-                    if cfg.memory_jitter_cv > 0.0 {
-                        if let Some(need) = executor.pending_memory(slot) {
-                            let actual_free =
-                                window.free_memory.mul_f64(rng.jitter(cfg.memory_jitter_cv));
-                            if need > actual_free {
-                                isolated_ooms += 1;
-                                continue;
-                            }
-                        }
-                    }
-                    let run = executor.on_bubble(slot);
-                    if run.time_used.is_zero() && run.samples_completed == 0 && !run.job_finished
-                    {
-                        continue;
-                    }
-                    fill_flops += run.flops;
-                    // Jittered reality: the bubble and the partition both
-                    // deviate from their profiled durations.
-                    let actual_window = window.duration.mul_f64(rng.jitter(cfg.jitter_cv));
-                    let used = cfg.executor.switch_overhead
-                        + run.time_used.mul_f64(rng.jitter(cfg.jitter_cv));
-                    let usable = actual_window.mul_f64(cfg.usable_fraction);
-                    delay += used.saturating_sub(usable);
-                    if run.job_finished {
-                        jobs_completed += 1;
-                        executors[stage] = None;
-                    }
-                }
-                stage_delays.push(delay);
-            }
-            // Stalls on different stages partially overlap on the
-            // pipeline's critical path: the longest stall is fully paid,
-            // the rest half.
-            let max = stage_delays
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(SimDuration::ZERO);
-            let sum: SimDuration = stage_delays.iter().copied().sum();
-            total_delay += max + (sum - max).mul_f64(0.5);
-        }
-
-        let nominal_total = period * cfg.iterations as u64;
-        let elapsed = nominal_total + total_delay;
-        let slowdown = total_delay.as_secs_f64() / nominal_total.as_secs_f64();
-        PhysicalSimResult {
-            iterations: cfg.iterations,
-            nominal_period: period,
-            mean_period: period + total_delay / cfg.iterations as u64,
-            main_slowdown: slowdown,
-            fill_flops,
-            recovered_tflops_per_gpu: fill_flops / (p as f64 * elapsed.as_secs_f64()) / 1e12,
-            main_tflops_per_gpu: main_nominal / (1.0 + slowdown),
-            jobs_completed,
-            isolated_ooms,
-        }
+        let (_, backend) = BackendDriver::new(PhysicalBackend::new(self.config.clone())).run();
+        backend.into_result()
     }
 }
 
@@ -287,11 +489,8 @@ struct MixRotation {
 impl MixRotation {
     fn new(mix: &ModelMix) -> Self {
         let total: f64 = mix.weights().iter().map(|&(_, w)| w).sum();
-        let weights: Vec<(ModelId, f64)> = mix
-            .weights()
-            .iter()
-            .map(|&(m, w)| (m, w / total))
-            .collect();
+        let weights: Vec<(ModelId, f64)> =
+            mix.weights().iter().map(|&(m, w)| (m, w / total)).collect();
         MixRotation {
             acc: vec![0.0; weights.len()],
             weights,
@@ -327,57 +526,6 @@ impl MixRotation {
     }
 }
 
-/// Draws the next backlog job for a stage and binds it to its plan.
-/// Returns `None` (leaving the bubble idle this round) if several draws
-/// in a row are infeasible on this stage.
-#[allow(clippy::too_many_arguments)]
-fn draw_job(
-    cfg: &PhysicalSimConfig,
-    stage: usize,
-    stage_slots: &[Vec<(SimDuration, pipefill_device::Bytes)>],
-    device: &pipefill_device::DeviceSpec,
-    plan_cache: &mut HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
-    tput_cache: &mut HashMap<(ModelId, JobKind), Option<f64>>,
-    next_job_id: &mut u64,
-    rng: &mut DeterministicRng,
-    mut rotation: Option<&mut MixRotation>,
-) -> Option<FillJobExecutor> {
-    const MAX_TRIES: usize = 5;
-    for _ in 0..MAX_TRIES {
-        let (model, kind) = match rotation.as_deref_mut() {
-            Some(r) => r.next(),
-            None => {
-                let model = cfg.mix.sample_model(rng);
-                (model, cfg.mix.sample_kind(model, rng))
-            }
-        };
-        let plan = plan_cache
-            .entry((model, kind, stage))
-            .or_insert_with(|| {
-                let slots = &stage_slots[stage];
-                if slots.is_empty() {
-                    return None;
-                }
-                let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
-                plan_best(&probe, slots, device, &cfg.executor).ok()
-            })
-            .clone();
-        let Some(plan) = plan else { continue };
-        let throughput = *tput_cache.entry((model, kind)).or_insert_with(|| {
-            let graph = model.build();
-            exclusive_throughput(&graph, kind, device, &FillJobSpec::default_batch_sizes())
-                .map(|(t, _)| t)
-        });
-        let Some(throughput) = throughput else { continue };
-        let samples = ((cfg.backlog_job_gpu_hours * 3600.0 * throughput).round() as u64).max(1);
-        let id = *next_job_id;
-        *next_job_id += 1;
-        let job = FillJobSpec::new(id, model, kind, samples);
-        return Some(FillJobExecutor::new(job, plan));
-    }
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,7 +551,11 @@ mod tests {
         // Fig. 5's headline: <2% slowdown at the 68% default.
         let r = PhysicalSim::new(config(0.68)).run();
         assert!(r.main_slowdown < 0.02, "slowdown {}", r.main_slowdown);
-        assert!(r.recovered_tflops_per_gpu > 2.0, "recovered {}", r.recovered_tflops_per_gpu);
+        assert!(
+            r.recovered_tflops_per_gpu > 2.0,
+            "recovered {}",
+            r.recovered_tflops_per_gpu
+        );
         assert!(r.jobs_completed > 0);
     }
 
@@ -464,14 +616,10 @@ mod tests {
     fn overhead_is_mix_independent_at_default_fill() {
         // Fig. 6: "the overhead to the main job does not vary
         // significantly" across fill-job types.
-        let xlm = PhysicalSim::new(
-            config(0.68).with_mix(ModelMix::single(ModelId::XlmRobertaXl)),
-        )
-        .run();
-        let eff = PhysicalSim::new(
-            config(0.68).with_mix(ModelMix::single(ModelId::EfficientNet)),
-        )
-        .run();
+        let xlm =
+            PhysicalSim::new(config(0.68).with_mix(ModelMix::single(ModelId::XlmRobertaXl))).run();
+        let eff =
+            PhysicalSim::new(config(0.68).with_mix(ModelMix::single(ModelId::EfficientNet))).run();
         assert!(xlm.main_slowdown < 0.02, "xlm {}", xlm.main_slowdown);
         assert!(eff.main_slowdown < 0.02, "eff {}", eff.main_slowdown);
     }

@@ -119,11 +119,7 @@ pub fn steady_rate(
 /// exclusive_throughput / wall_throughput` — slow-in-bubbles types occupy
 /// more of the timeline — so rates are combined with time-share weights,
 /// per stage, exactly as a saturated device would realize them.
-pub fn steady_recovered_tflops(
-    main: &MainJobSpec,
-    exec: &ExecutorConfig,
-    mix: &ModelMix,
-) -> f64 {
+pub fn steady_recovered_tflops(main: &MainJobSpec, exec: &ExecutorConfig, mix: &ModelMix) -> f64 {
     // Expand mix into (model, kind, count-weight) job types.
     let mut types: Vec<(ModelId, JobKind, f64)> = Vec::new();
     for &(model, weight) in mix.weights() {
@@ -148,8 +144,7 @@ pub fn steady_recovered_tflops(
         .iter()
         .map(|&(model, kind, _)| {
             let graph = model.build();
-            pipefill_executor::exclusive_throughput(&graph, kind, device, &batches)
-                .map(|(t, _)| t)
+            pipefill_executor::exclusive_throughput(&graph, kind, device, &batches).map(|(t, _)| t)
         })
         .collect();
 
@@ -252,11 +247,7 @@ mod tests {
         let exec = ExecutorConfig::default();
         let main = main_8k();
         let mix = steady_recovered_tflops(&main, &exec, &ModelMix::paper_mix());
-        let bert = steady_recovered_tflops(
-            &main,
-            &exec,
-            &ModelMix::single(ModelId::BertBase),
-        );
+        let bert = steady_recovered_tflops(&main, &exec, &ModelMix::single(ModelId::BertBase));
         assert!(mix > 0.0);
         assert!(bert > mix, "bert {bert} vs mix {mix}");
     }

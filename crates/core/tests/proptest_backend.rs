@@ -1,0 +1,98 @@
+//! Property tests for the `SimBackend` layer: event-loop determinism
+//! (same seed ⇒ identical metrics) and metric sanity for both fidelity
+//! levels, across arbitrary seeds and configurations.
+
+use proptest::prelude::*;
+
+use pipefill_core::{BackendConfig, BackendKind, ClusterSimConfig, PhysicalSimConfig, PolicyKind};
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+use pipefill_trace::TraceConfig;
+
+fn coarse_config(seed: u64, load_pct: u64, policy_idx: usize) -> ClusterSimConfig {
+    let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+    let mut trace = TraceConfig::physical(seed).with_load(load_pct as f64 / 100.0);
+    trace.horizon = SimDuration::from_secs(600);
+    let mut cfg = ClusterSimConfig::new(main, trace);
+    cfg.policy = [
+        PolicyKind::Fifo,
+        PolicyKind::Sjf,
+        PolicyKind::MakespanMin,
+        PolicyKind::DeadlineThenSjf,
+    ][policy_idx % 4];
+    cfg
+}
+
+fn physical_config(seed: u64, fill_pct: u64, iterations: usize) -> PhysicalSimConfig {
+    let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+    let mut cfg = PhysicalSimConfig::new(main).with_fill_fraction(fill_pct as f64 / 100.0);
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed, same configuration ⇒ bit-identical metrics from the
+    /// coarse backend, regardless of policy or load.
+    #[test]
+    fn coarse_backend_is_deterministic(
+        seed in 0u64..1_000,
+        load_pct in 30u64..300,
+        policy_idx in 0usize..4,
+    ) {
+        let run = || BackendConfig::Coarse(coarse_config(seed, load_pct, policy_idx)).run().metrics;
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "coarse backend diverged for seed {}", seed);
+    }
+
+    /// Same seed ⇒ bit-identical metrics from the physical backend; a
+    /// different seed perturbs the jittered measurements.
+    #[test]
+    fn physical_backend_is_deterministic(seed in 0u64..1_000, fill_pct in 20u64..97) {
+        let run = |s: u64| {
+            BackendConfig::Physical(physical_config(s, fill_pct, 40)).run().metrics
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a, b, "physical backend diverged for seed {}", seed);
+        let c = run(seed + 1);
+        prop_assert!(
+            a.fill_flops != c.fill_flops || a.main_slowdown != c.main_slowdown,
+            "different seeds produced identical jittered runs"
+        );
+    }
+
+    /// Fidelity-independent metric invariants hold for both backends.
+    #[test]
+    fn backend_metrics_are_sane(seed in 0u64..500) {
+        let runs = [
+            BackendConfig::Coarse(coarse_config(seed, 150, 1)).run(),
+            BackendConfig::Physical(physical_config(seed, 68, 40)).run(),
+        ];
+        for run in runs {
+            let m = run.metrics;
+            prop_assert!(m.num_devices == 16);
+            prop_assert!(m.events_dispatched > 0, "{} backend dispatched nothing", m.kind);
+            prop_assert!(m.recovered_tflops_per_gpu >= 0.0);
+            prop_assert!(m.fill_flops >= 0.0);
+            prop_assert!(m.main_slowdown >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&m.bubble_ratio));
+            // Recovered work can never exceed peak × bubble share.
+            prop_assert!(
+                m.recovered_tflops_per_gpu < 125.0 * m.bubble_ratio,
+                "{} backend recovered {} TFLOPS with bubble ratio {}",
+                m.kind,
+                m.recovered_tflops_per_gpu,
+                m.bubble_ratio
+            );
+            prop_assert!(m.total_tflops_per_gpu() < 125.0);
+            match m.kind {
+                BackendKind::Coarse => prop_assert_eq!(m.main_slowdown, 0.0),
+                BackendKind::Physical => prop_assert!(m.main_slowdown < 1.0),
+            }
+        }
+    }
+}

@@ -266,7 +266,11 @@ impl MemoryPool {
             .collect();
         let mut freed = Bytes::ZERO;
         for id in ids {
-            freed += self.allocations.remove(&id).expect("id collected above").size;
+            freed += self
+                .allocations
+                .remove(&id)
+                .expect("id collected above")
+                .size;
         }
         freed
     }
@@ -281,7 +285,11 @@ impl MemoryPool {
             .collect();
         let mut freed = Bytes::ZERO;
         for id in ids {
-            freed += self.allocations.remove(&id).expect("id collected above").size;
+            freed += self
+                .allocations
+                .remove(&id)
+                .expect("id collected above")
+                .size;
         }
         freed
     }
@@ -327,8 +335,16 @@ mod tests {
         pool.set_cap(Proc::Fill, Some(Bytes::from_gib(4)));
         // 5 GiB are free on the device, but the cap is 4 GiB: the fill
         // process sees an isolated CapExceeded, not a device OOM.
-        let err = pool.alloc(Proc::Fill, Bytes::from_gib_f64(4.5)).unwrap_err();
-        assert!(matches!(err, MemoryError::CapExceeded { proc: Proc::Fill, .. }));
+        let err = pool
+            .alloc(Proc::Fill, Bytes::from_gib_f64(4.5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MemoryError::CapExceeded {
+                proc: Proc::Fill,
+                ..
+            }
+        ));
         // Within the cap it succeeds.
         pool.alloc(Proc::Fill, Bytes::from_gib(4)).unwrap();
         // Main job is unaffected and can still allocate the true remainder.
@@ -356,9 +372,12 @@ mod tests {
     fn empty_cache_frees_only_transient_of_that_proc() {
         let mut pool = pool_16g();
         pool.alloc(Proc::Main, Bytes::from_gib(8)).unwrap();
-        pool.alloc_transient(Proc::Main, Bytes::from_gib(2)).unwrap();
-        pool.alloc_transient(Proc::Main, Bytes::from_gib(1)).unwrap();
-        pool.alloc_transient(Proc::Fill, Bytes::from_gib(1)).unwrap();
+        pool.alloc_transient(Proc::Main, Bytes::from_gib(2))
+            .unwrap();
+        pool.alloc_transient(Proc::Main, Bytes::from_gib(1))
+            .unwrap();
+        pool.alloc_transient(Proc::Fill, Bytes::from_gib(1))
+            .unwrap();
         let freed = pool.empty_cache(Proc::Main);
         assert_eq!(freed, Bytes::from_gib(3));
         assert_eq!(pool.allocated(Proc::Main), Bytes::from_gib(8));
@@ -370,7 +389,8 @@ mod tests {
     fn release_all_clears_process() {
         let mut pool = pool_16g();
         pool.alloc(Proc::Fill, Bytes::from_gib(2)).unwrap();
-        pool.alloc_transient(Proc::Fill, Bytes::from_gib(1)).unwrap();
+        pool.alloc_transient(Proc::Fill, Bytes::from_gib(1))
+            .unwrap();
         pool.alloc(Proc::Main, Bytes::from_gib(5)).unwrap();
         assert_eq!(pool.release_all(Proc::Fill), Bytes::from_gib(3));
         assert_eq!(pool.allocated(Proc::Fill), Bytes::ZERO);
@@ -383,7 +403,8 @@ mod tests {
         // transient buffers -> 4.5 GiB free, matching §6.1.
         let mut pool = pool_16g();
         pool.alloc(Proc::Main, Bytes::from_gib_f64(11.5)).unwrap();
-        pool.alloc_transient(Proc::Main, Bytes::from_gib(3)).unwrap();
+        pool.alloc_transient(Proc::Main, Bytes::from_gib(3))
+            .unwrap();
         pool.empty_cache(Proc::Main);
         assert_eq!(pool.free(), Bytes::from_gib_f64(4.5));
     }

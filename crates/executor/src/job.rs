@@ -130,7 +130,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty and positive")]
     fn zero_batch_size_rejected() {
-        let _ = FillJobSpec::new(4, ModelId::BertBase, JobKind::Training, 10)
-            .with_batch_sizes(vec![0]);
+        let _ =
+            FillJobSpec::new(4, ModelId::BertBase, JobKind::Training, 10).with_batch_sizes(vec![0]);
     }
 }

@@ -122,7 +122,13 @@ pub fn plan_for_config(
     // Usable capacity per bubble: the filled fraction minus switch cost.
     let caps: Vec<BubbleSlot> = bubbles
         .iter()
-        .map(|&(d, m)| (d.mul_f64(exec.fill_fraction).saturating_sub(exec.switch_overhead), m))
+        .map(|&(d, m)| {
+            (
+                d.mul_f64(exec.fill_fraction)
+                    .saturating_sub(exec.switch_overhead),
+                m,
+            )
+        })
         .collect();
     let total_cap: SimDuration = caps.iter().map(|&(d, _)| d).sum();
     if total_cap.is_zero() {
@@ -261,10 +267,7 @@ pub fn plan_best(
                     p.flops_per_pass / p.main_iterations_per_pass as f64,
                 )
             };
-            if best
-                .as_ref()
-                .is_none_or(|b| key(&plan) > key(b))
-            {
+            if best.as_ref().is_none_or(|b| key(&plan) > key(b)) {
                 best = Some(plan);
             }
         }
@@ -295,7 +298,13 @@ pub fn plan_whole_graph_only(
     let peak = profile.peak_memory();
     let caps: Vec<BubbleSlot> = bubbles
         .iter()
-        .map(|&(d, m)| (d.mul_f64(exec.fill_fraction).saturating_sub(exec.switch_overhead), m))
+        .map(|&(d, m)| {
+            (
+                d.mul_f64(exec.fill_fraction)
+                    .saturating_sub(exec.switch_overhead),
+                m,
+            )
+        })
         .collect();
     let fitting: Vec<usize> = caps
         .iter()
@@ -490,8 +499,13 @@ mod tests {
     fn plan_best_picks_bert_inference_plain() {
         let job = FillJobSpec::new(1, ModelId::BertBase, JobKind::BatchInference, 10_000);
         let bubbles = slots(&[(1900, 4), (1000, 4)]);
-        let plan = plan_best(&job, &bubbles, &DeviceSpec::v100(), &ExecutorConfig::default())
-            .unwrap();
+        let plan = plan_best(
+            &job,
+            &bubbles,
+            &DeviceSpec::v100(),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.config.technique, ExecTechnique::Plain);
         assert!(plan.config.batch_size >= 16, "{}", plan.config);
         assert!(plan.samples_per_main_iteration() > 0.0);
@@ -503,8 +517,13 @@ mod tests {
         // are feasible (§6.2).
         let job = FillJobSpec::new(2, ModelId::XlmRobertaXl, JobKind::BatchInference, 1_000);
         let bubbles = slots(&[(1900, 4), (1000, 4)]);
-        let plan = plan_best(&job, &bubbles, &DeviceSpec::v100(), &ExecutorConfig::default())
-            .unwrap();
+        let plan = plan_best(
+            &job,
+            &bubbles,
+            &DeviceSpec::v100(),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
         assert!(plan.config.technique.streams_params(), "{}", plan.config);
     }
 

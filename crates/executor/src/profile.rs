@@ -127,7 +127,9 @@ pub fn build_profile(
         (JobKind::BatchInference, ExecTechnique::Plain) => param_bytes,
         (JobKind::BatchInference, _) => streaming_resident,
         (JobKind::Training, ExecTechnique::Plain | ExecTechnique::ActivationCheckpointing) => {
-            Bytes::new(total_params * (FP16_BYTES + GRAD_BYTES_PER_PARAM + ADAM_STATE_BYTES_PER_PARAM))
+            Bytes::new(
+                total_params * (FP16_BYTES + GRAD_BYTES_PER_PARAM + ADAM_STATE_BYTES_PER_PARAM),
+            )
         }
         (JobKind::Training, ExecTechnique::OffloadOptimizer) => {
             Bytes::new(total_params * (FP16_BYTES + GRAD_BYTES_PER_PARAM))
@@ -181,7 +183,11 @@ pub fn build_profile(
         // Backward pass in reverse layer order; stored activations are
         // released as each layer is consumed.
         for layer in model.layers.iter().rev() {
-            let recompute_factor = if ckpt && layer.kind.is_block() { 3.0 } else { 2.0 };
+            let recompute_factor = if ckpt && layer.kind.is_block() {
+                3.0
+            } else {
+                2.0
+            };
             let flops = recompute_factor * layer.fwd_flops(b);
             let compute = device.compute_time(flops, eff);
             let stream = if streams {
@@ -208,8 +214,7 @@ pub fn build_profile(
             ExecTechnique::OffloadOptimizer => {
                 // Gradients stream down, updated fp16 params stream back.
                 let transfer = (total_params * (GRAD_BYTES_PER_PARAM + FP16_BYTES)) as f64 / pcie;
-                let cpu =
-                    (total_params * ADAM_STATE_BYTES_PER_PARAM) as f64 / CPU_UPDATE_BANDWIDTH;
+                let cpu = (total_params * ADAM_STATE_BYTES_PER_PARAM) as f64 / CPU_UPDATE_BANDWIDTH;
                 SimDuration::from_secs_f64(transfer + cpu)
             }
             t if t.streams_params() => {
@@ -292,7 +297,12 @@ mod tests {
     #[test]
     fn inference_profile_has_one_node_per_layer() {
         let m = ModelId::BertBase.build();
-        let p = build_profile(&m, JobKind::BatchInference, cfg(8, ExecTechnique::Plain), &v100());
+        let p = build_profile(
+            &m,
+            JobKind::BatchInference,
+            cfg(8, ExecTechnique::Plain),
+            &v100(),
+        );
         assert_eq!(p.nodes.len(), m.layers.len());
         assert_eq!(p.samples_per_iteration, 8);
         assert!(p.iteration_flops() > 0.0);
@@ -304,7 +314,12 @@ mod tests {
         let p = build_profile(&m, JobKind::Training, cfg(8, ExecTechnique::Plain), &v100());
         assert_eq!(p.nodes.len(), 2 * m.layers.len() + 1);
         // Training FLOPs ≈ 3× inference FLOPs.
-        let inf = build_profile(&m, JobKind::BatchInference, cfg(8, ExecTechnique::Plain), &v100());
+        let inf = build_profile(
+            &m,
+            JobKind::BatchInference,
+            cfg(8, ExecTechnique::Plain),
+            &v100(),
+        );
         let ratio = p.iteration_flops() / inf.iteration_flops();
         assert!((ratio - 3.0).abs() < 0.05, "ratio {ratio}");
     }
@@ -312,15 +327,30 @@ mod tests {
     #[test]
     fn training_needs_more_memory_than_inference() {
         let m = ModelId::BertLarge.build();
-        let t = build_profile(&m, JobKind::Training, cfg(16, ExecTechnique::Plain), &v100());
-        let i = build_profile(&m, JobKind::BatchInference, cfg(16, ExecTechnique::Plain), &v100());
+        let t = build_profile(
+            &m,
+            JobKind::Training,
+            cfg(16, ExecTechnique::Plain),
+            &v100(),
+        );
+        let i = build_profile(
+            &m,
+            JobKind::BatchInference,
+            cfg(16, ExecTechnique::Plain),
+            &v100(),
+        );
         assert!(t.peak_memory() > i.peak_memory() * 2);
     }
 
     #[test]
     fn checkpointing_cuts_memory_but_costs_time() {
         let m = ModelId::BertLarge.build();
-        let plain = build_profile(&m, JobKind::Training, cfg(32, ExecTechnique::Plain), &v100());
+        let plain = build_profile(
+            &m,
+            JobKind::Training,
+            cfg(32, ExecTechnique::Plain),
+            &v100(),
+        );
         let ck = build_profile(
             &m,
             JobKind::Training,
@@ -356,7 +386,12 @@ mod tests {
         // weights (≈5.7 GB) exceed the 4.5 GB bubble free-memory.
         let m = ModelId::XlmRobertaXl.build();
         let bubble = Bytes::from_gib_f64(4.5);
-        let plain = build_profile(&m, JobKind::BatchInference, cfg(4, ExecTechnique::Plain), &v100());
+        let plain = build_profile(
+            &m,
+            JobKind::BatchInference,
+            cfg(4, ExecTechnique::Plain),
+            &v100(),
+        );
         assert!(plain.peak_memory() > bubble);
         let streamed = build_profile(
             &m,
@@ -389,7 +424,10 @@ mod tests {
         let (tput, profile) =
             exclusive_throughput(&m, JobKind::BatchInference, &v100(), &[1, 8, 64, 256]).unwrap();
         assert!(profile.config.batch_size >= 64, "{}", profile.config);
-        assert!(tput > 100.0, "BERT-base inference should exceed 100 samples/s, got {tput}");
+        assert!(
+            tput > 100.0,
+            "BERT-base inference should exceed 100 samples/s, got {tput}"
+        );
     }
 
     #[test]
@@ -411,7 +449,12 @@ mod tests {
     #[test]
     fn memory_peaks_at_end_of_forward_for_plain_training() {
         let m = ModelId::BertBase.build();
-        let p = build_profile(&m, JobKind::Training, cfg(16, ExecTechnique::Plain), &v100());
+        let p = build_profile(
+            &m,
+            JobKind::Training,
+            cfg(16, ExecTechnique::Plain),
+            &v100(),
+        );
         let l = m.layers.len();
         // Peak is at the last forward node (all activations stored) and
         // the first backward node.

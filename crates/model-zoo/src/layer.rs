@@ -30,9 +30,7 @@ impl LayerKind {
     pub fn is_block(self) -> bool {
         matches!(
             self,
-            LayerKind::TransformerBlock
-                | LayerKind::WindowAttentionBlock
-                | LayerKind::ConvStage
+            LayerKind::TransformerBlock | LayerKind::WindowAttentionBlock | LayerKind::ConvStage
         )
     }
 }

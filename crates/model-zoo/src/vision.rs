@@ -83,9 +83,7 @@ pub fn swin_large() -> ModelGraph {
                 kind: LayerKind::Head, // a plain projection; not checkpointable
                 params: merge_params,
                 fwd_flops_per_sample: 2.0 * merge_params as f64 * out_tokens,
-                activation_bytes_per_sample: Bytes::new(
-                    (2.0 * out_tokens * 2.0 * df) as u64,
-                ),
+                activation_bytes_per_sample: Bytes::new((2.0 * out_tokens * 2.0 * df) as u64),
                 boundary_bytes_per_sample: Bytes::new((2.0 * out_tokens * 2.0 * df) as u64),
             });
         }
@@ -291,7 +289,10 @@ mod tests {
     #[test]
     fn efficientnet_matches_table1_params() {
         let p = efficientnet_117m().total_params() as f64 / 1e6;
-        assert!((p - 117.0).abs() < 8.0, "EffNet got {p}M, Table 1 says 117M");
+        assert!(
+            (p - 117.0).abs() < 8.0,
+            "EffNet got {p}M, Table 1 says 117M"
+        );
     }
 
     #[test]
@@ -346,7 +347,10 @@ mod tests {
         let p = m.total_params() as f64 / 1e6;
         assert!((18.0..32.0).contains(&p), "ResNet-50 got {p}M");
         let gflops = m.fwd_flops(1) / 1e9;
-        assert!((3.0..10.0).contains(&gflops), "ResNet-50 got {gflops} GFLOPs/sample");
+        assert!(
+            (3.0..10.0).contains(&gflops),
+            "ResNet-50 got {gflops} GFLOPs/sample"
+        );
         assert_eq!(m.family, ModelFamily::Cnn);
     }
 

@@ -166,10 +166,9 @@ impl ModelId {
     /// Table-1 task domain (the LLM main jobs are NLP).
     pub fn domain(self) -> TaskDomain {
         match self {
-            ModelId::EfficientNet
-            | ModelId::SwinLarge
-            | ModelId::ViTLarge
-            | ModelId::ResNet50 => TaskDomain::Cv,
+            ModelId::EfficientNet | ModelId::SwinLarge | ModelId::ViTLarge | ModelId::ResNet50 => {
+                TaskDomain::Cv
+            }
             _ => TaskDomain::Nlp,
         }
     }
@@ -258,7 +257,10 @@ mod tests {
         assert_eq!(ModelId::Llama7B.domain(), TaskDomain::Nlp);
         assert_eq!(ModelId::ViTLarge.domain(), TaskDomain::Cv);
         assert_eq!(ModelId::ResNet50.domain(), TaskDomain::Cv);
-        assert!(!ModelId::Llama7B.trainable_as_fill_job(), "7B exceeds the 3B fill ceiling");
+        assert!(
+            !ModelId::Llama7B.trainable_as_fill_job(),
+            "7B exceeds the 3B fill ceiling"
+        );
         assert!(ModelId::ViTLarge.trainable_as_fill_job());
         assert!(ModelId::ResNet50.trainable_as_fill_job());
         let p = ModelId::Llama7B.build().total_params() as f64 / 1e9;

@@ -221,13 +221,13 @@ impl EngineConfig {
         );
 
         let mut stages = Vec::with_capacity(p);
-        for s in 0..p {
+        for (s, stage_records) in records.iter().enumerate().take(p) {
             let window_start = iter_start(s, STEADY_ITER);
             let window_end = iter_start(s, STEADY_ITER + 1);
             let anchor_offset = window_start.saturating_since(t0);
 
             // Busy intervals inside the stage's window, in time order.
-            let mut intervals: Vec<(SimTime, SimTime, PipelineInstruction)> = records[s]
+            let mut intervals: Vec<(SimTime, SimTime, PipelineInstruction)> = stage_records
                 .iter()
                 .filter(|(iter, _, start, end)| *iter == STEADY_ITER && end > start)
                 .map(|&(_, instr, start, end)| (start, end, instr))
@@ -311,7 +311,11 @@ impl StageTimeline {
 
     /// The fillable windows, in period order.
     pub fn fillable_windows(&self) -> Vec<BubbleWindow> {
-        self.windows.iter().filter(|w| w.fillable()).copied().collect()
+        self.windows
+            .iter()
+            .filter(|w| w.fillable())
+            .copied()
+            .collect()
     }
 }
 

@@ -138,9 +138,7 @@ impl MainJobSpec {
             .max()
             .unwrap_or(pipefill_device::Bytes::ZERO);
         let grad_sync = if self.parallelism.data_parallel > 1 {
-            SimDuration::from_secs_f64(
-                2.0 * grad_bytes.as_f64() / self.inter_stage_link.bandwidth,
-            )
+            SimDuration::from_secs_f64(2.0 * grad_bytes.as_f64() / self.inter_stage_link.bandwidth)
         } else {
             SimDuration::ZERO
         };
@@ -213,7 +211,12 @@ mod tests {
     fn scaling_series_matches_paper_days() {
         // Fig. 4a anchors: ~82 days at 1K GPUs, ~50 at 2K, ~34 at 4K,
         // ~26 at 8K (tolerances cover engine comm/optimizer overheads).
-        let cases = [(64usize, 82.0, 8.0), (32, 50.0, 5.0), (16, 34.0, 4.0), (8, 26.0, 3.0)];
+        let cases = [
+            (64usize, 82.0, 8.0),
+            (32, 50.0, 5.0),
+            (16, 34.0, 4.0),
+            (8, 26.0, 3.0),
+        ];
         for (m, days, tol) in cases {
             let point = MainJobSpec::simulator_40b(m, ScheduleKind::GPipe).scaling_point();
             assert!(

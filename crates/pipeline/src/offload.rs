@@ -67,12 +67,10 @@ impl OffloadPlanner {
         fwd_window: SimDuration,
         sync_window: SimDuration,
     ) -> OffloadPlan {
-        let offload_cap = Bytes::new(
-            (fwd_window.as_secs_f64() * self.host_link_bandwidth).floor() as u64,
-        );
-        let onload_cap = Bytes::new(
-            (sync_window.as_secs_f64() * self.host_link_bandwidth).floor() as u64,
-        );
+        let offload_cap =
+            Bytes::new((fwd_window.as_secs_f64() * self.host_link_bandwidth).floor() as u64);
+        let onload_cap =
+            Bytes::new((sync_window.as_secs_f64() * self.host_link_bandwidth).floor() as u64);
         let offloaded = optimizer_state.min(offload_cap).min(onload_cap);
         OffloadPlan {
             requested: optimizer_state,
@@ -116,7 +114,10 @@ mod tests {
         );
         assert!(!plan.is_complete());
         let gib = plan.offloaded.as_gib();
-        assert!((gib - 1.2e9 / (1u64 << 30) as f64).abs() < 0.01, "got {gib}");
+        assert!(
+            (gib - 1.2e9 / (1u64 << 30) as f64).abs() < 0.01,
+            "got {gib}"
+        );
     }
 
     #[test]

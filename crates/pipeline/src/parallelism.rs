@@ -79,7 +79,7 @@ impl ParallelismConfig {
             self.data_parallel
         );
         assert!(
-            per_replica % self.microbatch_size == 0,
+            per_replica.is_multiple_of(self.microbatch_size),
             "per-replica minibatch {per_replica} does not divide into microbatches of {}",
             self.microbatch_size
         );
@@ -114,7 +114,7 @@ impl ParallelismConfig {
     /// resulting replica count cannot split 512 microbatches evenly.
     pub fn for_40b_at_scale(total_gpus: usize) -> Self {
         assert!(
-            total_gpus > 0 && total_gpus % 128 == 0,
+            total_gpus > 0 && total_gpus.is_multiple_of(128),
             "the 40B job allocates GPUs in replica units of 128, got {total_gpus}"
         );
         ParallelismConfig::new(8, 16, total_gpus / 128, 2, 1024)

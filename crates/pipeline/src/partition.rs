@@ -2,7 +2,9 @@
 //! per-GPU compute/memory profiles under tensor parallelism.
 
 use pipefill_device::{Bytes, DeviceSpec};
-use pipefill_model_zoo::{ModelGraph, ADAM_STATE_BYTES_PER_PARAM, FP16_BYTES, GRAD_BYTES_PER_PARAM};
+use pipefill_model_zoo::{
+    ModelGraph, ADAM_STATE_BYTES_PER_PARAM, FP16_BYTES, GRAD_BYTES_PER_PARAM,
+};
 use pipefill_sim_core::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -70,11 +72,7 @@ impl StagePartition {
     /// # Panics
     ///
     /// Panics if the model has fewer layers than pipeline stages.
-    pub fn new(
-        model: &ModelGraph,
-        parallelism: &ParallelismConfig,
-        device: &DeviceSpec,
-    ) -> Self {
+    pub fn new(model: &ModelGraph, parallelism: &ParallelismConfig, device: &DeviceSpec) -> Self {
         let p = parallelism.pipeline_stages;
         let tp = parallelism.tensor_parallel as f64;
         let mb = parallelism.microbatch_size;
@@ -126,11 +124,7 @@ impl StagePartition {
                 let layers = &model.layers[lo..hi];
                 let params: u64 = layers.iter().map(|l| l.params).sum();
                 let params_per_gpu = (params as f64 / tp).round() as u64;
-                let fwd_flops: f64 = layers
-                    .iter()
-                    .map(|l| l.fwd_flops(mb))
-                    .sum::<f64>()
-                    / tp;
+                let fwd_flops: f64 = layers.iter().map(|l| l.fwd_flops(mb)).sum::<f64>() / tp;
                 let fwd_time = device.compute_time(fwd_flops, eff);
                 let bwd_time = device.compute_time(2.0 * fwd_flops, eff);
                 let opt_bytes = params_per_gpu as f64 * OPTIMIZER_TRAFFIC_BYTES_PER_PARAM;
@@ -194,7 +188,11 @@ impl StagePartition {
 
     /// Imbalance ratio: slowest stage forward time over mean.
     pub fn imbalance(&self) -> f64 {
-        let times: Vec<f64> = self.stages.iter().map(|s| s.fwd_time.as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .stages
+            .iter()
+            .map(|s| s.fwd_time.as_secs_f64())
+            .collect();
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         if mean == 0.0 {
             1.0
@@ -272,8 +270,11 @@ mod tests {
     #[test]
     fn backward_is_twice_forward() {
         let model = gpt_5b();
-        let part =
-            StagePartition::new(&model, &ParallelismConfig::for_5b_physical(8), &DeviceSpec::v100());
+        let part = StagePartition::new(
+            &model,
+            &ParallelismConfig::for_5b_physical(8),
+            &DeviceSpec::v100(),
+        );
         for s in part.stages() {
             let r = s.bwd_time.as_secs_f64() / s.fwd_time.as_secs_f64();
             assert!((r - 2.0).abs() < 1e-6, "stage {}: {r}", s.stage);

@@ -37,12 +37,7 @@ impl ScheduleKind {
     /// # Panics
     ///
     /// Panics if `stage >= p` or `m == 0`.
-    pub fn stage_instructions(
-        self,
-        stage: usize,
-        p: usize,
-        m: usize,
-    ) -> Vec<PipelineInstruction> {
+    pub fn stage_instructions(self, stage: usize, p: usize, m: usize) -> Vec<PipelineInstruction> {
         assert!(stage < p, "stage {stage} out of range for {p} stages");
         assert!(m > 0, "need at least one microbatch");
         let mut out = Vec::with_capacity(2 * m + 4);

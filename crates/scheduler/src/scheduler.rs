@@ -201,11 +201,7 @@ impl FillJobScheduler {
             // The next dispatch happens on the executor that frees first
             // (ties to the lower index) — that is when the Scheduler is
             // consulted next.
-            let Some((executor, &t)) = free
-                .iter()
-                .enumerate()
-                .min_by_key(|&(i, &t)| (t, i))
-            else {
+            let Some((executor, &t)) = free.iter().enumerate().min_by_key(|&(i, &t)| (t, i)) else {
                 break;
             };
             let projected = SystemState {
@@ -316,7 +312,8 @@ mod tests {
         s.submit(job(2, 0.0, &[Some(10)]));
         s.submit(job(3, 0.0, &[Some(50)]));
         let state = SystemState::idle(SimTime::ZERO, 1);
-        let order: Vec<u64> = std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
 
@@ -327,7 +324,8 @@ mod tests {
         s.submit(job(2, 1.0, &[Some(100)]));
         s.submit(job(3, 3.0, &[Some(50)]));
         let state = SystemState::idle(SimTime::from_secs_f64(10.0), 1);
-        let order: Vec<u64> = std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
 
@@ -359,7 +357,9 @@ mod tests {
         let state = SystemState {
             now: SimTime::ZERO,
             executors: vec![
-                ExecutorSnapshot { remaining: secs(100) },
+                ExecutorSnapshot {
+                    remaining: secs(100),
+                },
                 ExecutorSnapshot {
                     remaining: SimDuration::ZERO,
                 },
@@ -376,7 +376,8 @@ mod tests {
         s.submit(job(3, 1.0, &[Some(10)]));
         s.submit(job(5, 1.0, &[Some(10)]));
         let state = SystemState::idle(SimTime::from_secs_f64(5.0), 1);
-        let order: Vec<u64> = std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
         assert_eq!(order, vec![3, 5, 7]);
     }
 
@@ -387,7 +388,9 @@ mod tests {
         let state = SystemState {
             now: SimTime::from_secs_f64(100.0),
             executors: vec![
-                ExecutorSnapshot { remaining: secs(30) },
+                ExecutorSnapshot {
+                    remaining: secs(30),
+                },
                 ExecutorSnapshot { remaining: secs(5) },
             ],
         };
@@ -459,12 +462,8 @@ mod tests {
     #[test]
     fn deadline_feasibility_query() {
         let mut s = FillJobScheduler::new(Box::new(ShortestJobFirst));
-        s.submit(
-            job(1, 0.0, &[Some(60)]).with_deadline(SimTime::from_secs_f64(100.0)),
-        );
-        s.submit(
-            job(2, 0.0, &[Some(60)]).with_deadline(SimTime::from_secs_f64(10.0)),
-        );
+        s.submit(job(1, 0.0, &[Some(60)]).with_deadline(SimTime::from_secs_f64(100.0)));
+        s.submit(job(2, 0.0, &[Some(60)]).with_deadline(SimTime::from_secs_f64(10.0)));
         s.submit(job(3, 0.0, &[Some(60)]));
         let state = SystemState::idle(SimTime::ZERO, 1);
         assert_eq!(s.deadline_feasible(JobId(1), &state), Some(true));

@@ -50,7 +50,11 @@ fn build(jobs: &[RawJob]) -> Vec<JobInfo> {
 }
 
 fn policies() -> Vec<Box<dyn SchedulingPolicy>> {
-    vec![Box::new(Fifo), Box::new(ShortestJobFirst), Box::new(MakespanMin)]
+    vec![
+        Box::new(Fifo),
+        Box::new(ShortestJobFirst),
+        Box::new(MakespanMin),
+    ]
 }
 
 proptest! {

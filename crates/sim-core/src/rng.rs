@@ -1,15 +1,60 @@
 //! Deterministic random numbers and the distributions the workload
 //! generators need.
 //!
-//! The allowed dependency set includes `rand` but not `rand_distr`, so the
-//! non-uniform distributions (exponential, normal, lognormal, Poisson) are
-//! implemented here from first principles: inverse-transform sampling for
-//! the exponential, Box–Muller for the normal, exp(normal) for the
-//! lognormal, and Knuth's product method (with a normal approximation for
-//! large rates) for the Poisson.
+//! Everything is implemented from first principles so the kernel has zero
+//! external dependencies: the uniform source is xoshiro256++ (the same
+//! generator family `rand`'s `SmallRng` uses on 64-bit targets) seeded via
+//! SplitMix64, and the non-uniform distributions (exponential, normal,
+//! lognormal, Poisson) are built on it — inverse-transform sampling for the
+//! exponential, Box–Muller for the normal, exp(normal) for the lognormal,
+//! and Knuth's product method (with a normal approximation for large rates)
+//! for the Poisson.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ by Blackman & Vigna: 256-bit state, full 2^256−1 period,
+/// excellent statistical quality for simulation workloads.
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the 256-bit state with SplitMix64, as
+    /// recommended by the generator's authors (identical to how `rand`
+    /// seeds `SmallRng::seed_from_u64`).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seeded random source producing the distributions used across the
 /// PipeFill reproduction (trace inter-arrivals, job sizes, execution-time
@@ -30,7 +75,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
     /// Spare normal variate from the last Box–Muller pair.
     spare_normal: Option<f64>,
 }
@@ -39,7 +84,7 @@ impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         DeterministicRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::seed_from_u64(seed),
             spare_normal: None,
         }
     }
@@ -48,7 +93,7 @@ impl DeterministicRng {
     /// component its own stream so adding draws in one component does not
     /// perturb another.
     pub fn fork(&mut self) -> Self {
-        DeterministicRng::seed_from(self.inner.gen::<u64>())
+        DeterministicRng::seed_from(self.inner.next_u64())
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -61,7 +106,14 @@ impl DeterministicRng {
             lo.is_finite() && hi.is_finite() && lo < hi,
             "invalid uniform range [{lo}, {hi})"
         );
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.inner.next_f64() * (hi - lo);
+        // Rounding at the top of a huge range can land on `hi`; fold the
+        // (measure-zero) boundary back into the half-open interval.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -71,13 +123,13 @@ impl DeterministicRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "invalid uniform range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + (self.inner.next_u64() % (hi - lo) as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.inner.next_f64() < p
     }
 
     /// Exponential sample with the given `rate` (mean `1/rate`), via
@@ -92,7 +144,7 @@ impl DeterministicRng {
             "exponential rate must be positive, got {rate}"
         );
         // u in (0, 1]: avoid ln(0).
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.inner.next_f64();
         -u.ln() / rate
     }
 
@@ -111,8 +163,8 @@ impl DeterministicRng {
             Some(z) => z,
             None => {
                 // Box–Muller: two uniforms -> two independent N(0,1).
-                let u1: f64 = 1.0 - self.inner.gen::<f64>(); // (0, 1]
-                let u2: f64 = self.inner.gen::<f64>();
+                let u1: f64 = 1.0 - self.inner.next_f64(); // (0, 1]
+                let u2: f64 = self.inner.next_f64();
                 let r = (-2.0 * u1.ln()).sqrt();
                 let theta = 2.0 * std::f64::consts::PI * u2;
                 self.spare_normal = Some(r * theta.sin());
@@ -153,7 +205,7 @@ impl DeterministicRng {
         let mut k = 0u64;
         let mut p = 1.0;
         loop {
-            p *= self.inner.gen::<f64>();
+            p *= self.inner.next_f64();
             if p <= l {
                 return k;
             }
@@ -174,7 +226,10 @@ impl DeterministicRng {
     ///
     /// Panics if `weights` is empty or sums to a non-positive value.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights.iter().sum();
         assert!(
             total.is_finite() && total > 0.0,
@@ -270,9 +325,7 @@ mod tests {
         let mut rng = DeterministicRng::seed_from(5);
         let weights = [1.0, 3.0];
         let n = 20_000;
-        let ones = (0..n)
-            .filter(|_| rng.weighted_index(&weights) == 1)
-            .count();
+        let ones = (0..n).filter(|_| rng.weighted_index(&weights) == 1).count();
         let frac = ones as f64 / n as f64;
         assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
     }

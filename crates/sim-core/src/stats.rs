@@ -177,19 +177,10 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 ///
 /// Panics if lengths differ or the weights sum to zero or less.
 pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
-    assert_eq!(
-        values.len(),
-        weights.len(),
-        "weighted_mean length mismatch"
-    );
+    assert_eq!(values.len(), weights.len(), "weighted_mean length mismatch");
     let total_w: f64 = weights.iter().sum();
     assert!(total_w > 0.0, "weights must sum to a positive value");
-    values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| v * w)
-        .sum::<f64>()
-        / total_w
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total_w
 }
 
 /// Relative error `|measured - reference| / |reference|`, used when

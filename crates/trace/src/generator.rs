@@ -247,7 +247,10 @@ mod tests {
 
     #[test]
     fn load_scaling_changes_job_count_proportionally() {
-        let base = TraceGenerator::new(TraceConfig::simulator(5)).generate().0.len();
+        let base = TraceGenerator::new(TraceConfig::simulator(5))
+            .generate()
+            .0
+            .len();
         let double = TraceGenerator::new(TraceConfig::simulator(5).with_load(2.0))
             .generate()
             .0

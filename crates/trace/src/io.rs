@@ -86,9 +86,8 @@ pub fn trace_from_csv(text: &str) -> Result<Vec<TraceJob>, String> {
         let arrival: f64 = fields[1]
             .parse()
             .map_err(|_| format!("line {n}: bad arrival '{}'", fields[1]))?;
-        let model = parse_model(fields[2]).ok_or_else(|| {
-            format!("line {n}: unknown model '{}'", fields[2])
-        })?;
+        let model = parse_model(fields[2])
+            .ok_or_else(|| format!("line {n}: unknown model '{}'", fields[2]))?;
         let kind = match fields[3] {
             "training" => JobKind::Training,
             "batch-inference" => JobKind::BatchInference,
@@ -97,7 +96,7 @@ pub fn trace_from_csv(text: &str) -> Result<Vec<TraceJob>, String> {
         let gpu_hours: f64 = fields[4]
             .parse()
             .map_err(|_| format!("line {n}: bad gpu_hours '{}'", fields[4]))?;
-        if !(gpu_hours > 0.0) {
+        if gpu_hours <= 0.0 || gpu_hours.is_nan() {
             return Err(format!("line {n}: gpu_hours must be positive"));
         }
         let deadline = if fields[5].is_empty() {
@@ -164,7 +163,10 @@ mod tests {
     fn rejects_malformed_input() {
         assert!(trace_from_csv("nonsense\n").is_err());
         let hdr = format!("{TRACE_CSV_HEADER}\n");
-        assert!(trace_from_csv(&format!("{hdr}1,2,3\n")).is_err(), "field count");
+        assert!(
+            trace_from_csv(&format!("{hdr}1,2,3\n")).is_err(),
+            "field count"
+        );
         assert!(
             trace_from_csv(&format!("{hdr}x,0.0,Bert-base,training,0.5,\n")).is_err(),
             "bad id"
@@ -186,13 +188,11 @@ mod tests {
     #[test]
     fn empty_deadline_means_none() {
         let hdr = format!("{TRACE_CSV_HEADER}\n");
-        let jobs =
-            trace_from_csv(&format!("{hdr}1,5.5,Bert-base,training,0.25,\n")).unwrap();
+        let jobs = trace_from_csv(&format!("{hdr}1,5.5,Bert-base,training,0.25,\n")).unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].deadline, None);
         assert_eq!(jobs[0].arrival, SimTime::from_secs_f64(5.5));
-        let jobs =
-            trace_from_csv(&format!("{hdr}1,5.5,Bert-base,training,0.25,99.5\n")).unwrap();
+        let jobs = trace_from_csv(&format!("{hdr}1,5.5,Bert-base,training,0.25,99.5\n")).unwrap();
         assert_eq!(jobs[0].deadline, Some(SimTime::from_secs_f64(99.5)));
     }
 

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn paper_mix_sums_to_one() {
-        let total: f64 = ModelMix::paper_mix().weights().iter().map(|&(_, w)| w).sum();
+        let total: f64 = ModelMix::paper_mix()
+            .weights()
+            .iter()
+            .map(|&(_, w)| w)
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

@@ -65,20 +65,30 @@ fn main() {
     let plain = build_profile(
         &xlm,
         JobKind::BatchInference,
-        ExecConfig { batch_size: 4, technique: ExecTechnique::Plain },
+        ExecConfig {
+            batch_size: 4,
+            technique: ExecTechnique::Plain,
+        },
         &main.device,
     );
     let streamed = build_profile(
         &xlm,
         JobKind::BatchInference,
-        ExecConfig { batch_size: 4, technique: ExecTechnique::OffloadParams },
+        ExecConfig {
+            batch_size: 4,
+            technique: ExecTechnique::OffloadParams,
+        },
         &main.device,
     );
     println!("\n== XLM-Roberta-XL (2.8B) in a {bubble_mem} bubble ==");
     println!(
         "  plain    : peak {} {}",
         plain.peak_memory(),
-        if plain.peak_memory() > bubble_mem { "→ does NOT fit" } else { "→ fits" }
+        if plain.peak_memory() > bubble_mem {
+            "→ does NOT fit"
+        } else {
+            "→ fits"
+        }
     );
     println!(
         "  streaming: peak {} → fits; iteration {} vs {} plain",
@@ -88,7 +98,10 @@ fn main() {
     );
 
     // --- 5. Algorithm 1 on the real bubble cycle -------------------------
-    let slots: Vec<_> = windows.iter().map(|w| (w.duration, w.free_memory)).collect();
+    let slots: Vec<_> = windows
+        .iter()
+        .map(|w| (w.duration, w.free_memory))
+        .collect();
     let job = FillJobSpec::new(7, ModelId::XlmRobertaXl, JobKind::BatchInference, 5_000);
     let plan = plan_best(&job, &slots, &main.device, &ExecutorConfig::default())
         .expect("streaming configs fit");

@@ -14,7 +14,11 @@ fn main() -> Result<(), PlanError> {
     //    (TP=8 within nodes, 16 pipeline stages, DP=64, 8 microbatches).
     let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
     let timeline = main.engine_timeline();
-    println!("main job: {} on {} GPUs", main.model.name, main.parallelism.total_gpus());
+    println!(
+        "main job: {} on {} GPUs",
+        main.model.name,
+        main.parallelism.total_gpus()
+    );
     println!("iteration period : {}", timeline.period);
     println!(
         "bubble ratio     : {:.1}%  (formula (p-1)/(m+p-1) = {:.1}%)",
@@ -26,7 +30,12 @@ fn main() -> Result<(), PlanError> {
     let stage = &timeline.stages[8];
     println!("\nstage 8 bubble windows (one per iteration cycle):");
     for w in stage.fillable_windows() {
-        println!("  {:>12}  {}  free {}", w.kind.to_string(), w.duration, w.free_memory);
+        println!(
+            "  {:>12}  {}  free {}",
+            w.kind.to_string(),
+            w.duration,
+            w.free_memory
+        );
     }
 
     // 3. A fill job: BERT-base batch inference, 100K samples.

@@ -18,8 +18,12 @@ fn main() {
     println!(
         "\nScaling {}→{} GPUs cuts training {:.0}→{:.0} days but drops \
          traditional utilization {:.1}→{:.1} TFLOPS/GPU.",
-        low.gpus, high.gpus, low.days_to_train, high.days_to_train,
-        low.traditional_tflops, high.traditional_tflops
+        low.gpus,
+        high.gpus,
+        low.days_to_train,
+        high.days_to_train,
+        low.traditional_tflops,
+        high.traditional_tflops
     );
     println!(
         "PipeFill lifts the {}-GPU point back to {:.1} TFLOPS/GPU (+{:.0}%) with the trace mix,",

@@ -1,0 +1,143 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment has no access to a crates.io mirror, so this crate
+//! implements the small Criterion surface the workspace's benches use:
+//! [`Criterion`] with `sample_size` / `measurement_time` / `warm_up_time` /
+//! `bench_function`, the [`Bencher::iter`] pattern, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is wall-clock via
+//! `std::time::Instant` with mean/min/max reporting — adequate for spotting
+//! order-of-magnitude regressions, without statistics or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimal stand-in for `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(4),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut bench = Bencher {
+            last: Duration::ZERO,
+        };
+        while Instant::now() < warm_deadline {
+            f(&mut bench);
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut bench);
+            samples.push(bench.last);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let n = samples.len().max(1) as u32;
+        let total: Duration = samples.iter().sum();
+        let mean = total / n;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!("{name:<48} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({n} samples)");
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times one routine invocation.
+#[derive(Debug)]
+pub struct Bencher {
+    last: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once and records the duration as one sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.last = start.elapsed();
+        drop(black_box(out));
+    }
+}
+
+/// Declares a benchmark group function (Criterion-compatible syntax).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no access to a crates.io mirror, so this crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the `proptest!` macro (with `#![proptest_config(..)]`), range and
+//! tuple strategies, `Just`, `prop_oneof!`, `prop_map`,
+//! `prop::collection::vec`, `prop::option::of`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * Inputs are generated from a seed derived deterministically from the
+//!   test's module path and case index, so every run explores the same
+//!   cases (reproducible in CI without a persistence file).
+//! * There is no shrinking: a failing case panics with the assertion
+//!   message; re-running reproduces it exactly.
+//!
+//! Swap this path dependency for the real `proptest` when a registry is
+//! reachable — the tests compile against both.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy sources for composite inputs (`prop::collection`,
+/// `prop::option`). Mirrors the `prop` re-export module of real proptest's
+/// prelude.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `prop::option::of` support.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of the `prop` module re-export in real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,23 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no access to a crates.io mirror, so this crate
+//! stands in for `serde`: it exposes the two trait names the workspace
+//! imports plus the derive macros (re-exported from the sibling
+//! `serde_derive` shim, where they expand to nothing). The traits are
+//! blanket-implemented so any `T: Serialize` bound holds; no actual
+//! serialization machinery exists. Swap this path dependency for the real
+//! `serde` when a registry is reachable — no source change needed.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

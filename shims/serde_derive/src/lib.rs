@@ -1,0 +1,24 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public result and
+//! config types so downstream users can persist them, but nothing inside the
+//! workspace ever serializes (experiment output goes through the hand-rolled
+//! CSV writer in `pipefill-core`). The build environment has no access to a
+//! crates.io mirror, so these derives expand to nothing: the shim `serde`
+//! crate provides blanket trait impls, making the derive purely a marker.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the shim `serde::Serialize` trait is
+/// blanket-implemented for every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; the shim `serde::Deserialize` trait is
+/// blanket-implemented for every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

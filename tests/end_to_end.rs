@@ -21,7 +21,11 @@ fn cluster_simulation_full_stack() {
     let result = ClusterSim::new(cfg).run();
 
     assert_eq!(result.num_devices, 16);
-    assert!(result.completed.len() > 50, "only {} jobs", result.completed.len());
+    assert!(
+        result.completed.len() > 50,
+        "only {} jobs",
+        result.completed.len()
+    );
     assert!(result.rejected < result.completed.len() / 10);
 
     // Causality and accounting hold for every job.

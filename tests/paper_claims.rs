@@ -110,7 +110,12 @@ fn claim_schedule_sensitivity() {
 fn claim_sensitivity_shapes() {
     let exec = ExecutorConfig::default();
     let mem = fig10b_free_memory(&exec);
-    let at = |g: f64| mem.iter().find(|r| r.free_gib == g).unwrap().recovered_tflops;
+    let at = |g: f64| {
+        mem.iter()
+            .find(|r| r.free_gib == g)
+            .unwrap()
+            .recovered_tflops
+    };
     assert!(at(4.0) > at(2.0));
     assert!(at(8.0) / at(4.0) - 1.0 < at(4.0) / at(2.0) - 1.0);
 
@@ -156,8 +161,8 @@ fn claim_offload_bandwidth_hypothesis() {
 #[test]
 fn claim_table1() {
     for row in table1() {
-        let err = (row.params_millions - row.paper_params_millions).abs()
-            / row.paper_params_millions;
+        let err =
+            (row.params_millions - row.paper_params_millions).abs() / row.paper_params_millions;
         assert!(err < 0.08, "{}: {err}", row.model);
     }
 }

@@ -1,0 +1,51 @@
+//! Cross-backend agreement: the coarse profile-driven backend and the
+//! fine-grained physical backend — two independent mechanisms on the same
+//! event kernel — must agree on recovered TFLOPs when run from the same
+//! experiment spec, reproducing the paper's simulator-validation result
+//! (Fig. 6).
+
+use pipefill::core::experiments::validation::{fig6_agreement, AGREEMENT_TOLERANCE};
+
+#[test]
+fn coarse_and_physical_backends_agree_on_recovered_tflops() {
+    let rows = fig6_agreement(&[1, 2, 3], 200);
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        println!(
+            "seed {}: coarse {:.3} vs physical {:.3} TFLOPS/GPU (error {:.2}%, slowdown {:.2}%)",
+            r.seed,
+            r.coarse_recovered,
+            r.physical_recovered,
+            100.0 * r.relative_error,
+            100.0 * r.physical_slowdown,
+        );
+        assert!(
+            r.coarse_recovered > 0.0 && r.physical_recovered > 0.0,
+            "seed {}: a backend recovered nothing",
+            r.seed
+        );
+        assert!(
+            r.relative_error < AGREEMENT_TOLERANCE,
+            "seed {}: backends disagree by {:.1}% (tolerance {:.0}%): coarse {} vs physical {}",
+            r.seed,
+            100.0 * r.relative_error,
+            100.0 * AGREEMENT_TOLERANCE,
+            r.coarse_recovered,
+            r.physical_recovered,
+        );
+        // The physical run must stay inside the paper's overhead budget —
+        // agreement on throughput is meaningless if the main job is being
+        // throttled to get it.
+        assert!(
+            r.physical_slowdown < 0.02,
+            "seed {}: slowdown {:.2}% breaches the 2% budget",
+            r.seed,
+            100.0 * r.physical_slowdown
+        );
+    }
+    // Determinism across the parallel sweep: re-running a seed reproduces
+    // its row exactly.
+    let again = fig6_agreement(&[2], 200);
+    let original = rows.iter().find(|r| r.seed == 2).unwrap();
+    assert_eq!(again[0], *original);
+}

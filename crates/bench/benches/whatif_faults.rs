@@ -1,0 +1,33 @@
+//! Fault-tolerance map — the MTBF × checkpoint-cost sweep through the
+//! heterogeneous + fault-injecting backend, plus a timing probe of one
+//! fault-backend run (the newest simulation hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::faults::{print_faults, save_faults, whatif_faults};
+use pipefill_core::{BackendConfig, FaultSimConfig};
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = whatif_faults(200, 7);
+    println!("\nFault-tolerance map — MTBF × checkpoint cost on the 5B cluster:");
+    print_faults(&rows);
+    save_faults(&rows, &experiment_csv("whatif_faults.csv")).expect("csv");
+
+    c.bench_function("faults/one_run_60_iters", |b| {
+        b.iter(|| {
+            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let mut cfg = FaultSimConfig::new(main).with_mtbf(SimDuration::from_secs(1800));
+            cfg.iterations = 60;
+            BackendConfig::Fault(cfg).run().metrics
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -19,9 +19,12 @@ commands:
   fig9   [--horizon-secs N] [--seed S]
   fig10                           sensitivity studies
   whatif                          offload-bandwidth what-if
+  faults [--iterations N] [--seed S]
+                                  MTBF x checkpoint-cost fault-tolerance map
   all    [--out DIR]              run everything, write CSVs
-  sim    [--backend coarse|physical] [--seed S] [--iterations N]
+  sim    [--backend coarse|physical|fault] [--seed S] [--iterations N]
          [--horizon-secs N] [--load X] [--fill-fraction F]
+         [--mtbf-secs X|inf] [--checkpoint-secs C]
                                   one simulation at a chosen fidelity
   agree  [--seeds N] [--iterations N]
                                   coarse-vs-physical backend agreement (Fig. 6)
@@ -69,6 +72,13 @@ pub enum Command {
     Fig10,
     /// Offload-bandwidth what-if.
     WhatIf,
+    /// Fault-tolerance MTBF × checkpoint-cost map.
+    Faults {
+        /// Main-job iterations per grid point.
+        iterations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
     /// Everything, with CSV output.
     All {
         /// Output directory.
@@ -86,8 +96,14 @@ pub enum Command {
         horizon_secs: u64,
         /// Offered-load multiplier (coarse backend).
         load: f64,
-        /// Fill fraction (physical backend).
+        /// Fill fraction (physical and fault backends).
         fill_fraction: f64,
+        /// Mean time between device failures in seconds (fault backend;
+        /// infinity disables injection).
+        mtbf_secs: f64,
+        /// Checkpoint-restart cost per eviction in seconds (fault
+        /// backend).
+        checkpoint_secs: f64,
     },
     /// Coarse-vs-physical agreement study (Fig. 6).
     Agree {
@@ -164,6 +180,16 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
         },
         "fig10" => Command::Fig10,
         "whatif" => Command::WhatIf,
+        "faults" => {
+            let iterations = flags.take_usize("iterations", 200)?;
+            if iterations == 0 {
+                return Err("--iterations must be at least 1 for faults".into());
+            }
+            Command::Faults {
+                iterations,
+                seed: flags.take_u64("seed", 7)?,
+            }
+        }
         "all" => Command::All {
             out: flags.take_string("out", "target/experiments")?,
         },
@@ -171,11 +197,17 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
             let backend = flags
                 .take_string("backend", "coarse")?
                 .parse::<BackendKind>()?;
-            // Each fidelity has its own knobs; reject the other backend's
+            // Each fidelity has its own knobs; reject the other backends'
             // so a sweep over an inapplicable flag can't silently no-op.
-            let inapplicable = match backend {
-                BackendKind::Coarse => ["iterations", "fill-fraction"],
-                BackendKind::Physical => ["horizon-secs", "load"],
+            let inapplicable: &[&str] = match backend {
+                BackendKind::Coarse => &[
+                    "iterations",
+                    "fill-fraction",
+                    "mtbf-secs",
+                    "checkpoint-secs",
+                ],
+                BackendKind::Physical => &["horizon-secs", "load", "mtbf-secs", "checkpoint-secs"],
+                BackendKind::Fault => &["horizon-secs", "load"],
             };
             for flag in inapplicable {
                 if flags.provided(flag) {
@@ -192,6 +224,24 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                     "--fill-fraction must be within [0, 1], got {fill_fraction}"
                 ));
             }
+            let mtbf_secs = match flags.take_string("mtbf-secs", "inf")?.as_str() {
+                "inf" | "infinity" | "none" => f64::INFINITY,
+                v => {
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--mtbf-secs expects a number or 'inf', got '{v}'"))?;
+                    if secs <= 0.0 || secs.is_nan() {
+                        return Err(format!("--mtbf-secs must be positive, got {secs}"));
+                    }
+                    secs
+                }
+            };
+            let checkpoint_secs = flags.take_f64("checkpoint-secs", 2.0)?;
+            if !(checkpoint_secs >= 0.0 && checkpoint_secs.is_finite()) {
+                return Err(format!(
+                    "--checkpoint-secs must be a non-negative number, got {checkpoint_secs}"
+                ));
+            }
             Command::Sim {
                 backend,
                 seed: flags.take_u64("seed", 7)?,
@@ -199,12 +249,21 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 horizon_secs: flags.take_u64("horizon-secs", 3600)?,
                 load,
                 fill_fraction,
+                mtbf_secs,
+                checkpoint_secs,
             }
         }
-        "agree" => Command::Agree {
-            seeds: flags.take_u64("seeds", 3)?,
-            iterations: flags.take_usize("iterations", 200)?,
-        },
+        "agree" => {
+            let seeds = flags.take_u64("seeds", 3)?;
+            if seeds == 0 {
+                return Err("--seeds must be at least 1 for agree".into());
+            }
+            let iterations = flags.take_usize("iterations", 200)?;
+            if iterations == 0 {
+                return Err("--iterations must be at least 1 for agree".into());
+            }
+            Command::Agree { seeds, iterations }
+        }
         "timeline" => Command::Timeline {
             schedule: match flags.take_string("schedule", "gpipe")?.as_str() {
                 "gpipe" => ScheduleKind::GPipe,
@@ -390,6 +449,8 @@ mod tests {
                 horizon_secs: 3600,
                 load: 1.0,
                 fill_fraction: 0.68,
+                mtbf_secs: f64::INFINITY,
+                checkpoint_secs: 2.0,
             }
         );
         assert_eq!(
@@ -401,17 +462,54 @@ mod tests {
                 horizon_secs: 3600,
                 load: 1.0,
                 fill_fraction: 0.9,
+                mtbf_secs: f64::INFINITY,
+                checkpoint_secs: 2.0,
             }
         );
         assert!(parse(&argv("sim --backend quantum")).is_err());
         assert!(parse(&argv("sim --load 0")).is_err());
         assert!(parse(&argv("sim --load -2")).is_err());
         assert!(parse(&argv("sim --backend physical --fill-fraction 1.5")).is_err());
-        // Knobs of the other fidelity are rejected, not silently dropped.
+        // Knobs of the other fidelities are rejected, not silently dropped.
         assert!(parse(&argv("sim --backend coarse --fill-fraction 0.9")).is_err());
         assert!(parse(&argv("sim --backend coarse --iterations 50")).is_err());
+        assert!(parse(&argv("sim --backend coarse --mtbf-secs 600")).is_err());
         assert!(parse(&argv("sim --backend physical --load 2.0")).is_err());
         assert!(parse(&argv("sim --backend physical --horizon-secs 60")).is_err());
+        assert!(parse(&argv("sim --backend physical --checkpoint-secs 1")).is_err());
+        assert!(parse(&argv("sim --backend fault --load 2.0")).is_err());
+        assert!(parse(&argv("sim --backend fault --horizon-secs 60")).is_err());
+    }
+
+    #[test]
+    fn parses_fault_backend_sim() {
+        assert_eq!(
+            cmd("sim --backend fault --mtbf-secs 600 --checkpoint-secs 4 --seed 5"),
+            Command::Sim {
+                backend: BackendKind::Fault,
+                seed: 5,
+                iterations: 300,
+                horizon_secs: 3600,
+                load: 1.0,
+                fill_fraction: 0.68,
+                mtbf_secs: 600.0,
+                checkpoint_secs: 4.0,
+            }
+        );
+        // 'inf' spelled out disables injection.
+        assert!(matches!(
+            cmd("sim --backend fault --mtbf-secs inf"),
+            Command::Sim { mtbf_secs, .. } if mtbf_secs.is_infinite()
+        ));
+        let err = parse(&argv("sim --backend fault --mtbf-secs 0")).unwrap_err();
+        assert!(err.contains("--mtbf-secs must be positive"), "{err}");
+        let err = parse(&argv("sim --backend fault --mtbf-secs soon")).unwrap_err();
+        assert!(err.contains("expects a number or 'inf'"), "{err}");
+        let err = parse(&argv("sim --backend fault --checkpoint-secs -1")).unwrap_err();
+        assert!(
+            err.contains("--checkpoint-secs must be a non-negative"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -423,6 +521,44 @@ mod tests {
                 iterations: 100
             }
         );
+    }
+
+    #[test]
+    fn agree_rejects_unknown_flags_and_degenerate_values() {
+        // The same unknown-flag error path as every other command.
+        let err = parse(&argv("agree --bogus 3")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        let err = parse(&argv("agree --seed 5")).unwrap_err();
+        assert!(err.contains("unknown flag --seed"), "{err}");
+        // Degenerate grids error out instead of silently doing nothing.
+        let err = parse(&argv("agree --seeds 0")).unwrap_err();
+        assert!(err.contains("--seeds must be at least 1"), "{err}");
+        let err = parse(&argv("agree --iterations 0")).unwrap_err();
+        assert!(err.contains("--iterations must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn parses_faults_command_and_rejects_bad_flags() {
+        assert_eq!(
+            cmd("faults"),
+            Command::Faults {
+                iterations: 200,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            cmd("faults --iterations 50 --seed 9"),
+            Command::Faults {
+                iterations: 50,
+                seed: 9
+            }
+        );
+        let err = parse(&argv("faults --bogus 3")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        let err = parse(&argv("faults --mtbf-secs 600")).unwrap_err();
+        assert!(err.contains("unknown flag --mtbf-secs"), "{err}");
+        let err = parse(&argv("faults --iterations 0")).unwrap_err();
+        assert!(err.contains("--iterations must be at least 1"), "{err}");
     }
 
     #[test]

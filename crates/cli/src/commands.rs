@@ -2,7 +2,7 @@
 
 use pipefill_core::experiments::*;
 use pipefill_core::{
-    BackendConfig, BackendKind, BackendMetrics, ClusterSimConfig, PhysicalSimConfig,
+    BackendConfig, BackendKind, BackendMetrics, ClusterSimConfig, FaultSimConfig, PhysicalSimConfig,
 };
 use pipefill_executor::{plan_best, ExecutorConfig, FillJobSpec};
 use pipefill_pipeline::{render_timeline, EngineConfig, MainJobSpec, ScheduleKind};
@@ -41,6 +41,13 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             sensitivity::print_sensitivity(&fig10a_bubble_size(&exec), &fig10b_free_memory(&exec));
         }
         Command::WhatIf => whatif::print_whatif(&whatif_offload_bandwidth()),
+        Command::Faults { iterations, seed } => {
+            println!(
+                "fault-tolerance map on the 5B cluster \
+                 ({iterations} iterations per grid point, {threads} threads):"
+            );
+            faults::print_faults(&whatif_faults(iterations, seed));
+        }
         Command::All { out } => run_all(&out)?,
         Command::Sim {
             backend,
@@ -49,6 +56,8 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             horizon_secs,
             load,
             fill_fraction,
+            mtbf_secs,
+            checkpoint_secs,
         } => {
             let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
             let config = match backend {
@@ -62,6 +71,20 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
                     cfg.iterations = iterations;
                     cfg.seed = seed;
                     BackendConfig::Physical(cfg)
+                }
+                BackendKind::Fault => {
+                    let mtbf = if mtbf_secs.is_finite() {
+                        SimDuration::from_secs_f64(mtbf_secs)
+                    } else {
+                        SimDuration::MAX
+                    };
+                    let mut cfg = FaultSimConfig::new(main)
+                        .with_fill_fraction(fill_fraction)
+                        .with_mtbf(mtbf)
+                        .with_checkpoint_cost(SimDuration::from_secs_f64(checkpoint_secs));
+                    cfg.iterations = iterations;
+                    cfg.seed = seed;
+                    BackendConfig::Fault(cfg)
                 }
             };
             print_metrics(&config.run().metrics);
@@ -172,6 +195,11 @@ fn print_metrics(m: &BackendMetrics) {
         "total TFLOPS:       {:.2} per GPU",
         m.total_tflops_per_gpu()
     );
+    if m.kind == BackendKind::Fault {
+        println!("evictions:          {}", m.evictions);
+        println!("lost fill FLOPs:    {:.3e}", m.lost_fill_flops);
+        println!("goodput fraction:   {:.1}%", 100.0 * m.goodput_fraction);
+    }
 }
 
 fn run_all(out: &str) -> Result<(), String> {
@@ -236,6 +264,11 @@ fn run_all(out: &str) -> Result<(), String> {
     let wi = whatif_offload_bandwidth();
     whatif::print_whatif(&wi);
     whatif::save_whatif(&wi, &format!("{out}/whatif_offload_bandwidth.csv")).map_err(io)?;
+
+    println!("\n== What-if: fault tolerance ==");
+    let ft = whatif_faults(200, 7);
+    faults::print_faults(&ft);
+    faults::save_faults(&ft, &format!("{out}/whatif_faults.csv")).map_err(io)?;
 
     println!("\nCSV written under {out}/");
     Ok(())

@@ -13,8 +13,9 @@
 //!   fig9   [--horizon-secs N]      scheduling policies
 //!   fig10                          bubble-size / free-memory sensitivity
 //!   whatif                         newer-hardware offload-bandwidth sweep
+//!   faults [--iterations N]        MTBF x checkpoint-cost fault-tolerance map
 //!   all    [--out DIR]             everything + CSV output
-//!   sim    [--backend coarse|physical] [...]
+//!   sim    [--backend coarse|physical|fault] [...]
 //!                                  one simulation at a chosen fidelity
 //!   agree  [--seeds N] [--iterations N]
 //!                                  coarse-vs-physical agreement (Fig. 6)

@@ -20,6 +20,7 @@ use pipefill_sim_core::{EventHandler, EventQueue, SimDuration, SimTime, Simulati
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{ClusterSimConfig, ClusterSimResult, CoarseBackend};
+use crate::fault::{FaultBackend, FaultSimConfig, FaultSimResult};
 use crate::physical::{PhysicalBackend, PhysicalSimConfig, PhysicalSimResult};
 
 /// Which fidelity level a simulation runs at.
@@ -31,11 +32,19 @@ pub enum BackendKind {
     /// Fine-grained: every bubble of every iteration executes with timing
     /// jitter, context-switch costs and engine slack (§6.1's testbed).
     Physical,
+    /// Fine-grained plus heterogeneous per-stage GPUs and seeded
+    /// failure/recovery injection with FreeRide-style fill-job eviction
+    /// accounting.
+    Fault,
 }
 
 impl BackendKind {
     /// All backends, for sweeps and CLI listings.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Coarse, BackendKind::Physical];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Coarse,
+        BackendKind::Physical,
+        BackendKind::Fault,
+    ];
 }
 
 impl std::fmt::Display for BackendKind {
@@ -43,6 +52,7 @@ impl std::fmt::Display for BackendKind {
         match self {
             BackendKind::Coarse => write!(f, "coarse"),
             BackendKind::Physical => write!(f, "physical"),
+            BackendKind::Fault => write!(f, "fault"),
         }
     }
 }
@@ -53,7 +63,8 @@ impl std::str::FromStr for BackendKind {
         match s {
             "coarse" | "sim" | "cluster" => Ok(BackendKind::Coarse),
             "physical" | "phys" | "fine" => Ok(BackendKind::Physical),
-            other => Err(format!("unknown backend '{other}' (coarse|physical)")),
+            "fault" | "faults" | "hetero" => Ok(BackendKind::Fault),
+            other => Err(format!("unknown backend '{other}' (coarse|physical|fault)")),
         }
     }
 }
@@ -79,6 +90,18 @@ pub enum ClusterEvent {
     /// A main-job iteration boundary: aggregate per-stage stalls into the
     /// pipeline's critical path (fine-grained backends only).
     IterationEnd,
+    /// The GPU driving `device` failed: evict its fill job and take the
+    /// stage down until recovery (failure-injecting backends only).
+    DeviceFailure {
+        /// Device (pipeline stage) that failed.
+        device: usize,
+    },
+    /// The GPU driving `device` came back: re-admit fill work and schedule
+    /// the next failure (failure-injecting backends only).
+    DeviceRecovery {
+        /// Device (pipeline stage) that recovered.
+        device: usize,
+    },
 }
 
 /// Fidelity-independent metrics every backend reports; the common currency
@@ -106,12 +129,31 @@ pub struct BackendMetrics {
     pub bubble_ratio: f64,
     /// Fill jobs completed.
     pub jobs_completed: usize,
+    /// Fill jobs evicted by injected device failures (0 where the
+    /// fidelity level models no faults).
+    pub evictions: u64,
+    /// Fill FLOPs executed but lost to evictions (work since the evicted
+    /// job's last checkpoint).
+    pub lost_fill_flops: f64,
+    /// Fraction of executed fill FLOPs that survived eviction:
+    /// `fill_flops / (fill_flops + lost_fill_flops)`, 1 when nothing ran.
+    pub goodput_fraction: f64,
 }
 
 impl BackendMetrics {
     /// Aggregate TFLOPS per GPU (main + fill).
     pub fn total_tflops_per_gpu(&self) -> f64 {
         self.main_tflops_per_gpu + self.recovered_tflops_per_gpu
+    }
+
+    /// Goodput fraction from surviving/lost FLOPs (1 when nothing ran).
+    pub fn goodput_of(surviving: f64, lost: f64) -> f64 {
+        let executed = surviving + lost;
+        if executed == 0.0 {
+            1.0
+        } else {
+            surviving / executed
+        }
     }
 }
 
@@ -211,6 +253,8 @@ pub enum BackendConfig {
     Coarse(ClusterSimConfig),
     /// Run the fine-grained physical backend.
     Physical(PhysicalSimConfig),
+    /// Run the heterogeneous, failure-injecting backend.
+    Fault(FaultSimConfig),
 }
 
 impl BackendConfig {
@@ -219,6 +263,7 @@ impl BackendConfig {
         match self {
             BackendConfig::Coarse(_) => BackendKind::Coarse,
             BackendConfig::Physical(_) => BackendKind::Physical,
+            BackendConfig::Fault(_) => BackendKind::Fault,
         }
     }
 
@@ -238,6 +283,13 @@ impl BackendConfig {
                 BackendRun {
                     metrics,
                     detail: BackendDetail::Physical(backend.into_result()),
+                }
+            }
+            BackendConfig::Fault(config) => {
+                let (metrics, backend) = BackendDriver::new(FaultBackend::new(config)).run();
+                BackendRun {
+                    metrics,
+                    detail: BackendDetail::Fault(backend.into_result()),
                 }
             }
         }
@@ -260,6 +312,8 @@ pub enum BackendDetail {
     Coarse(ClusterSimResult),
     /// Full physical-simulation output (slowdown, OOM isolation).
     Physical(PhysicalSimResult),
+    /// Full fault-simulation output (failures, evictions, goodput).
+    Fault(FaultSimResult),
 }
 
 impl BackendRun {
@@ -267,7 +321,7 @@ impl BackendRun {
     pub fn coarse(self) -> Option<ClusterSimResult> {
         match self.detail {
             BackendDetail::Coarse(r) => Some(r),
-            BackendDetail::Physical(_) => None,
+            _ => None,
         }
     }
 
@@ -275,7 +329,15 @@ impl BackendRun {
     pub fn physical(self) -> Option<PhysicalSimResult> {
         match self.detail {
             BackendDetail::Physical(r) => Some(r),
-            BackendDetail::Coarse(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The fault detail, if this was a fault run.
+    pub fn fault(self) -> Option<FaultSimResult> {
+        match self.detail {
+            BackendDetail::Fault(r) => Some(r),
+            _ => None,
         }
     }
 }
@@ -311,8 +373,11 @@ mod tests {
             "physical".parse::<BackendKind>().unwrap(),
             BackendKind::Physical
         );
+        assert_eq!("fault".parse::<BackendKind>().unwrap(), BackendKind::Fault);
         assert!("warp-speed".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Coarse.to_string(), "coarse");
+        assert_eq!(BackendKind::Fault.to_string(), "fault");
+        assert_eq!(BackendKind::ALL.len(), 3);
     }
 
     #[test]
@@ -330,6 +395,24 @@ mod tests {
         assert!(phys.metrics.main_slowdown >= 0.0);
         assert!(phys.metrics.events_dispatched > 0);
         assert!(phys.physical().is_some());
+
+        let mut fault_cfg =
+            crate::fault::FaultSimConfig::new(MainJobSpec::physical_5b(8, ScheduleKind::GPipe));
+        fault_cfg.iterations = 40;
+        fault_cfg.seed = 3;
+        let fault = BackendConfig::Fault(fault_cfg).run();
+        assert_eq!(fault.metrics.kind, BackendKind::Fault);
+        assert!(fault.metrics.recovered_tflops_per_gpu > 0.0);
+        assert_eq!(fault.metrics.evictions, 0); // faults disabled by default
+        assert_eq!(fault.metrics.goodput_fraction, 1.0);
+        assert!(fault.fault().is_some());
+    }
+
+    #[test]
+    fn goodput_helper_handles_edge_cases() {
+        assert_eq!(BackendMetrics::goodput_of(0.0, 0.0), 1.0);
+        assert_eq!(BackendMetrics::goodput_of(3.0, 1.0), 0.75);
+        assert_eq!(BackendMetrics::goodput_of(0.0, 5.0), 0.0);
     }
 
     #[test]

@@ -393,7 +393,10 @@ impl EventHandler for CoarseBackend {
                 });
                 self.dispatch_idle(now, queue);
             }
-            ClusterEvent::StageBubbles { .. } | ClusterEvent::IterationEnd => {
+            ClusterEvent::StageBubbles { .. }
+            | ClusterEvent::IterationEnd
+            | ClusterEvent::DeviceFailure { .. }
+            | ClusterEvent::DeviceRecovery { .. } => {
                 debug_assert!(false, "coarse backend received a fine-grained event");
             }
         }
@@ -476,6 +479,10 @@ impl SimBackend for CoarseBackend {
             main_slowdown: 0.0,
             bubble_ratio: result.bubble_ratio,
             jobs_completed: result.completed.len(),
+            // The coarse fidelity injects no failures.
+            evictions: 0,
+            lost_fill_flops: 0.0,
+            goodput_fraction: 1.0,
         }
     }
 }

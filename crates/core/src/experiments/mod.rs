@@ -13,6 +13,7 @@
 //! | Fig. 10a/10b (bubble size / free memory) | [`sensitivity`] |
 //! | Table 1 (fill-job categories) | [`table1::table1`] |
 //! | §6.2 newer-hardware hypothesis (extension) | [`whatif::whatif_offload_bandwidth`] |
+//! | Fault-tolerance MTBF × checkpoint-cost map (extension) | [`faults::whatif_faults`] |
 
 //!
 //! Simulation-backed drivers select their fidelity level by value through
@@ -21,6 +22,7 @@
 //! [`sweep`] module (`--threads` on the CLI).
 
 pub mod characterization;
+pub mod faults;
 pub mod fill_fraction;
 pub mod policies;
 pub mod scaling;
@@ -35,6 +37,7 @@ pub use characterization::{
     fig7_characterization, mix_relative_performance, mix_relative_performance_from,
     CharacterizationRow,
 };
+pub use faults::{whatif_faults, FaultWhatIfRow};
 pub use fill_fraction::{fig5_fill_fraction, FillFractionRow};
 pub use policies::{fig9_policies, PolicyRow};
 pub use scaling::{fig4_scaling, fig4_scaling_with, ScalingRow};

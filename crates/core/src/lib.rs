@@ -5,7 +5,8 @@
 //! into a cluster-level simulation, plus the experiment drivers that
 //! regenerate every figure of the paper's evaluation (§6).
 //!
-//! Two simulators are provided, mirroring the paper's methodology (§5.1):
+//! Three simulators are provided; the first two mirror the paper's
+//! methodology (§5.1):
 //!
 //! * [`ClusterSim`] — the *coarse, profile-driven* simulator. Like the
 //!   paper's, its events are fill-job arrivals and completions; the time
@@ -18,8 +19,14 @@
 //!   engine slack, so main-job slowdown is an emergent measurement rather
 //!   than an assumption. Comparing the two reproduces the paper's
 //!   simulator-validation experiment (Fig. 6, max error <2%).
+//! * [`FaultSim`] — the *heterogeneous, failure-injecting* extension of
+//!   the fine-grained model: per-stage GPU specs reshape bubble geometry
+//!   and fill throughput, and seeded device failures evict running fill
+//!   jobs with FreeRide-style checkpoint/restart accounting. With faults
+//!   off and a homogeneous cluster it reproduces [`PhysicalSim`] bit for
+//!   bit.
 //!
-//! Both are [`SimBackend`]s over the shared [`ClusterEvent`] alphabet,
+//! All are [`SimBackend`]s over the shared [`ClusterEvent`] alphabet,
 //! driven by the `pipefill-sim-core` kernel through [`BackendDriver`];
 //! experiment drivers select fidelity by value with [`BackendConfig`] and
 //! read the common [`BackendMetrics`] (see the `backend` module docs).
@@ -35,6 +42,7 @@ mod backend;
 mod cluster;
 mod convert;
 mod csv;
+mod fault;
 mod metrics;
 mod physical;
 mod steady;
@@ -50,6 +58,7 @@ pub use cluster::{
 };
 pub use convert::{kind_allowed, samples_for_trace_job, trace_job_to_spec};
 pub use csv::{experiments_dir, CsvWriter};
+pub use fault::{FaultBackend, FaultSim, FaultSimConfig, FaultSimResult};
 pub use metrics::{gpus_saved, JctStats, UtilizationBreakdown};
 pub use physical::{PhysicalBackend, PhysicalSim, PhysicalSimConfig, PhysicalSimResult};
 pub use steady::{stage_plans, steady_rate, steady_recovered_tflops, SteadyRate};

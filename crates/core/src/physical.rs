@@ -260,18 +260,9 @@ impl PhysicalBackend {
         None
     }
 
-    /// Critical-path aggregation of the in-flight iteration's stalls:
-    /// stalls on different stages partially overlap, so the longest is
-    /// fully paid and the rest half.
+    /// Critical-path aggregation of the in-flight iteration's stalls.
     fn aggregate_delay(&self) -> SimDuration {
-        let max = self
-            .stage_delays
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimDuration::ZERO);
-        let sum: SimDuration = self.stage_delays.iter().copied().sum();
-        max + (sum - max).mul_f64(0.5)
+        critical_path_delay(&self.stage_delays)
     }
 
     /// The detailed result. Only valid after the driver has run.
@@ -316,8 +307,11 @@ impl EventHandler for PhysicalBackend {
                     }
                 }
             }
-            ClusterEvent::JobArrival(_) | ClusterEvent::JobCompletion { .. } => {
-                debug_assert!(false, "physical backend received a coarse event");
+            ClusterEvent::JobArrival(_)
+            | ClusterEvent::JobCompletion { .. }
+            | ClusterEvent::DeviceFailure { .. }
+            | ClusterEvent::DeviceRecovery { .. } => {
+                debug_assert!(false, "physical backend received a foreign event");
             }
         }
     }
@@ -452,6 +446,11 @@ impl SimBackend for PhysicalBackend {
             main_slowdown: result.main_slowdown,
             bubble_ratio: self.bubble_ratio,
             jobs_completed: result.jobs_completed,
+            // This fidelity injects memory faults (isolated OOMs), not
+            // device failures: nothing is evicted mid-execution.
+            evictions: 0,
+            lost_fill_flops: 0.0,
+            goodput_fraction: 1.0,
         }
     }
 }
@@ -476,18 +475,33 @@ impl PhysicalSim {
     }
 }
 
+/// Critical-path aggregation of one iteration's per-stage stalls: stalls
+/// on different stages partially overlap, so the longest is fully paid
+/// and the rest half. Shared by every fine-grained backend so their
+/// slowdown semantics stay identical.
+pub(crate) fn critical_path_delay(stage_delays: &[SimDuration]) -> SimDuration {
+    let max = stage_delays
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let sum: SimDuration = stage_delays.iter().copied().sum();
+    max + (sum - max).mul_f64(0.5)
+}
+
 /// Weighted round-robin over a model mix (largest-accumulator rule), with
 /// training/inference alternation for the sub-700M models — realizes mix
-/// weights exactly, without sampling noise.
+/// weights exactly, without sampling noise. Shared with the fault backend
+/// so the two fine-grained fidelities realize identical workloads.
 #[derive(Debug)]
-struct MixRotation {
+pub(crate) struct MixRotation {
     weights: Vec<(ModelId, f64)>,
     acc: Vec<f64>,
     kind_flip: HashMap<ModelId, bool>,
 }
 
 impl MixRotation {
-    fn new(mix: &ModelMix) -> Self {
+    pub(crate) fn new(mix: &ModelMix) -> Self {
         let total: f64 = mix.weights().iter().map(|&(_, w)| w).sum();
         let weights: Vec<(ModelId, f64)> =
             mix.weights().iter().map(|&(m, w)| (m, w / total)).collect();
@@ -498,7 +512,7 @@ impl MixRotation {
         }
     }
 
-    fn next(&mut self) -> (ModelId, JobKind) {
+    pub(crate) fn next(&mut self) -> (ModelId, JobKind) {
         for (i, &(_, w)) in self.weights.iter().enumerate() {
             self.acc[i] += w;
         }

@@ -91,7 +91,9 @@ proptest! {
             prop_assert!(m.total_tflops_per_gpu() < 125.0);
             match m.kind {
                 BackendKind::Coarse => prop_assert_eq!(m.main_slowdown, 0.0),
-                BackendKind::Physical => prop_assert!(m.main_slowdown < 1.0),
+                BackendKind::Physical | BackendKind::Fault => {
+                    prop_assert!(m.main_slowdown < 1.0)
+                }
             }
         }
     }

@@ -65,6 +65,19 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA H100 SXM 80 GB (989 TFLOPS bf16, 3.35 TB/s HBM3, PCIe 5.0
+    /// host link) — the fast end of heterogeneous-cluster studies.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "H100".to_owned(),
+            peak_tflops: 989.0,
+            hbm: Bytes::from_gib(80),
+            hbm_bandwidth: 3350.0e9,
+            host_link_bandwidth: 50.0e9,
+            nvme_bandwidth: 12.0e9,
+        }
+    }
+
     /// AWS Trainium-like accelerator (the paper's footnote 1 includes
     /// Trainium in its "GPU" terminology).
     pub fn trainium() -> Self {
@@ -108,6 +121,22 @@ impl DeviceSpec {
     pub fn with_hbm(mut self, hbm: Bytes) -> Self {
         self.hbm = hbm;
         self
+    }
+
+    /// Compute-speed ratio against a baseline device: values above 1 mean
+    /// this device is faster. Heterogeneous-cluster backends use it to
+    /// stretch per-stage compute times and re-derive bubble geometry when
+    /// the pipeline mixes GPU generations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device has a non-positive peak throughput.
+    pub fn relative_speed(&self, baseline: &DeviceSpec) -> f64 {
+        assert!(
+            self.peak_tflops > 0.0 && baseline.peak_tflops > 0.0,
+            "relative_speed needs positive peak throughputs"
+        );
+        self.peak_tflops / baseline.peak_tflops
     }
 
     /// Returns a copy with the host link bandwidth replaced — the axis of
@@ -300,6 +329,17 @@ mod tests {
         // 12 GB over 12 GB/s = 1 s.
         let t = d.host_transfer_time(Bytes::new(12_000_000_000));
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_speed_is_a_peak_ratio() {
+        let v100 = DeviceSpec::v100();
+        let a100 = DeviceSpec::a100_40g();
+        assert!((a100.relative_speed(&v100) - 312.0 / 125.0).abs() < 1e-12);
+        assert!((v100.relative_speed(&a100) - 125.0 / 312.0).abs() < 1e-12);
+        assert_eq!(v100.relative_speed(&v100), 1.0);
+        // H100 is the fast end of the ladder.
+        assert!(DeviceSpec::h100().relative_speed(&v100) > 7.0);
     }
 
     #[test]

@@ -40,6 +40,19 @@ impl BubbleExecution {
     }
 }
 
+/// A serialized executor position: everything needed to resume a fill job
+/// after its device is lost (FreeRide-style preemption — side jobs must
+/// survive eviction). Cheap to take (four scalars; the weights live in a
+/// host-side checkpoint whose reload cost the simulation charges
+/// separately at restart).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorCheckpoint {
+    cursor: usize,
+    samples_done: u64,
+    flops_done: f64,
+    bubble_time_used: SimDuration,
+}
+
 /// Executes one fill job against one device's bubble cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FillJobExecutor {
@@ -135,6 +148,36 @@ impl FillJobExecutor {
             samples_completed: self.samples_done - before,
             job_finished: self.is_complete(),
         }
+    }
+
+    /// Snapshots the current position. Restoring the snapshot with
+    /// [`FillJobExecutor::restore`] rewinds the executor to this point;
+    /// progress made after the snapshot is lost — exactly the accounting a
+    /// failure-injecting simulation needs for work lost to eviction.
+    pub fn checkpoint(&self) -> ExecutorCheckpoint {
+        ExecutorCheckpoint {
+            cursor: self.cursor,
+            samples_done: self.samples_done,
+            flops_done: self.flops_done,
+            bubble_time_used: self.bubble_time_used,
+        }
+    }
+
+    /// Rewinds to a previously taken [`checkpoint`](Self::checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint lies *ahead* of the current position —
+    /// that would fabricate progress out of thin air.
+    pub fn restore(&mut self, ckpt: ExecutorCheckpoint) {
+        assert!(
+            ckpt.cursor <= self.cursor && ckpt.samples_done <= self.samples_done,
+            "cannot restore a checkpoint from the future"
+        );
+        self.cursor = ckpt.cursor;
+        self.samples_done = ckpt.samples_done;
+        self.flops_done = ckpt.flops_done;
+        self.bubble_time_used = ckpt.bubble_time_used;
     }
 
     /// Main-job iterations still needed to finish, assuming every future
@@ -277,6 +320,34 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_progress() {
+        let mut ex = executor_for(200_000);
+        drive(&mut ex, 2);
+        let ckpt = ex.checkpoint();
+        let at_ckpt = (ex.samples_done(), ex.flops_done(), ex.bubble_time_used());
+        drive(&mut ex, 6);
+        assert!(ex.flops_done() > at_ckpt.1, "no progress after checkpoint");
+        ex.restore(ckpt);
+        assert_eq!(
+            (ex.samples_done(), ex.flops_done(), ex.bubble_time_used()),
+            at_ckpt
+        );
+        // The rewound executor replays the same partitions it lost.
+        let r = ex.on_bubble(0);
+        assert!(r.time_used > SimDuration::ZERO || r.samples_completed == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint from the future")]
+    fn restoring_a_future_checkpoint_panics() {
+        let mut ex = executor_for(200_000);
+        drive(&mut ex, 4);
+        let future = ex.checkpoint();
+        let mut fresh = executor_for(200_000);
+        fresh.restore(future);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod plan;
 pub mod profile;
 
 pub use config::{ExecConfig, ExecTechnique, ExecutorConfig};
-pub use executor::{BubbleExecution, FillJobExecutor};
+pub use executor::{BubbleExecution, ExecutorCheckpoint, FillJobExecutor};
 pub use job::{FillJobSpec, JobId};
 pub use plan::{
     plan_best, plan_for_config, plan_whole_graph_only, ExecutionPlan, Partition, PlanError,

@@ -128,6 +128,26 @@ impl FillJobScheduler {
         self.queue.push(job);
     }
 
+    /// Re-enqueues a job evicted from a device mid-execution (GPU failure,
+    /// preemption). The job keeps its *original* arrival time, so
+    /// arrival-ordered policies (FIFO, and the deterministic tie-break of
+    /// every policy) favor evicted work over jobs that arrived later —
+    /// FreeRide-style preemption fairness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job with the same id is already queued: an evicted job
+    /// must have left the queue when it was dispatched, so a duplicate
+    /// means the caller is about to run it twice.
+    pub fn requeue(&mut self, job: JobInfo) {
+        assert!(
+            self.queue.iter().all(|j| j.id != job.id),
+            "job {} is already queued; evicted jobs re-enter exactly once",
+            job.id
+        );
+        self.queue.push(job);
+    }
+
     /// Jobs currently waiting.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
@@ -379,6 +399,29 @@ mod tests {
         let order: Vec<u64> =
             std::iter::from_fn(|| s.pick_for(0, &state).map(|j| j.id.0)).collect();
         assert_eq!(order, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn requeued_jobs_keep_arrival_priority() {
+        let mut s = FillJobScheduler::new(Box::new(Fifo));
+        s.submit(job(1, 0.0, &[Some(10)]));
+        s.submit(job(2, 5.0, &[Some(10)]));
+        let state = SystemState::idle(SimTime::from_secs_f64(20.0), 1);
+        // Job 1 dispatches, gets evicted, and re-enters with its original
+        // arrival — FIFO must still run it before the later job 2.
+        let evicted = s.pick_for(0, &state).unwrap();
+        assert_eq!(evicted.id, JobId(1));
+        s.requeue(evicted);
+        assert_eq!(s.queue_len(), 2);
+        assert_eq!(s.pick_for(0, &state).unwrap().id, JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn double_requeue_of_a_queued_job_panics() {
+        let mut s = FillJobScheduler::new(Box::new(Fifo));
+        s.submit(job(1, 0.0, &[Some(10)]));
+        s.requeue(job(1, 0.0, &[Some(10)]));
     }
 
     #[test]

@@ -220,6 +220,32 @@ impl DeterministicRng {
         self.normal(1.0, cv).max(0.0)
     }
 
+    /// Exponential waiting time with the given `mean` duration — the
+    /// inter-event sample of a Poisson process such as GPU failures with a
+    /// mean-time-between-failures. An infinite or `MAX` mean models an
+    /// event that never fires and returns [`crate::SimDuration::MAX`]
+    /// without consuming randomness (so fidelity sweeps over the mean do
+    /// not perturb unrelated streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is zero.
+    pub fn exponential_duration(&mut self, mean: crate::SimDuration) -> crate::SimDuration {
+        assert!(
+            !mean.is_zero(),
+            "exponential_duration needs a positive mean"
+        );
+        if mean == crate::SimDuration::MAX {
+            return crate::SimDuration::MAX;
+        }
+        let secs = self.exponential(1.0 / mean.as_secs_f64());
+        if secs.is_finite() && secs < (u64::MAX / 2) as f64 * 1e-9 {
+            crate::SimDuration::from_secs_f64(secs)
+        } else {
+            crate::SimDuration::MAX
+        }
+    }
+
     /// Picks an index according to `weights` (need not be normalized).
     ///
     /// # Panics
@@ -370,5 +396,35 @@ mod tests {
     fn exponential_rejects_zero_rate() {
         let mut rng = DeterministicRng::seed_from(11);
         let _ = rng.exponential(0.0);
+    }
+
+    #[test]
+    fn exponential_duration_mean_matches() {
+        use crate::SimDuration;
+        let mut rng = DeterministicRng::seed_from(12);
+        let mean = SimDuration::from_secs(3600);
+        let n = 20_000;
+        let avg: f64 = (0..n)
+            .map(|_| rng.exponential_duration(mean).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - 3600.0).abs() < 60.0, "avg={avg}");
+    }
+
+    #[test]
+    fn exponential_duration_infinite_mean_never_fires() {
+        use crate::SimDuration;
+        let mut a = DeterministicRng::seed_from(13);
+        let mut b = DeterministicRng::seed_from(13);
+        assert_eq!(a.exponential_duration(SimDuration::MAX), SimDuration::MAX);
+        // The MAX path consumes no randomness: both streams stay aligned.
+        assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mean")]
+    fn exponential_duration_rejects_zero_mean() {
+        let mut rng = DeterministicRng::seed_from(14);
+        let _ = rng.exponential_duration(crate::SimDuration::ZERO);
     }
 }

@@ -24,8 +24,9 @@
 //! * [`trace`] — the synthetic Alibaba-style fill-job trace generator
 //!   and HuggingFace-style model mix;
 //! * [`core`] — the integrated system: coarse cluster simulator,
-//!   fine-grained "physical" simulator, metrics, and one experiment
-//!   driver per figure of the paper.
+//!   fine-grained "physical" simulator, the heterogeneous +
+//!   fault-injecting simulator, metrics, and one experiment driver per
+//!   figure of the paper.
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,183 @@
+//! Cross-backend conformance: one parameterized harness that drives every
+//! `BackendConfig` arm — coarse, physical, fault — through the shared
+//! `BackendDriver` and asserts the invariants the whole backend family
+//! must uphold, whatever its fidelity:
+//!
+//! * the kernel clock never moves backwards while stepping;
+//! * `metrics()` fields are finite, non-negative and internally
+//!   consistent;
+//! * reruns from the same seed are bit-identical;
+//! * drain accounts every scheduled job exactly once (no losses, no
+//!   double completions);
+//! * the fault backend with MTBF = ∞ agrees with the physical backend
+//!   within the Fig. 6 tolerance.
+
+use pipefill::core::experiments::validation::AGREEMENT_TOLERANCE;
+use pipefill::core::{
+    BackendConfig, BackendDriver, BackendMetrics, ClusterSimConfig, CoarseBackend, FaultBackend,
+    FaultSimConfig, PhysicalBackend, PhysicalSimConfig, SimBackend,
+};
+use pipefill::pipeline::{MainJobSpec, ScheduleKind};
+use pipefill::sim::{SimDuration, SimTime, StepOutcome};
+use pipefill::trace::{TraceConfig, TraceGenerator};
+
+fn coarse_config(seed: u64) -> ClusterSimConfig {
+    let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+    let mut trace = TraceConfig::physical(seed);
+    trace.horizon = SimDuration::from_secs(900);
+    ClusterSimConfig::new(main, trace)
+}
+
+fn physical_config(seed: u64) -> PhysicalSimConfig {
+    let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+    let mut cfg = PhysicalSimConfig::new(main);
+    cfg.iterations = 60;
+    cfg.seed = seed;
+    cfg
+}
+
+fn fault_config(seed: u64) -> FaultSimConfig {
+    let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+    let mut cfg = FaultSimConfig::new(main).with_mtbf(SimDuration::from_secs(400));
+    cfg.iterations = 60;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The parameterized harness: every backend must pass this, whatever its
+/// fidelity level.
+fn check_conformance<B: SimBackend>(label: &str, mk: impl Fn() -> B) -> BackendMetrics {
+    // 1. Monotone kernel clock under single-stepping.
+    let mut driver = BackendDriver::new(mk());
+    let mut prev = SimTime::ZERO;
+    let mut steps = 0u64;
+    while driver.step() == StepOutcome::Dispatched {
+        let now = driver.now();
+        assert!(
+            now >= prev,
+            "{label}: clock moved backwards at step {steps}"
+        );
+        prev = now;
+        steps += 1;
+        assert!(steps < 50_000_000, "{label}: runaway event loop");
+    }
+    assert!(steps > 0, "{label}: backend dispatched nothing");
+
+    // 2. Metrics are finite, non-negative and internally consistent.
+    let (metrics, _) = BackendDriver::new(mk()).run();
+    assert_eq!(
+        metrics.events_dispatched, steps,
+        "{label}: step/run mismatch"
+    );
+    assert!(metrics.num_devices > 0, "{label}");
+    assert!(metrics.elapsed > SimDuration::ZERO, "{label}");
+    for (name, value) in [
+        ("fill_flops", metrics.fill_flops),
+        ("recovered_tflops_per_gpu", metrics.recovered_tflops_per_gpu),
+        ("main_tflops_per_gpu", metrics.main_tflops_per_gpu),
+        ("main_slowdown", metrics.main_slowdown),
+        ("bubble_ratio", metrics.bubble_ratio),
+        ("lost_fill_flops", metrics.lost_fill_flops),
+        ("goodput_fraction", metrics.goodput_fraction),
+    ] {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "{label}: {name} = {value}"
+        );
+    }
+    assert!((0.0..=1.0).contains(&metrics.bubble_ratio), "{label}");
+    assert!((0.0..=1.0).contains(&metrics.goodput_fraction), "{label}");
+    assert!(metrics.total_tflops_per_gpu() >= metrics.main_tflops_per_gpu);
+
+    // 3. Bit-identical rerun from the same configuration.
+    let (again, _) = BackendDriver::new(mk()).run();
+    assert_eq!(metrics, again, "{label}: rerun diverged");
+
+    metrics
+}
+
+#[test]
+fn coarse_backend_conforms() {
+    for seed in [1u64, 2, 3] {
+        let metrics = check_conformance("coarse", || CoarseBackend::new(coarse_config(seed)));
+        // Drain accounts jobs exactly once: every completed job is
+        // distinct, the metrics agree with the ledger, and no job is
+        // conjured beyond what the trace scheduled.
+        let (m2, backend) = BackendDriver::new(CoarseBackend::new(coarse_config(seed))).run();
+        assert_eq!(metrics, m2);
+        let detail = backend.into_result();
+        assert_eq!(detail.completed.len(), metrics.jobs_completed);
+        let mut ids: Vec<_> = detail.completed.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(n, ids.len(), "coarse: a job completed twice");
+        let (trace_jobs, _) = TraceGenerator::new(coarse_config(seed).trace).generate();
+        assert!(
+            detail.completed.len() + detail.rejected <= trace_jobs.len(),
+            "coarse: more outcomes than arrivals"
+        );
+    }
+}
+
+#[test]
+fn physical_backend_conforms() {
+    for seed in [1u64, 2, 3] {
+        let metrics = check_conformance("physical", || PhysicalBackend::new(physical_config(seed)));
+        let (_, backend) = BackendDriver::new(PhysicalBackend::new(physical_config(seed))).run();
+        let detail = backend.into_result();
+        assert_eq!(detail.jobs_completed, metrics.jobs_completed);
+        assert_eq!(detail.fill_flops, metrics.fill_flops);
+    }
+}
+
+#[test]
+fn fault_backend_conforms() {
+    for seed in [1u64, 2, 3] {
+        let metrics = check_conformance("fault", || FaultBackend::new(fault_config(seed)));
+        let (_, backend) = BackendDriver::new(FaultBackend::new(fault_config(seed))).run();
+        let detail = backend.into_result();
+        // Exactly-once job accounting survives eviction/revival churn.
+        assert_eq!(detail.completed_job_ids.len(), metrics.jobs_completed);
+        let mut ids = detail.completed_job_ids.clone();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(n, ids.len(), "fault: a job completed twice");
+        // Executed work splits exactly into surviving + lost.
+        assert_eq!(detail.fill_flops, metrics.fill_flops);
+        assert_eq!(detail.lost_fill_flops, metrics.lost_fill_flops);
+        assert!(detail.failures > 0, "seed {seed}: 400s MTBF never fired");
+    }
+}
+
+/// The acceptance gate: with fault injection disabled and a homogeneous
+/// device list, the fault backend must agree with the physical backend on
+/// recovered TFLOPs within the Fig. 6 tolerance. (The implementation
+/// actually achieves bit-parity; the tolerance keeps the gate meaningful
+/// if the two fidelities ever drift apart legitimately.)
+#[test]
+fn fault_with_infinite_mtbf_agrees_with_physical() {
+    for seed in [1u64, 5, 9] {
+        let mut fault_cfg = fault_config(seed);
+        fault_cfg.mtbf = SimDuration::MAX;
+        fault_cfg.iterations = 120;
+        let mut phys_cfg = physical_config(seed);
+        phys_cfg.iterations = 120;
+
+        let fault = BackendConfig::Fault(fault_cfg).run().metrics;
+        let phys = BackendConfig::Physical(phys_cfg).run().metrics;
+
+        assert!(fault.recovered_tflops_per_gpu > 0.0);
+        let err = (fault.recovered_tflops_per_gpu - phys.recovered_tflops_per_gpu).abs()
+            / phys.recovered_tflops_per_gpu;
+        assert!(
+            err < AGREEMENT_TOLERANCE,
+            "seed {seed}: fault vs physical disagree by {:.2}% (tolerance {:.0}%)",
+            100.0 * err,
+            100.0 * AGREEMENT_TOLERANCE
+        );
+        assert_eq!(fault.evictions, 0);
+        assert_eq!(fault.goodput_fraction, 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden-snapshot tests for the experiment drivers: regenerate the
+//! paper artifacts on a small grid and diff the CSV byte-for-byte against
+//! the references committed under `tests/golden/`. Refactors that
+//! silently shift paper numbers fail here, not in a reviewer's plot.
+//!
+//! To refresh the snapshots after an *intentional* model change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_experiments -- --include-ignored
+//! ```
+//!
+//! and commit the diff — review then documents exactly which numbers
+//! moved.
+
+use pipefill::core::experiments::{
+    fig4_scaling, fig5_fill_fraction, fig8_schedules, fill_fraction, scaling, schedules, table1,
+};
+use pipefill::executor::ExecutorConfig;
+
+/// Renders a driver's CSV into a temp file and returns its bytes.
+fn csv_bytes(name: &str, write: impl FnOnce(&str) -> std::io::Result<()>) -> String {
+    let dir = std::env::temp_dir().join(format!("pipefill-golden-{}", std::process::id()));
+    let path = dir.join(name);
+    write(path.to_str().expect("temp path is utf-8")).expect("writing CSV");
+    let bytes = std::fs::read_to_string(&path).expect("reading CSV back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Byte-for-byte comparison against the committed snapshot, or a refresh
+/// when `UPDATE_GOLDEN` is set.
+fn golden_check(name: &str, fresh: &str, committed: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name);
+        std::fs::write(&path, fresh).expect("updating golden snapshot");
+        return;
+    }
+    assert_eq!(
+        fresh, committed,
+        "tests/golden/{name} drifted; if the change is intentional, refresh \
+         with UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn table1_matches_golden_snapshot() {
+    let rows = table1::table1();
+    let fresh = csv_bytes("table1.csv", |p| table1::save_table1(&rows, p));
+    golden_check("table1.csv", &fresh, include_str!("golden/table1.csv"));
+}
+
+#[test]
+fn fig4_scaling_matches_golden_snapshot() {
+    let rows = fig4_scaling();
+    let fresh = csv_bytes("fig4_scaling.csv", |p| scaling::save_scaling(&rows, p));
+    golden_check(
+        "fig4_scaling.csv",
+        &fresh,
+        include_str!("golden/fig4_scaling.csv"),
+    );
+}
+
+#[test]
+fn fig8_schedules_matches_golden_snapshot() {
+    let rows = fig8_schedules(&ExecutorConfig::default());
+    let fresh = csv_bytes("fig8_schedules.csv", |p| {
+        schedules::save_schedules(&rows, p)
+    });
+    golden_check(
+        "fig8_schedules.csv",
+        &fresh,
+        include_str!("golden/fig8_schedules.csv"),
+    );
+}
+
+/// The simulation-backed snapshot: Fig. 5 on the reduced 40-iteration
+/// grid (seed 7). Heavier than the analysis drivers, so it rides the
+/// `--include-ignored` CI gate rather than every local `cargo test`.
+#[test]
+#[ignore = "simulation-backed; run via cargo test -- --include-ignored (CI does)"]
+fn fig5_fill_fraction_matches_golden_snapshot() {
+    let rows = fig5_fill_fraction(40, 7);
+    let fresh = csv_bytes("fig5_fill_fraction.csv", |p| {
+        fill_fraction::save_fill_fraction(&rows, p)
+    });
+    golden_check(
+        "fig5_fill_fraction.csv",
+        &fresh,
+        include_str!("golden/fig5_fill_fraction.csv"),
+    );
+}

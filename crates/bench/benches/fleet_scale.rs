@@ -1,0 +1,42 @@
+//! Fleet-size scaling — the multi-job sweep through the fleet backend
+//! (1 → 64 concurrent jobs, up to 8K GPUs, one global fill queue), plus
+//! timing probes of the two fleet hot paths: a rack-scale fleet run and
+//! the 64-job construction + simulation at the paper's projection scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::fleet::{fleet_scale, print_fleet, save_fleet, FLEET_MTBF};
+use pipefill_core::{BackendConfig, FleetSimConfig};
+use pipefill_trace::FleetWorkloadConfig;
+
+fn bench(c: &mut Criterion) {
+    let rows = fleet_scale(150, 7);
+    println!("\nFleet-size scaling — multi-job fleets on one global fill queue:");
+    print_fleet(&rows);
+    save_fleet(&rows, &experiment_csv("fleet_scale.csv")).expect("csv");
+
+    c.bench_function("fleet/rack_scale_4_jobs_150_iters", |b| {
+        b.iter(|| {
+            let mut workload = FleetWorkloadConfig::rack_scale(7);
+            workload.iterations = 150;
+            let cfg = FleetSimConfig::from_workload(&workload).with_mtbf(FLEET_MTBF);
+            BackendConfig::Fleet(cfg).run().metrics
+        })
+    });
+
+    c.bench_function("fleet/production_64_jobs_8k_gpus", |b| {
+        b.iter(|| {
+            let mut workload = FleetWorkloadConfig::production_8k(7);
+            workload.iterations = 150;
+            let cfg = FleetSimConfig::from_workload(&workload).with_mtbf(FLEET_MTBF);
+            BackendConfig::Fleet(cfg).run().metrics
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

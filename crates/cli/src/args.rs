@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy has no
 //! CLI crate; the grammar is tiny).
 
-use pipefill_core::BackendKind;
+use pipefill_core::{BackendKind, PolicyKind};
 use pipefill_model_zoo::{JobKind, ModelId};
 use pipefill_pipeline::ScheduleKind;
 
@@ -21,6 +21,9 @@ commands:
   whatif                          offload-bandwidth what-if
   faults [--iterations N] [--seed S]
                                   MTBF x checkpoint-cost fault-tolerance map
+  fleet  [--jobs N] [--gpus N] [--iterations N] [--seed S]
+         [--mtbf-secs X|inf] [--policy fifo|sjf|makespan-min|edf]
+                                  multi-job fleet on one global fill queue
   all    [--out DIR]              run everything, write CSVs
   sim    [--backend coarse|physical|fault] [--seed S] [--iterations N]
          [--horizon-secs N] [--load X] [--fill-fraction F]
@@ -78,6 +81,22 @@ pub enum Command {
         iterations: usize,
         /// RNG seed.
         seed: u64,
+    },
+    /// Multi-job fleet simulation on one global fill queue.
+    Fleet {
+        /// Concurrent main jobs.
+        jobs: usize,
+        /// Total GPU budget split across jobs.
+        gpus: usize,
+        /// Main-job iterations per job.
+        iterations: usize,
+        /// RNG seed (fleet generation + failure streams).
+        seed: u64,
+        /// Mean time between device failures in seconds (infinity
+        /// disables injection and with it all global-queue traffic).
+        mtbf_secs: f64,
+        /// Policy of the cluster-wide fill queue.
+        policy: PolicyKind,
     },
     /// Everything, with CSV output.
     All {
@@ -190,6 +209,30 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 seed: flags.take_u64("seed", 7)?,
             }
         }
+        "fleet" => {
+            let jobs = flags.take_usize("jobs", 8)?;
+            if jobs == 0 {
+                return Err("--jobs must be at least 1 for fleet".into());
+            }
+            let gpus = flags.take_usize("gpus", jobs * 128)?;
+            if gpus / jobs < 8 {
+                return Err(format!(
+                    "--gpus {gpus} leaves under 8 GPUs per job; the smallest pipeline needs 8"
+                ));
+            }
+            let iterations = flags.take_usize("iterations", 150)?;
+            if iterations == 0 {
+                return Err("--iterations must be at least 1 for fleet".into());
+            }
+            Command::Fleet {
+                jobs,
+                gpus,
+                iterations,
+                seed: flags.take_u64("seed", 7)?,
+                mtbf_secs: take_mtbf_secs(&mut flags, "1800")?,
+                policy: flags.take_string("policy", "fifo")?.parse::<PolicyKind>()?,
+            }
+        }
         "all" => Command::All {
             out: flags.take_string("out", "target/experiments")?,
         },
@@ -197,6 +240,11 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
             let backend = flags
                 .take_string("backend", "coarse")?
                 .parse::<BackendKind>()?;
+            if backend == BackendKind::Fleet {
+                return Err(
+                    "the fleet backend simulates many jobs; use the 'fleet' subcommand".into(),
+                );
+            }
             // Each fidelity has its own knobs; reject the other backends'
             // so a sweep over an inapplicable flag can't silently no-op.
             let inapplicable: &[&str] = match backend {
@@ -208,6 +256,7 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 ],
                 BackendKind::Physical => &["horizon-secs", "load", "mtbf-secs", "checkpoint-secs"],
                 BackendKind::Fault => &["horizon-secs", "load"],
+                BackendKind::Fleet => unreachable!("rejected above"),
             };
             for flag in inapplicable {
                 if flags.provided(flag) {
@@ -224,18 +273,7 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                     "--fill-fraction must be within [0, 1], got {fill_fraction}"
                 ));
             }
-            let mtbf_secs = match flags.take_string("mtbf-secs", "inf")?.as_str() {
-                "inf" | "infinity" | "none" => f64::INFINITY,
-                v => {
-                    let secs: f64 = v
-                        .parse()
-                        .map_err(|_| format!("--mtbf-secs expects a number or 'inf', got '{v}'"))?;
-                    if secs <= 0.0 || secs.is_nan() {
-                        return Err(format!("--mtbf-secs must be positive, got {secs}"));
-                    }
-                    secs
-                }
-            };
+            let mtbf_secs = take_mtbf_secs(&mut flags, "inf")?;
             let checkpoint_secs = flags.take_f64("checkpoint-secs", 2.0)?;
             if !(checkpoint_secs >= 0.0 && checkpoint_secs.is_finite()) {
                 return Err(format!(
@@ -288,6 +326,23 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
     };
     flags.finish()?;
     Ok(Invocation { command, threads })
+}
+
+/// Parses `--mtbf-secs` ('inf' disables injection; otherwise a positive
+/// number of seconds).
+fn take_mtbf_secs(flags: &mut FlagSet, default: &str) -> Result<f64, String> {
+    match flags.take_string("mtbf-secs", default)?.as_str() {
+        "inf" | "infinity" | "none" => Ok(f64::INFINITY),
+        v => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("--mtbf-secs expects a number or 'inf', got '{v}'"))?;
+            if secs <= 0.0 || secs.is_nan() {
+                return Err(format!("--mtbf-secs must be positive, got {secs}"));
+            }
+            Ok(secs)
+        }
+    }
 }
 
 fn parse_model(name: &str) -> Result<ModelId, String> {
@@ -559,6 +614,72 @@ mod tests {
         assert!(err.contains("unknown flag --mtbf-secs"), "{err}");
         let err = parse(&argv("faults --iterations 0")).unwrap_err();
         assert!(err.contains("--iterations must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn parses_fleet_command_with_defaults() {
+        assert_eq!(
+            cmd("fleet"),
+            Command::Fleet {
+                jobs: 8,
+                gpus: 8 * 128,
+                iterations: 150,
+                seed: 7,
+                mtbf_secs: 1800.0,
+                policy: PolicyKind::Fifo,
+            }
+        );
+        assert_eq!(
+            cmd("fleet --jobs 64 --gpus 8192 --iterations 200 --seed 3 \
+                 --mtbf-secs 600 --policy sjf"),
+            Command::Fleet {
+                jobs: 64,
+                gpus: 8192,
+                iterations: 200,
+                seed: 3,
+                mtbf_secs: 600.0,
+                policy: PolicyKind::Sjf,
+            }
+        );
+        // The GPU budget defaults to 128 per job.
+        assert!(matches!(
+            cmd("fleet --jobs 4"),
+            Command::Fleet { gpus: 512, .. }
+        ));
+        // 'inf' disables fault injection.
+        assert!(matches!(
+            cmd("fleet --mtbf-secs inf"),
+            Command::Fleet { mtbf_secs, .. } if mtbf_secs.is_infinite()
+        ));
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_flags_and_degenerate_values() {
+        // Unknown and other-command flags are rejected, not dropped.
+        let err = parse(&argv("fleet --bogus 3")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        let err = parse(&argv("fleet --load 2.0")).unwrap_err();
+        assert!(err.contains("unknown flag --load"), "{err}");
+        let err = parse(&argv("fleet --fill-fraction 0.9")).unwrap_err();
+        assert!(err.contains("unknown flag --fill-fraction"), "{err}");
+        let err = parse(&argv("fleet --checkpoint-secs 2")).unwrap_err();
+        assert!(err.contains("unknown flag --checkpoint-secs"), "{err}");
+        // Degenerate grids error out instead of silently doing nothing.
+        let err = parse(&argv("fleet --jobs 0")).unwrap_err();
+        assert!(err.contains("--jobs must be at least 1"), "{err}");
+        let err = parse(&argv("fleet --iterations 0")).unwrap_err();
+        assert!(err.contains("--iterations must be at least 1"), "{err}");
+        let err = parse(&argv("fleet --jobs 4 --gpus 16")).unwrap_err();
+        assert!(err.contains("under 8 GPUs per job"), "{err}");
+        let err = parse(&argv("fleet --mtbf-secs 0")).unwrap_err();
+        assert!(err.contains("--mtbf-secs must be positive"), "{err}");
+        let err = parse(&argv("fleet --mtbf-secs soon")).unwrap_err();
+        assert!(err.contains("expects a number or 'inf'"), "{err}");
+        let err = parse(&argv("fleet --policy quantum")).unwrap_err();
+        assert!(err.contains("unknown policy 'quantum'"), "{err}");
+        // The fleet backend has its own subcommand; `sim` points there.
+        let err = parse(&argv("sim --backend fleet")).unwrap_err();
+        assert!(err.contains("use the 'fleet' subcommand"), "{err}");
     }
 
     #[test]

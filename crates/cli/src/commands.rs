@@ -2,12 +2,13 @@
 
 use pipefill_core::experiments::*;
 use pipefill_core::{
-    BackendConfig, BackendKind, BackendMetrics, ClusterSimConfig, FaultSimConfig, PhysicalSimConfig,
+    BackendConfig, BackendKind, BackendMetrics, ClusterSimConfig, FaultSimConfig, FleetSimConfig,
+    FleetSimResult, PhysicalSimConfig,
 };
 use pipefill_executor::{plan_best, ExecutorConfig, FillJobSpec};
 use pipefill_pipeline::{render_timeline, EngineConfig, MainJobSpec, ScheduleKind};
 use pipefill_sim_core::SimDuration;
-use pipefill_trace::TraceConfig;
+use pipefill_trace::{FleetWorkloadConfig, TraceConfig};
 
 use crate::args::{Command, Invocation, USAGE};
 
@@ -48,6 +49,41 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             );
             faults::print_faults(&whatif_faults(iterations, seed));
         }
+        Command::Fleet {
+            jobs,
+            gpus,
+            iterations,
+            seed,
+            mtbf_secs,
+            policy,
+        } => {
+            let mut workload = FleetWorkloadConfig::new(jobs, gpus, seed);
+            workload.iterations = iterations;
+            let mtbf = if mtbf_secs.is_finite() {
+                SimDuration::from_secs_f64(mtbf_secs)
+            } else {
+                SimDuration::MAX
+            };
+            let config = FleetSimConfig::from_workload(&workload)
+                .with_mtbf(mtbf)
+                .with_policy(policy);
+            let run = BackendConfig::Fleet(config).run();
+            let metrics = run.metrics;
+            let detail = run.fleet().expect("fleet config yields fleet detail");
+            println!(
+                "fleet of {jobs} jobs over {} GPUs ({} simulated devices, \
+                 {iterations} iterations each, {policy} global queue, {threads} threads):\n",
+                detail.total_gpus, detail.num_devices
+            );
+            print_fleet_jobs(&detail);
+            println!();
+            print_metrics(&metrics);
+            println!("failures:           {}", detail.failures);
+            println!(
+                "cross-job resumes:  {} (peak queue depth {})",
+                detail.cross_job_dispatches, detail.peak_queue_depth
+            );
+        }
         Command::All { out } => run_all(&out)?,
         Command::Sim {
             backend,
@@ -86,6 +122,9 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
                     cfg.seed = seed;
                     BackendConfig::Fault(cfg)
                 }
+                // The parser routes the fleet backend to its own
+                // subcommand (it simulates many main jobs, not one).
+                BackendKind::Fleet => unreachable!("rejected by the argument parser"),
             };
             print_metrics(&config.run().metrics);
         }
@@ -177,6 +216,37 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
     Ok(())
 }
 
+fn print_fleet_jobs(detail: &FleetSimResult) {
+    println!(
+        "{:>4} {:>6} {:>7} {:>9} {:>6} {:>11} {:>11} {:>9} {:>6} {:>6}",
+        "job",
+        "GPUs",
+        "stages",
+        "device",
+        "fill%",
+        "fill TFLOPS",
+        "main TFLOPS",
+        "slowdown",
+        "fills",
+        "evict"
+    );
+    for j in &detail.jobs {
+        println!(
+            "{:>4} {:>6} {:>7} {:>9} {:>5.0}% {:>11.2} {:>11.2} {:>8.2}% {:>6} {:>6}",
+            j.job,
+            j.gpus,
+            j.stages,
+            j.device,
+            100.0 * j.fill_fraction,
+            j.recovered_tflops_per_gpu,
+            j.main_tflops_per_gpu,
+            100.0 * j.main_slowdown,
+            j.fill_jobs_completed,
+            j.evictions,
+        );
+    }
+}
+
 fn print_metrics(m: &BackendMetrics) {
     println!("backend:            {}", m.kind);
     println!("devices:            {}", m.num_devices);
@@ -195,7 +265,7 @@ fn print_metrics(m: &BackendMetrics) {
         "total TFLOPS:       {:.2} per GPU",
         m.total_tflops_per_gpu()
     );
-    if m.kind == BackendKind::Fault {
+    if matches!(m.kind, BackendKind::Fault | BackendKind::Fleet) {
         println!("evictions:          {}", m.evictions);
         println!("lost fill FLOPs:    {:.3e}", m.lost_fill_flops);
         println!("goodput fraction:   {:.1}%", 100.0 * m.goodput_fraction);
@@ -269,6 +339,11 @@ fn run_all(out: &str) -> Result<(), String> {
     let ft = whatif_faults(200, 7);
     faults::print_faults(&ft);
     faults::save_faults(&ft, &format!("{out}/whatif_faults.csv")).map_err(io)?;
+
+    println!("\n== Fleet-size scaling ==");
+    let fs = fleet_scale(150, 7);
+    fleet::print_fleet(&fs);
+    fleet::save_fleet(&fs, &format!("{out}/fleet_scale.csv")).map_err(io)?;
 
     println!("\nCSV written under {out}/");
     Ok(())

@@ -14,6 +14,7 @@
 //!   fig10                          bubble-size / free-memory sensitivity
 //!   whatif                         newer-hardware offload-bandwidth sweep
 //!   faults [--iterations N]        MTBF x checkpoint-cost fault-tolerance map
+//!   fleet  [--jobs N] [--gpus N]   multi-job fleet on one global fill queue
 //!   all    [--out DIR]             everything + CSV output
 //!   sim    [--backend coarse|physical|fault] [...]
 //!                                  one simulation at a chosen fidelity

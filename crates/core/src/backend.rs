@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cluster::{ClusterSimConfig, ClusterSimResult, CoarseBackend};
 use crate::fault::{FaultBackend, FaultSimConfig, FaultSimResult};
+use crate::fleet::{FleetBackend, FleetSimConfig, FleetSimResult};
 use crate::physical::{PhysicalBackend, PhysicalSimConfig, PhysicalSimResult};
 
 /// Which fidelity level a simulation runs at.
@@ -36,14 +37,18 @@ pub enum BackendKind {
     /// failure/recovery injection with FreeRide-style fill-job eviction
     /// accounting.
     Fault,
+    /// Fleet-scale: many concurrent pipeline-parallel main jobs sharing
+    /// one cluster-wide fill queue on a single event kernel.
+    Fleet,
 }
 
 impl BackendKind {
     /// All backends, for sweeps and CLI listings.
-    pub const ALL: [BackendKind; 3] = [
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Coarse,
         BackendKind::Physical,
         BackendKind::Fault,
+        BackendKind::Fleet,
     ];
 }
 
@@ -53,6 +58,7 @@ impl std::fmt::Display for BackendKind {
             BackendKind::Coarse => write!(f, "coarse"),
             BackendKind::Physical => write!(f, "physical"),
             BackendKind::Fault => write!(f, "fault"),
+            BackendKind::Fleet => write!(f, "fleet"),
         }
     }
 }
@@ -64,7 +70,10 @@ impl std::str::FromStr for BackendKind {
             "coarse" | "sim" | "cluster" => Ok(BackendKind::Coarse),
             "physical" | "phys" | "fine" => Ok(BackendKind::Physical),
             "fault" | "faults" | "hetero" => Ok(BackendKind::Fault),
-            other => Err(format!("unknown backend '{other}' (coarse|physical|fault)")),
+            "fleet" | "multi" | "multi-job" => Ok(BackendKind::Fleet),
+            other => Err(format!(
+                "unknown backend '{other}' (coarse|physical|fault|fleet)"
+            )),
         }
     }
 }
@@ -90,6 +99,13 @@ pub enum ClusterEvent {
     /// A main-job iteration boundary: aggregate per-stage stalls into the
     /// pipeline's critical path (fine-grained backends only).
     IterationEnd,
+    /// Iteration boundary of one main job of a fleet (`stage` fields of
+    /// fleet events are *flat* indices over all pipelines; this carries
+    /// the job whose pipeline wrapped). Fleet backends only.
+    JobIterationEnd {
+        /// Fleet main-job index.
+        job: usize,
+    },
     /// The GPU driving `device` failed: evict its fill job and take the
     /// stage down until recovery (failure-injecting backends only).
     DeviceFailure {
@@ -255,6 +271,8 @@ pub enum BackendConfig {
     Physical(PhysicalSimConfig),
     /// Run the heterogeneous, failure-injecting backend.
     Fault(FaultSimConfig),
+    /// Run the fleet-scale multi-job backend.
+    Fleet(FleetSimConfig),
 }
 
 impl BackendConfig {
@@ -264,6 +282,7 @@ impl BackendConfig {
             BackendConfig::Coarse(_) => BackendKind::Coarse,
             BackendConfig::Physical(_) => BackendKind::Physical,
             BackendConfig::Fault(_) => BackendKind::Fault,
+            BackendConfig::Fleet(_) => BackendKind::Fleet,
         }
     }
 
@@ -292,6 +311,13 @@ impl BackendConfig {
                     detail: BackendDetail::Fault(backend.into_result()),
                 }
             }
+            BackendConfig::Fleet(config) => {
+                let (metrics, backend) = BackendDriver::new(FleetBackend::new(config)).run();
+                BackendRun {
+                    metrics,
+                    detail: BackendDetail::Fleet(backend.into_result()),
+                }
+            }
         }
     }
 }
@@ -314,6 +340,9 @@ pub enum BackendDetail {
     Physical(PhysicalSimResult),
     /// Full fault-simulation output (failures, evictions, goodput).
     Fault(FaultSimResult),
+    /// Full fleet-simulation output (per-job and aggregate metrics,
+    /// global-queue statistics).
+    Fleet(FleetSimResult),
 }
 
 impl BackendRun {
@@ -337,6 +366,14 @@ impl BackendRun {
     pub fn fault(self) -> Option<FaultSimResult> {
         match self.detail {
             BackendDetail::Fault(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fleet detail, if this was a fleet run.
+    pub fn fleet(self) -> Option<FleetSimResult> {
+        match self.detail {
+            BackendDetail::Fleet(r) => Some(r),
             _ => None,
         }
     }
@@ -374,10 +411,12 @@ mod tests {
             BackendKind::Physical
         );
         assert_eq!("fault".parse::<BackendKind>().unwrap(), BackendKind::Fault);
+        assert_eq!("fleet".parse::<BackendKind>().unwrap(), BackendKind::Fleet);
         assert!("warp-speed".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Coarse.to_string(), "coarse");
         assert_eq!(BackendKind::Fault.to_string(), "fault");
-        assert_eq!(BackendKind::ALL.len(), 3);
+        assert_eq!(BackendKind::Fleet.to_string(), "fleet");
+        assert_eq!(BackendKind::ALL.len(), 4);
     }
 
     #[test]

@@ -74,6 +74,21 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(PolicyKind::Fifo),
+            "sjf" => Ok(PolicyKind::Sjf),
+            "makespan" | "makespan-min" => Ok(PolicyKind::MakespanMin),
+            "edf" | "edf-sjf" => Ok(PolicyKind::DeadlineThenSjf),
+            other => Err(format!(
+                "unknown policy '{other}' (fifo|sjf|makespan-min|edf)"
+            )),
+        }
+    }
+}
+
 /// Cluster-simulation configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterSimConfig {
@@ -395,6 +410,7 @@ impl EventHandler for CoarseBackend {
             }
             ClusterEvent::StageBubbles { .. }
             | ClusterEvent::IterationEnd
+            | ClusterEvent::JobIterationEnd { .. }
             | ClusterEvent::DeviceFailure { .. }
             | ClusterEvent::DeviceRecovery { .. } => {
                 debug_assert!(false, "coarse backend received a fine-grained event");

@@ -14,6 +14,7 @@
 //! | Table 1 (fill-job categories) | [`table1::table1`] |
 //! | §6.2 newer-hardware hypothesis (extension) | [`whatif::whatif_offload_bandwidth`] |
 //! | Fault-tolerance MTBF × checkpoint-cost map (extension) | [`faults::whatif_faults`] |
+//! | Fleet-size scaling, multi-job + global queue (extension) | [`fleet::fleet_scale`] |
 
 //!
 //! Simulation-backed drivers select their fidelity level by value through
@@ -24,6 +25,7 @@
 pub mod characterization;
 pub mod faults;
 pub mod fill_fraction;
+pub mod fleet;
 pub mod policies;
 pub mod scaling;
 pub mod schedules;
@@ -39,6 +41,7 @@ pub use characterization::{
 };
 pub use faults::{whatif_faults, FaultWhatIfRow};
 pub use fill_fraction::{fig5_fill_fraction, FillFractionRow};
+pub use fleet::{fleet_scale, fleet_scale_with, FleetScaleRow};
 pub use policies::{fig9_policies, PolicyRow};
 pub use scaling::{fig4_scaling, fig4_scaling_with, ScalingRow};
 pub use schedules::{fig8_schedules, ScheduleRow};

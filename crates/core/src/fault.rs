@@ -582,8 +582,10 @@ impl EventHandler for FaultBackend {
                     }
                 }
             }
-            ClusterEvent::JobArrival(_) | ClusterEvent::JobCompletion { .. } => {
-                debug_assert!(false, "fault backend received a coarse event");
+            ClusterEvent::JobArrival(_)
+            | ClusterEvent::JobCompletion { .. }
+            | ClusterEvent::JobIterationEnd { .. } => {
+                debug_assert!(false, "fault backend received a foreign event");
             }
         }
     }

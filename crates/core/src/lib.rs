@@ -25,6 +25,11 @@
 //!   jobs with FreeRide-style checkpoint/restart accounting. With faults
 //!   off and a homogeneous cluster it reproduces [`PhysicalSim`] bit for
 //!   bit.
+//! * [`FleetSim`] — the *fleet-scale multi-job* simulator: N concurrent
+//!   pipeline-parallel main jobs (heterogeneous depths, periods, device
+//!   generations) on one kernel, sharing one cluster-wide fill queue
+//!   with per-job admission and locality-aware dispatch. A 1-job
+//!   homogeneous fleet reproduces [`PhysicalSim`] bit for bit.
 //!
 //! All are [`SimBackend`]s over the shared [`ClusterEvent`] alphabet,
 //! driven by the `pipefill-sim-core` kernel through [`BackendDriver`];
@@ -43,6 +48,7 @@ mod cluster;
 mod convert;
 mod csv;
 mod fault;
+mod fleet;
 mod metrics;
 mod physical;
 mod steady;
@@ -59,6 +65,9 @@ pub use cluster::{
 pub use convert::{kind_allowed, samples_for_trace_job, trace_job_to_spec};
 pub use csv::{experiments_dir, CsvWriter};
 pub use fault::{FaultBackend, FaultSim, FaultSimConfig, FaultSimResult};
+pub use fleet::{
+    FleetBackend, FleetJobConfig, FleetJobResult, FleetSim, FleetSimConfig, FleetSimResult,
+};
 pub use metrics::{gpus_saved, JctStats, UtilizationBreakdown};
 pub use physical::{PhysicalBackend, PhysicalSim, PhysicalSimConfig, PhysicalSimResult};
 pub use steady::{stage_plans, steady_rate, steady_recovered_tflops, SteadyRate};

@@ -309,6 +309,7 @@ impl EventHandler for PhysicalBackend {
             }
             ClusterEvent::JobArrival(_)
             | ClusterEvent::JobCompletion { .. }
+            | ClusterEvent::JobIterationEnd { .. }
             | ClusterEvent::DeviceFailure { .. }
             | ClusterEvent::DeviceRecovery { .. } => {
                 debug_assert!(false, "physical backend received a foreign event");

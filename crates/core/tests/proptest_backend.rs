@@ -4,9 +4,12 @@
 
 use proptest::prelude::*;
 
-use pipefill_core::{BackendConfig, BackendKind, ClusterSimConfig, PhysicalSimConfig, PolicyKind};
+use pipefill_core::{
+    BackendConfig, BackendKind, ClusterSimConfig, FleetSimConfig, PhysicalSimConfig, PolicyKind,
+};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_sim_core::SimDuration;
+use pipefill_trace::FleetWorkloadConfig;
 use pipefill_trace::TraceConfig;
 
 fn coarse_config(seed: u64, load_pct: u64, policy_idx: usize) -> ClusterSimConfig {
@@ -91,10 +94,29 @@ proptest! {
             prop_assert!(m.total_tflops_per_gpu() < 125.0);
             match m.kind {
                 BackendKind::Coarse => prop_assert_eq!(m.main_slowdown, 0.0),
-                BackendKind::Physical | BackendKind::Fault => {
+                BackendKind::Physical | BackendKind::Fault | BackendKind::Fleet => {
                     prop_assert!(m.main_slowdown < 1.0)
                 }
             }
         }
+    }
+
+    /// Same seed ⇒ bit-identical metrics from the fleet backend, at any
+    /// fleet size, with fault injection (and therefore global-queue
+    /// traffic) active.
+    #[test]
+    fn fleet_backend_is_deterministic(seed in 0u64..500, jobs in 1usize..4) {
+        let run = || {
+            let mut workload = FleetWorkloadConfig::new(jobs, jobs * 64, seed);
+            workload.iterations = 20;
+            let cfg = FleetSimConfig::from_workload(&workload)
+                .with_mtbf(pipefill_sim_core::SimDuration::from_secs(600));
+            BackendConfig::Fleet(cfg).run().metrics
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "fleet backend diverged for seed {}", seed);
+        prop_assert_eq!(a.kind, BackendKind::Fleet);
+        prop_assert!(a.events_dispatched > 0);
     }
 }

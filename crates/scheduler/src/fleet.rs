@@ -1,0 +1,234 @@
+//! The cluster-wide fill queue for fleet-scale simulations.
+//!
+//! A fleet runs many pipeline-parallel main jobs at once; their stages
+//! form one flat executor space. Evicted fill jobs re-enter here rather
+//! than a per-pipeline queue, so any compatible idle stage in the whole
+//! fleet can resume them. [`GlobalFillQueue`] wraps a
+//! [`FillJobScheduler`] with the two fleet-level concerns:
+//!
+//! * **Per-job admission** — each main job declares whether its stages
+//!   accept fill work evicted from *other* jobs. Admission is applied by
+//!   masking the foreign entries of a job's `proc_times` at requeue time,
+//!   so the underlying policy machinery stays single-sourced: a masked
+//!   device is simply infeasible.
+//! * **Locality-aware dispatch** — the caller encodes locality in
+//!   `proc_times` (a fill job is only feasible on stages whose bubble
+//!   geometry matches its execution plan); the queue tracks each job's
+//!   origin so cross-job dispatches can be counted and audited.
+
+use std::collections::HashMap;
+
+use pipefill_executor::JobId;
+
+use crate::policy::SchedulingPolicy;
+use crate::scheduler::{FillJobScheduler, JobInfo, SystemState};
+
+/// One global fill queue shared by every main job of a fleet.
+pub struct GlobalFillQueue {
+    scheduler: FillJobScheduler,
+    /// Owning main-job index per flat executor.
+    owner: Vec<usize>,
+    /// Per main job: whether its stages accept foreign fill work.
+    admits_foreign: Vec<bool>,
+    /// Origin main job of each queued fill job.
+    origin: HashMap<JobId, usize>,
+    peak_depth: usize,
+    cross_job_dispatches: u64,
+}
+
+impl std::fmt::Debug for GlobalFillQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalFillQueue")
+            .field("devices", &self.owner.len())
+            .field("main_jobs", &self.admits_foreign.len())
+            .field("queued", &self.scheduler.queue_len())
+            .finish()
+    }
+}
+
+impl GlobalFillQueue {
+    /// Creates the queue. `owner[d]` is the main job owning flat executor
+    /// `d`; `admits_foreign[j]` gates whether job `j`'s executors accept
+    /// fill work evicted from other jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an owner index is out of range.
+    pub fn new(
+        policy: Box<dyn SchedulingPolicy>,
+        owner: Vec<usize>,
+        admits_foreign: Vec<bool>,
+    ) -> Self {
+        assert!(
+            owner.iter().all(|&j| j < admits_foreign.len()),
+            "every executor owner must index a main job"
+        );
+        GlobalFillQueue {
+            scheduler: FillJobScheduler::new(policy),
+            owner,
+            admits_foreign,
+            origin: HashMap::new(),
+            peak_depth: 0,
+            cross_job_dispatches: 0,
+        }
+    }
+
+    /// Flat executors in the fleet.
+    pub fn num_devices(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The main job owning flat executor `device`.
+    pub fn owner_of(&self, device: usize) -> usize {
+        self.owner[device]
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &str {
+        self.scheduler.policy_name()
+    }
+
+    /// Re-enqueues a fill job evicted from `origin_job`. Devices of main
+    /// jobs that do not admit foreign work are masked infeasible (the
+    /// origin job's own devices are never masked). The job keeps its
+    /// original arrival, so arrival-ordered policies still favor evicted
+    /// work over later submissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc_times` does not cover every flat executor, or if a
+    /// job with the same id is already queued (a fill job re-enters the
+    /// fleet exactly once per eviction).
+    pub fn requeue_from(&mut self, origin_job: usize, mut info: JobInfo) {
+        assert_eq!(
+            info.proc_times.len(),
+            self.owner.len(),
+            "proc_times must cover every flat executor"
+        );
+        for (d, t) in info.proc_times.iter_mut().enumerate() {
+            let receiver = self.owner[d];
+            if receiver != origin_job && !self.admits_foreign[receiver] {
+                *t = None;
+            }
+        }
+        self.origin.insert(info.id, origin_job);
+        self.scheduler.requeue(info);
+        self.peak_depth = self.peak_depth.max(self.scheduler.queue_len());
+    }
+
+    /// Picks the best queued fill job for flat executor `device` under
+    /// the active policy, or `None` if nothing queued is feasible there.
+    pub fn pick_for(&mut self, device: usize, state: &SystemState) -> Option<JobInfo> {
+        let info = self.scheduler.pick_for(device, state)?;
+        let origin = self
+            .origin
+            .remove(&info.id)
+            .expect("every queued job has a recorded origin");
+        if origin != self.owner[device] {
+            self.cross_job_dispatches += 1;
+        }
+        Some(info)
+    }
+
+    /// Fill jobs currently waiting.
+    pub fn queue_len(&self) -> usize {
+        self.scheduler.queue_len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Dispatches that resumed a fill job on a different main job than it
+    /// was evicted from.
+    pub fn cross_job_dispatches(&self) -> u64 {
+        self.cross_job_dispatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Fifo;
+    use pipefill_sim_core::{SimDuration, SimTime};
+
+    /// Two main jobs × two stages each: flat executors 0,1 belong to job
+    /// 0 and 2,3 to job 1.
+    fn queue(admits: [bool; 2]) -> GlobalFillQueue {
+        GlobalFillQueue::new(Box::new(Fifo), vec![0, 0, 1, 1], admits.to_vec())
+    }
+
+    fn info(id: u64, arrival_s: f64, feasible: &[usize]) -> JobInfo {
+        let proc_times = (0..4)
+            .map(|d| feasible.contains(&d).then(|| SimDuration::from_secs(30)))
+            .collect();
+        JobInfo::new(JobId(id), SimTime::from_secs_f64(arrival_s), proc_times)
+    }
+
+    #[test]
+    fn admission_masks_foreign_devices() {
+        let mut q = queue([true, false]);
+        // Evicted from job 0, nominally feasible everywhere.
+        q.requeue_from(0, info(1, 0.0, &[0, 1, 2, 3]));
+        let state = SystemState::idle(SimTime::ZERO, 4);
+        // Job 1 does not admit foreign work: its devices see nothing.
+        assert!(q.pick_for(2, &state).is_none());
+        assert!(q.pick_for(3, &state).is_none());
+        // The origin job's own devices always remain feasible.
+        assert_eq!(q.pick_for(0, &state).unwrap().id, JobId(1));
+    }
+
+    #[test]
+    fn cross_job_dispatches_are_counted() {
+        let mut q = queue([true, true]);
+        q.requeue_from(0, info(1, 0.0, &[0, 2]));
+        q.requeue_from(1, info(2, 1.0, &[2, 3]));
+        let state = SystemState::idle(SimTime::ZERO, 4);
+        // Device 2 (job 1) resumes the job evicted from job 0: cross-job.
+        assert_eq!(q.pick_for(2, &state).unwrap().id, JobId(1));
+        assert_eq!(q.cross_job_dispatches(), 1);
+        // Device 3 (job 1) resumes job 1's own eviction: local.
+        assert_eq!(q.pick_for(3, &state).unwrap().id, JobId(2));
+        assert_eq!(q.cross_job_dispatches(), 1);
+        assert_eq!(q.peak_depth(), 2);
+        assert_eq!(q.queue_len(), 0);
+    }
+
+    #[test]
+    fn locality_is_encoded_in_proc_times() {
+        let mut q = queue([true, true]);
+        // Only feasible on its origin stage (flat 1).
+        q.requeue_from(0, info(7, 0.0, &[1]));
+        let state = SystemState::idle(SimTime::ZERO, 4);
+        assert!(q.pick_for(0, &state).is_none());
+        assert!(q.pick_for(2, &state).is_none());
+        assert_eq!(q.pick_for(1, &state).unwrap().id, JobId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-enter")]
+    fn double_requeue_panics() {
+        let mut q = queue([true, true]);
+        q.requeue_from(0, info(1, 0.0, &[0]));
+        q.requeue_from(0, info(1, 0.0, &[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "every flat executor")]
+    fn short_proc_times_rejected() {
+        let mut q = queue([true, true]);
+        let short = JobInfo::new(
+            JobId(1),
+            SimTime::ZERO,
+            vec![Some(SimDuration::from_secs(1))],
+        );
+        q.requeue_from(0, short);
+    }
+
+    #[test]
+    #[should_panic(expected = "index a main job")]
+    fn bad_owner_rejected() {
+        let _ = GlobalFillQueue::new(Box::new(Fifo), vec![0, 2], vec![true, true]);
+    }
+}

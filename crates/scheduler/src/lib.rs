@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fleet;
 mod policy;
 mod scheduler;
 
+pub use fleet::GlobalFillQueue;
 pub use policy::{
     EarliestDeadlineFirst, Fifo, MakespanMin, SchedulingPolicy, ShortestJobFirst, Weighted,
 };

@@ -5,7 +5,8 @@ use proptest::prelude::*;
 
 use pipefill_executor::JobId;
 use pipefill_scheduler::{
-    Fifo, FillJobScheduler, JobInfo, MakespanMin, SchedulingPolicy, ShortestJobFirst, SystemState,
+    EarliestDeadlineFirst, Fifo, FillJobScheduler, JobInfo, MakespanMin, SchedulingPolicy,
+    ShortestJobFirst, SystemState,
 };
 use pipefill_sim_core::{SimDuration, SimTime};
 
@@ -131,6 +132,108 @@ proptest! {
             let proc = job.proc_times[p.executor].unwrap();
             prop_assert_eq!(p.completes, p.starts + proc);
         }
+    }
+
+    /// SJF never inverts plan-length order: on a single executor, the
+    /// dispatch sequence is nondecreasing in processing time, whatever
+    /// the arrival pattern.
+    #[test]
+    fn sjf_never_inverts_plan_length_order(
+        jobs in prop::collection::vec((0u32..1_000, 1u32..500), 1..25),
+    ) {
+        let mut sched = FillJobScheduler::new(Box::new(ShortestJobFirst));
+        for (i, &(arrival, proc)) in jobs.iter().enumerate() {
+            sched.submit(JobInfo::new(
+                JobId(i as u64),
+                SimTime::from_secs_f64(arrival as f64),
+                vec![Some(SimDuration::from_secs(proc as u64))],
+            ));
+        }
+        let state = SystemState::idle(SimTime::from_secs_f64(2_000.0), 1);
+        let mut prev: Option<SimDuration> = None;
+        while let Some(job) = sched.pick_for(0, &state) {
+            let proc = job.min_proc_time().unwrap();
+            if let Some(prev) = prev {
+                prop_assert!(
+                    proc >= prev,
+                    "SJF dispatched {proc} after {prev}"
+                );
+            }
+            prev = Some(proc);
+        }
+    }
+
+    /// EDF never inverts deadlines: among deadline-carrying jobs on one
+    /// executor, the dispatch sequence is nondecreasing in deadline.
+    #[test]
+    fn edf_never_inverts_deadlines(
+        jobs in prop::collection::vec((0u32..1_000, 1u32..5_000), 1..25),
+    ) {
+        let mut sched = FillJobScheduler::new(Box::new(EarliestDeadlineFirst));
+        for (i, &(arrival, deadline)) in jobs.iter().enumerate() {
+            sched.submit(
+                JobInfo::new(
+                    JobId(i as u64),
+                    SimTime::from_secs_f64(arrival as f64),
+                    vec![Some(SimDuration::from_secs(10))],
+                )
+                .with_deadline(SimTime::from_secs_f64(deadline as f64)),
+            );
+        }
+        // `now` before every deadline, so no job is clamped to the
+        // overdue plateau where only tie-breaks order them.
+        let state = SystemState::idle(SimTime::ZERO, 1);
+        let mut prev: Option<SimTime> = None;
+        while let Some(job) = sched.pick_for(0, &state) {
+            let deadline = job.deadline.unwrap();
+            if let Some(prev) = prev {
+                prop_assert!(
+                    deadline >= prev,
+                    "EDF dispatched deadline {deadline} after {prev}"
+                );
+            }
+            prev = Some(deadline);
+        }
+    }
+
+    /// Requeue preserves the evicted job's original arrival: an
+    /// immediate pick → requeue detour leaves the full dispatch sequence
+    /// identical to the undisturbed one, under every policy.
+    #[test]
+    fn requeue_preserves_original_arrival(
+        raw in prop::collection::vec(job_strategy(1), 1..20),
+        policy_idx in 0usize..3,
+    ) {
+        let jobs = build(&raw);
+        let state = SystemState::idle(SimTime::from_secs_f64(5_000.0), 1);
+        let drain = |mut sched: FillJobScheduler| {
+            std::iter::from_fn(|| sched.pick_for(0, &state).map(|j| j.id))
+                .collect::<Vec<JobId>>()
+        };
+
+        let mut plain = FillJobScheduler::new(policies().remove(policy_idx));
+        for j in &jobs {
+            plain.submit(j.clone());
+        }
+        let undisturbed = drain(plain);
+
+        let mut churned = FillJobScheduler::new(policies().remove(policy_idx));
+        for j in &jobs {
+            churned.submit(j.clone());
+        }
+        if let Some(evicted) = churned.pick_for(0, &state) {
+            let arrival = evicted.arrival;
+            churned.requeue(evicted.clone());
+            // The arrival survived the round-trip…
+            let requeued = churned
+                .queued()
+                .iter()
+                .find(|j| j.id == evicted.id)
+                .expect("requeued job is back in the queue");
+            prop_assert_eq!(requeued.arrival, arrival);
+        }
+        // …so the dispatch order is exactly what it would have been.
+        prop_assert_eq!(drain(churned), undisturbed);
     }
 
     /// SJF's mean projected completion is never worse than FIFO's on a

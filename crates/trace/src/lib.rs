@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fleet;
 mod generator;
 mod io;
 mod mix;
 
+pub use fleet::{fleet_total_gpus, DeviceGeneration, FleetJobPlan, FleetWorkloadConfig};
 pub use generator::{TraceConfig, TraceGenerator, TraceJob, TraceStats};
 pub use io::{load_trace, save_trace, trace_from_csv, trace_to_csv, TRACE_CSV_HEADER};
 pub use mix::ModelMix;

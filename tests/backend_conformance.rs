@@ -1,7 +1,7 @@
 //! Cross-backend conformance: one parameterized harness that drives every
-//! `BackendConfig` arm — coarse, physical, fault — through the shared
-//! `BackendDriver` and asserts the invariants the whole backend family
-//! must uphold, whatever its fidelity:
+//! `BackendConfig` arm — coarse, physical, fault, fleet — through the
+//! shared `BackendDriver` and asserts the invariants the whole backend
+//! family must uphold, whatever its fidelity:
 //!
 //! * the kernel clock never moves backwards while stepping;
 //! * `metrics()` fields are finite, non-negative and internally
@@ -10,16 +10,18 @@
 //! * drain accounts every scheduled job exactly once (no losses, no
 //!   double completions);
 //! * the fault backend with MTBF = ∞ agrees with the physical backend
-//!   within the Fig. 6 tolerance.
+//!   within the Fig. 6 tolerance;
+//! * a 1-job homogeneous fleet reproduces the physical backend bit for
+//!   bit.
 
 use pipefill::core::experiments::validation::AGREEMENT_TOLERANCE;
 use pipefill::core::{
     BackendConfig, BackendDriver, BackendMetrics, ClusterSimConfig, CoarseBackend, FaultBackend,
-    FaultSimConfig, PhysicalBackend, PhysicalSimConfig, SimBackend,
+    FaultSimConfig, FleetBackend, FleetSimConfig, PhysicalBackend, PhysicalSimConfig, SimBackend,
 };
 use pipefill::pipeline::{MainJobSpec, ScheduleKind};
 use pipefill::sim::{SimDuration, SimTime, StepOutcome};
-use pipefill::trace::{TraceConfig, TraceGenerator};
+use pipefill::trace::{FleetWorkloadConfig, TraceConfig, TraceGenerator};
 
 fn coarse_config(seed: u64) -> ClusterSimConfig {
     let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
@@ -42,6 +44,14 @@ fn fault_config(seed: u64) -> FaultSimConfig {
     cfg.iterations = 60;
     cfg.seed = seed;
     cfg
+}
+
+/// A small heterogeneous fleet with fault injection, so the global
+/// queue's eviction/requeue path is exercised by the harness.
+fn fleet_config(seed: u64) -> FleetSimConfig {
+    let mut workload = FleetWorkloadConfig::new(3, 3 * 128, seed);
+    workload.iterations = 60;
+    FleetSimConfig::from_workload(&workload).with_mtbf(SimDuration::from_secs(400))
 }
 
 /// The parameterized harness: every backend must pass this, whatever its
@@ -148,6 +158,80 @@ fn fault_backend_conforms() {
         assert_eq!(detail.fill_flops, metrics.fill_flops);
         assert_eq!(detail.lost_fill_flops, metrics.lost_fill_flops);
         assert!(detail.failures > 0, "seed {seed}: 400s MTBF never fired");
+    }
+}
+
+#[test]
+fn fleet_backend_conforms() {
+    for seed in [1u64, 2, 3] {
+        let metrics = check_conformance("fleet", || FleetBackend::new(fleet_config(seed)));
+        let (_, backend) = BackendDriver::new(FleetBackend::new(fleet_config(seed))).run();
+        let detail = backend.into_result();
+        // Exactly-once fill-job accounting survives the global queue's
+        // eviction/requeue churn across job boundaries.
+        assert_eq!(detail.fill_jobs_completed, metrics.jobs_completed);
+        let mut ids = detail.completed_fill_ids.clone();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(n, ids.len(), "fleet: a fill job completed twice");
+        // Executed work splits exactly into surviving + lost.
+        assert_eq!(detail.fill_flops, metrics.fill_flops);
+        assert_eq!(detail.lost_fill_flops, metrics.lost_fill_flops);
+        assert!(detail.failures > 0, "seed {seed}: 400s MTBF never fired");
+        // The aggregate view is consistent with the per-job ledger.
+        assert_eq!(
+            detail.jobs.iter().map(|j| j.fill_flops).sum::<f64>(),
+            detail.fill_flops
+        );
+        assert_eq!(
+            detail.jobs.iter().map(|j| j.evictions).sum::<u64>(),
+            detail.evictions
+        );
+        assert_eq!(detail.num_devices, metrics.num_devices);
+    }
+}
+
+/// The fleet acceptance gate: a fleet of exactly one homogeneous job —
+/// no faults, physical workload defaults — must reproduce the physical
+/// backend **bit for bit**: same fill FLOPs, same recovered and main
+/// rates, same slowdown, same completion count.
+#[test]
+fn fleet_single_job_reproduces_physical_bit_for_bit() {
+    for seed in [1u64, 5, 9] {
+        let mut phys_cfg = physical_config(seed);
+        phys_cfg.iterations = 120;
+        let fleet_cfg = FleetSimConfig::from_physical(&phys_cfg);
+
+        let phys = BackendConfig::Physical(phys_cfg)
+            .run()
+            .physical()
+            .expect("physical detail");
+        let run = BackendConfig::Fleet(fleet_cfg).run();
+        let fleet = run.clone().fleet().expect("fleet detail");
+
+        assert_eq!(fleet.jobs.len(), 1);
+        let job = &fleet.jobs[0];
+        assert_eq!(job.fill_flops, phys.fill_flops, "seed {seed}");
+        assert_eq!(
+            job.recovered_tflops_per_gpu, phys.recovered_tflops_per_gpu,
+            "seed {seed}"
+        );
+        assert_eq!(job.main_tflops_per_gpu, phys.main_tflops_per_gpu);
+        assert_eq!(job.main_slowdown, phys.main_slowdown);
+        assert_eq!(job.nominal_period, phys.nominal_period);
+        assert_eq!(job.mean_period, phys.mean_period);
+        assert_eq!(job.fill_jobs_completed, phys.jobs_completed);
+        // The fleet-aggregate view of the degenerate fleet is the job.
+        assert_eq!(run.metrics.fill_flops, phys.fill_flops);
+        assert_eq!(
+            run.metrics.recovered_tflops_per_gpu,
+            phys.recovered_tflops_per_gpu
+        );
+        assert_eq!(run.metrics.evictions, 0);
+        assert_eq!(run.metrics.goodput_fraction, 1.0);
+        assert_eq!(fleet.cross_job_dispatches, 0);
+        assert_eq!(fleet.peak_queue_depth, 0);
     }
 }
 

@@ -13,9 +13,11 @@
 //! moved.
 
 use pipefill::core::experiments::{
-    fig4_scaling, fig5_fill_fraction, fig8_schedules, fill_fraction, scaling, schedules, table1,
+    fig4_scaling, fig5_fill_fraction, fig8_schedules, fig9_policies, fill_fraction, fleet,
+    fleet_scale_with, policies, scaling, schedules, table1,
 };
 use pipefill::executor::ExecutorConfig;
+use pipefill::sim::SimDuration;
 
 /// Renders a driver's CSV into a temp file and returns its bytes.
 fn csv_bytes(name: &str, write: impl FnOnce(&str) -> std::io::Result<()>) -> String {
@@ -89,5 +91,34 @@ fn fig5_fill_fraction_matches_golden_snapshot() {
         "fig5_fill_fraction.csv",
         &fresh,
         include_str!("golden/fig5_fill_fraction.csv"),
+    );
+}
+
+/// Fig. 9 on a shortened trace horizon (seed 11): pins the coarse
+/// backend + scheduler-policy pipeline end to end.
+#[test]
+#[ignore = "simulation-backed; run via cargo test -- --include-ignored (CI does)"]
+fn fig9_policies_matches_golden_snapshot() {
+    let rows = fig9_policies(11, SimDuration::from_secs(1200));
+    let fresh = csv_bytes("fig9_policies.csv", |p| policies::save_policies(&rows, p));
+    golden_check(
+        "fig9_policies.csv",
+        &fresh,
+        include_str!("golden/fig9_policies.csv"),
+    );
+}
+
+/// The fleet sweep on a reduced grid (1/2/4 jobs, 150 iterations, seed
+/// 7): pins the multi-job backend, the fleet workload generator, and the
+/// global fill queue end to end — byte-stable at any thread count.
+#[test]
+#[ignore = "simulation-backed; run via cargo test -- --include-ignored (CI does)"]
+fn fleet_scale_matches_golden_snapshot() {
+    let rows = fleet_scale_with(&[1, 2, 4], 150, 7);
+    let fresh = csv_bytes("fleet_scale.csv", |p| fleet::save_fleet(&rows, p));
+    golden_check(
+        "fleet_scale.csv",
+        &fresh,
+        include_str!("golden/fleet_scale.csv"),
     );
 }

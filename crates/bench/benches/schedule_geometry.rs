@@ -1,0 +1,35 @@
+//! Schedule × depth bubble-geometry sweep — GPipe, 1F1B, interleaved
+//! 1F1B and ZB-H1 engine timelines across pipeline depths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipefill_bench::{criterion_config, experiment_csv};
+use pipefill_core::experiments::schedules::{
+    print_depth_sweep, save_depth_sweep, schedule_depth_sweep,
+};
+use pipefill_pipeline::{EngineConfig, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    let rows = schedule_depth_sweep();
+    println!("\nSchedule × depth bubble-geometry sweep:");
+    print_depth_sweep(&rows);
+    save_depth_sweep(&rows, &experiment_csv("schedule_depth.csv")).expect("csv");
+
+    // One timeline derivation per schedule at the 16-stage × 32-microbatch
+    // point: the interleaved arm exercises the constructive generator,
+    // ZB-H1 the B/W-split execution.
+    let (tf, tb) = (SimDuration::from_millis(43), SimDuration::from_millis(86));
+    for schedule in ScheduleKind::ALL {
+        c.bench_function(
+            &format!("schedule_geometry/{schedule}_timeline_p16_m32"),
+            |b| b.iter(|| EngineConfig::uniform(schedule, 16, 32, tf, tb).run()),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -22,16 +22,19 @@ commands:
   faults [--iterations N] [--seed S]
                                   MTBF x checkpoint-cost fault-tolerance map
   fleet  [--jobs N] [--gpus N] [--iterations N] [--seed S]
-         [--mtbf-secs X|inf] [--policy fifo|sjf|makespan-min|edf]
+         [--mtbf-secs X|none] [--policy fifo|sjf|makespan-min|edf]
+         [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
                                   multi-job fleet on one global fill queue
   all    [--out DIR]              run everything, write CSVs
   sim    [--backend coarse|physical|fault] [--seed S] [--iterations N]
          [--horizon-secs N] [--load X] [--fill-fraction F]
-         [--mtbf-secs X|inf] [--checkpoint-secs C]
+         [--mtbf-secs X|none] [--checkpoint-secs C]
+         [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
                                   one simulation at a chosen fidelity
   agree  [--seeds N] [--iterations N]
                                   coarse-vs-physical backend agreement (Fig. 6)
-  timeline [--schedule gpipe|1f1b] [--stages P] [--microbatches M] [--width W]
+  timeline [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
+         [--stages P] [--microbatches M] [--width W]
   plan   [--model NAME] [--kind training|inference] [--stage S]
   help
 
@@ -92,11 +95,13 @@ pub enum Command {
         iterations: usize,
         /// RNG seed (fleet generation + failure streams).
         seed: u64,
-        /// Mean time between device failures in seconds (infinity
+        /// Mean time between device failures in seconds (`'none'`
         /// disables injection and with it all global-queue traffic).
         mtbf_secs: f64,
         /// Policy of the cluster-wide fill queue.
         policy: PolicyKind,
+        /// Pipeline schedule every main job runs.
+        schedule: ScheduleKind,
     },
     /// Everything, with CSV output.
     All {
@@ -118,11 +123,13 @@ pub enum Command {
         /// Fill fraction (physical and fault backends).
         fill_fraction: f64,
         /// Mean time between device failures in seconds (fault backend;
-        /// infinity disables injection).
+        /// `'none'` disables injection).
         mtbf_secs: f64,
         /// Checkpoint-restart cost per eviction in seconds (fault
         /// backend).
         checkpoint_secs: f64,
+        /// Pipeline schedule the main job runs (all backends).
+        schedule: ScheduleKind,
     },
     /// Coarse-vs-physical agreement study (Fig. 6).
     Agree {
@@ -231,6 +238,9 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 seed: flags.take_u64("seed", 7)?,
                 mtbf_secs: take_mtbf_secs(&mut flags, "1800")?,
                 policy: flags.take_string("policy", "fifo")?.parse::<PolicyKind>()?,
+                schedule: flags
+                    .take_string("schedule", "gpipe")?
+                    .parse::<ScheduleKind>()?,
             }
         }
         "all" => Command::All {
@@ -273,11 +283,11 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                     "--fill-fraction must be within [0, 1], got {fill_fraction}"
                 ));
             }
-            let mtbf_secs = take_mtbf_secs(&mut flags, "inf")?;
+            let mtbf_secs = take_mtbf_secs(&mut flags, "none")?;
             let checkpoint_secs = flags.take_f64("checkpoint-secs", 2.0)?;
             if !(checkpoint_secs >= 0.0 && checkpoint_secs.is_finite()) {
                 return Err(format!(
-                    "--checkpoint-secs must be a non-negative number, got {checkpoint_secs}"
+                    "--checkpoint-secs must be a finite non-negative number, got {checkpoint_secs}"
                 ));
             }
             Command::Sim {
@@ -289,6 +299,9 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 fill_fraction,
                 mtbf_secs,
                 checkpoint_secs,
+                schedule: flags
+                    .take_string("schedule", "gpipe")?
+                    .parse::<ScheduleKind>()?,
             }
         }
         "agree" => {
@@ -303,11 +316,9 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
             Command::Agree { seeds, iterations }
         }
         "timeline" => Command::Timeline {
-            schedule: match flags.take_string("schedule", "gpipe")?.as_str() {
-                "gpipe" => ScheduleKind::GPipe,
-                "1f1b" => ScheduleKind::OneFOneB,
-                other => return Err(format!("unknown schedule '{other}' (gpipe|1f1b)")),
-            },
+            schedule: flags
+                .take_string("schedule", "gpipe")?
+                .parse::<ScheduleKind>()?,
             stages: flags.take_usize("stages", 8)?,
             microbatches: flags.take_usize("microbatches", 8)?,
             width: flags.take_usize("width", 96)?,
@@ -328,17 +339,26 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
     Ok(Invocation { command, threads })
 }
 
-/// Parses `--mtbf-secs` ('inf' disables injection; otherwise a positive
-/// number of seconds).
+/// Parses `--mtbf-secs`: the explicit sentinel `'none'` disables failure
+/// injection (surfaced to the backends as `f64::INFINITY`); any numeric
+/// value must be a finite positive number of seconds. Numeric infinity
+/// spellings (`inf`, `Infinity`, overflowing literals like `1e999`) are
+/// rejected — `f64::from_str` happily produces them, and they would flow
+/// into `SimDuration::from_secs_f64` and the exponential MTBF sampler as
+/// garbage rather than as the documented off switch.
 fn take_mtbf_secs(flags: &mut FlagSet, default: &str) -> Result<f64, String> {
-    match flags.take_string("mtbf-secs", default)?.as_str() {
-        "inf" | "infinity" | "none" => Ok(f64::INFINITY),
+    let v = flags.take_string("mtbf-secs", default)?;
+    match v.as_str() {
+        "none" => Ok(f64::INFINITY),
         v => {
-            let secs: f64 = v
-                .parse()
-                .map_err(|_| format!("--mtbf-secs expects a number or 'inf', got '{v}'"))?;
-            if secs <= 0.0 || secs.is_nan() {
-                return Err(format!("--mtbf-secs must be positive, got {secs}"));
+            let secs: f64 = v.parse().map_err(|_| {
+                format!("--mtbf-secs expects a number of seconds or 'none', got '{v}'")
+            })?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(format!(
+                    "--mtbf-secs must be a finite positive number of seconds \
+                     (use 'none' to disable failure injection), got '{v}'"
+                ));
             }
             Ok(secs)
         }
@@ -506,6 +526,7 @@ mod tests {
                 fill_fraction: 0.68,
                 mtbf_secs: f64::INFINITY,
                 checkpoint_secs: 2.0,
+                schedule: ScheduleKind::GPipe,
             }
         );
         assert_eq!(
@@ -519,6 +540,7 @@ mod tests {
                 fill_fraction: 0.9,
                 mtbf_secs: f64::INFINITY,
                 checkpoint_secs: 2.0,
+                schedule: ScheduleKind::GPipe,
             }
         );
         assert!(parse(&argv("sim --backend quantum")).is_err());
@@ -549,22 +571,118 @@ mod tests {
                 fill_fraction: 0.68,
                 mtbf_secs: 600.0,
                 checkpoint_secs: 4.0,
+                schedule: ScheduleKind::GPipe,
             }
         );
-        // 'inf' spelled out disables injection.
+        // 'none' spelled out disables injection.
         assert!(matches!(
-            cmd("sim --backend fault --mtbf-secs inf"),
+            cmd("sim --backend fault --mtbf-secs none"),
             Command::Sim { mtbf_secs, .. } if mtbf_secs.is_infinite()
         ));
         let err = parse(&argv("sim --backend fault --mtbf-secs 0")).unwrap_err();
-        assert!(err.contains("--mtbf-secs must be positive"), "{err}");
+        assert!(err.contains("finite positive"), "{err}");
         let err = parse(&argv("sim --backend fault --mtbf-secs soon")).unwrap_err();
-        assert!(err.contains("expects a number or 'inf'"), "{err}");
-        let err = parse(&argv("sim --backend fault --checkpoint-secs -1")).unwrap_err();
         assert!(
-            err.contains("--checkpoint-secs must be a non-negative"),
+            err.contains("expects a number of seconds or 'none'"),
             "{err}"
         );
+        let err = parse(&argv("sim --backend fault --checkpoint-secs -1")).unwrap_err();
+        assert!(
+            err.contains("--checkpoint-secs must be a finite non-negative"),
+            "{err}"
+        );
+    }
+
+    /// Every duration-valued flag rejects non-finite spellings: `inf`
+    /// and friends parse as f64 infinity and would otherwise flow into
+    /// `SimDuration` and the MTBF sampler.
+    #[test]
+    fn duration_flags_reject_non_finite_values() {
+        for spelling in ["inf", "infinity", "Infinity", "INF", "1e999", "-inf", "NaN"] {
+            let err = parse(&argv(&format!(
+                "sim --backend fault --mtbf-secs {spelling}"
+            )))
+            .unwrap_err();
+            assert!(
+                err.contains("finite positive") || err.contains("'none'"),
+                "mtbf {spelling}: {err}"
+            );
+            let err = parse(&argv(&format!("fleet --mtbf-secs {spelling}"))).unwrap_err();
+            assert!(
+                err.contains("finite positive") || err.contains("'none'"),
+                "fleet mtbf {spelling}: {err}"
+            );
+            let err = parse(&argv(&format!(
+                "sim --backend fault --checkpoint-secs {spelling}"
+            )))
+            .unwrap_err();
+            assert!(
+                err.contains("--checkpoint-secs must be a finite non-negative"),
+                "checkpoint {spelling}: {err}"
+            );
+            // Integer-valued duration flags reject them at the integer
+            // parse.
+            let err = parse(&argv(&format!("sim --horizon-secs {spelling}"))).unwrap_err();
+            assert!(
+                err.contains("expects an integer"),
+                "horizon {spelling}: {err}"
+            );
+            let err = parse(&argv(&format!("fig9 --horizon-secs {spelling}"))).unwrap_err();
+            assert!(err.contains("expects an integer"), "fig9 {spelling}: {err}");
+        }
+        // The old 'inf'/'infinity' off-switch spellings are gone; only
+        // 'none' disables injection.
+        let err = parse(&argv("fleet --mtbf-secs inf")).unwrap_err();
+        assert!(err.contains("'none'"), "{err}");
+        assert!(matches!(
+            cmd("fleet --mtbf-secs none"),
+            Command::Fleet { mtbf_secs, .. } if mtbf_secs.is_infinite()
+        ));
+    }
+
+    #[test]
+    fn parses_schedule_flag_everywhere() {
+        assert!(matches!(
+            cmd("sim --backend physical --schedule zb-h1"),
+            Command::Sim {
+                schedule: ScheduleKind::ZbH1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            cmd("sim --backend coarse --schedule interleaved"),
+            Command::Sim {
+                schedule: ScheduleKind::Interleaved { chunks: 2 },
+                ..
+            }
+        ));
+        assert!(matches!(
+            cmd("sim --backend fault --schedule interleaved:4"),
+            Command::Sim {
+                schedule: ScheduleKind::Interleaved { chunks: 4 },
+                ..
+            }
+        ));
+        assert!(matches!(
+            cmd("fleet --schedule zb-h1"),
+            Command::Fleet {
+                schedule: ScheduleKind::ZbH1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            cmd("timeline --schedule interleaved:3"),
+            Command::Timeline {
+                schedule: ScheduleKind::Interleaved { chunks: 3 },
+                ..
+            }
+        ));
+        let err = parse(&argv("sim --schedule bidirectional")).unwrap_err();
+        assert!(err.contains("unknown schedule"), "{err}");
+        let err = parse(&argv("fleet --schedule interleaved:0")).unwrap_err();
+        assert!(err.contains("at least 1 chunk"), "{err}");
+        let err = parse(&argv("timeline --schedule 2f2b")).unwrap_err();
+        assert!(err.contains("unknown schedule"), "{err}");
     }
 
     #[test]
@@ -627,11 +745,12 @@ mod tests {
                 seed: 7,
                 mtbf_secs: 1800.0,
                 policy: PolicyKind::Fifo,
+                schedule: ScheduleKind::GPipe,
             }
         );
         assert_eq!(
             cmd("fleet --jobs 64 --gpus 8192 --iterations 200 --seed 3 \
-                 --mtbf-secs 600 --policy sjf"),
+                 --mtbf-secs 600 --policy sjf --schedule 1f1b"),
             Command::Fleet {
                 jobs: 64,
                 gpus: 8192,
@@ -639,6 +758,7 @@ mod tests {
                 seed: 3,
                 mtbf_secs: 600.0,
                 policy: PolicyKind::Sjf,
+                schedule: ScheduleKind::OneFOneB,
             }
         );
         // The GPU budget defaults to 128 per job.
@@ -646,9 +766,9 @@ mod tests {
             cmd("fleet --jobs 4"),
             Command::Fleet { gpus: 512, .. }
         ));
-        // 'inf' disables fault injection.
+        // 'none' disables fault injection.
         assert!(matches!(
-            cmd("fleet --mtbf-secs inf"),
+            cmd("fleet --mtbf-secs none"),
             Command::Fleet { mtbf_secs, .. } if mtbf_secs.is_infinite()
         ));
     }
@@ -672,9 +792,12 @@ mod tests {
         let err = parse(&argv("fleet --jobs 4 --gpus 16")).unwrap_err();
         assert!(err.contains("under 8 GPUs per job"), "{err}");
         let err = parse(&argv("fleet --mtbf-secs 0")).unwrap_err();
-        assert!(err.contains("--mtbf-secs must be positive"), "{err}");
+        assert!(err.contains("finite positive"), "{err}");
         let err = parse(&argv("fleet --mtbf-secs soon")).unwrap_err();
-        assert!(err.contains("expects a number or 'inf'"), "{err}");
+        assert!(
+            err.contains("expects a number of seconds or 'none'"),
+            "{err}"
+        );
         let err = parse(&argv("fleet --policy quantum")).unwrap_err();
         assert!(err.contains("unknown policy 'quantum'"), "{err}");
         // The fleet backend has its own subcommand; `sim` points there.

@@ -34,7 +34,11 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             &characterization::fig7_default_main(),
             &exec,
         )),
-        Command::Fig8 => schedules::print_schedules(&fig8_schedules(&exec)),
+        Command::Fig8 => {
+            schedules::print_schedules(&fig8_schedules(&exec));
+            println!("\nschedule × depth bubble-geometry sweep:");
+            schedules::print_depth_sweep(&schedule_depth_sweep());
+        }
         Command::Fig9 { horizon_secs, seed } => {
             policies::print_policies(&fig9_policies(seed, SimDuration::from_secs(horizon_secs)));
         }
@@ -56,6 +60,7 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             seed,
             mtbf_secs,
             policy,
+            schedule,
         } => {
             let mut workload = FleetWorkloadConfig::new(jobs, gpus, seed);
             workload.iterations = iterations;
@@ -64,7 +69,7 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             } else {
                 SimDuration::MAX
             };
-            let config = FleetSimConfig::from_workload(&workload)
+            let config = FleetSimConfig::from_workload_scheduled(&workload, schedule)
                 .with_mtbf(mtbf)
                 .with_policy(policy);
             let run = BackendConfig::Fleet(config).run();
@@ -72,7 +77,8 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             let detail = run.fleet().expect("fleet config yields fleet detail");
             println!(
                 "fleet of {jobs} jobs over {} GPUs ({} simulated devices, \
-                 {iterations} iterations each, {policy} global queue, {threads} threads):\n",
+                 {iterations} iterations each, {schedule} main jobs, \
+                 {policy} global queue, {threads} threads):\n",
                 detail.total_gpus, detail.num_devices
             );
             print_fleet_jobs(&detail);
@@ -94,8 +100,9 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             fill_fraction,
             mtbf_secs,
             checkpoint_secs,
+            schedule,
         } => {
-            let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+            let main = MainJobSpec::physical_5b(8, schedule);
             let config = match backend {
                 BackendKind::Coarse => {
                     let mut trace = TraceConfig::physical(seed).with_load(load);
@@ -312,6 +319,11 @@ fn run_all(out: &str) -> Result<(), String> {
     let f8 = fig8_schedules(&exec);
     schedules::print_schedules(&f8);
     schedules::save_schedules(&f8, &format!("{out}/fig8_schedules.csv")).map_err(io)?;
+
+    println!("\n== Schedule × depth sweep ==");
+    let sd = schedule_depth_sweep();
+    schedules::print_depth_sweep(&sd);
+    schedules::save_depth_sweep(&sd, &format!("{out}/schedule_depth.csv")).map_err(io)?;
 
     println!("\n== Fig. 9 ==");
     let f9 = fig9_policies(11, SimDuration::from_secs(3600));

@@ -52,7 +52,10 @@ impl CsvWriter {
     ///
     /// # Panics
     ///
-    /// Panics if the arity differs from the header.
+    /// Panics if the arity differs from the header; debug-panics if a
+    /// value renders as a non-finite float (`NaN`/`inf`), which would
+    /// otherwise land silently in the CSV and poison every downstream
+    /// plot and golden diff.
     pub fn row(&mut self, values: &[&dyn Display]) -> std::io::Result<()> {
         assert_eq!(
             values.len(),
@@ -65,7 +68,13 @@ impl CsvWriter {
             if !first {
                 write!(self.out, ",")?;
             }
-            write!(self.out, "{v}")?;
+            let rendered = v.to_string();
+            debug_assert!(
+                !matches!(rendered.as_str(), "NaN" | "inf" | "-inf"),
+                "non-finite value '{rendered}' written to {}",
+                self.path.display()
+            );
+            write!(self.out, "{rendered}")?;
             first = false;
         }
         writeln!(self.out)
@@ -110,5 +119,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pipefill-csv2-{}", std::process::id()));
         let mut w = CsvWriter::create(dir.join("t.csv"), &["a", "b"]).unwrap();
         let _ = w.row(&[&1]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite value"))]
+    fn non_finite_floats_are_flagged() {
+        let dir = std::env::temp_dir().join(format!("pipefill-csv3-{}", std::process::id()));
+        let mut w = CsvWriter::create(dir.join("t.csv"), &["a", "b"]).unwrap();
+        let _ = w.row(&[&f64::NAN, &f64::INFINITY]);
+        // Release builds write the row; the debug assertion is the guard
+        // the simulation backends run under in CI.
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -101,7 +101,7 @@ pub fn print_faults(rows: &[FaultWhatIfRow]) {
         let mtbf = if r.mtbf_secs.is_finite() {
             format!("{:.0}", r.mtbf_secs)
         } else {
-            "inf".to_string()
+            "none".to_string()
         };
         println!(
             "{mtbf:>10} {:>8.1} {:>9} {:>10} {:>13.2} {:>8.1}% {:>9.2}%",
@@ -135,8 +135,16 @@ pub fn save_faults(rows: &[FaultWhatIfRow], path: &str) -> std::io::Result<()> {
         ],
     )?;
     for r in rows {
+        // The disabled-injection sentinel is written as the explicit
+        // string the CLI accepts ('none'), not as a float infinity —
+        // CsvWriter treats non-finite numeric renderings as bugs.
+        let mtbf: &dyn std::fmt::Display = if r.mtbf_secs.is_finite() {
+            &r.mtbf_secs
+        } else {
+            &"none"
+        };
         w.row(&[
-            &r.mtbf_secs,
+            mtbf,
             &r.checkpoint_cost_secs,
             &r.failures,
             &r.evictions,
@@ -176,5 +184,28 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.goodput_fraction));
             assert!(r.main_slowdown >= 0.0);
         }
+    }
+
+    #[test]
+    fn csv_renders_disabled_injection_as_none_not_inf() {
+        // The MTBF=∞ sentinel must not reach the CSV as a float infinity
+        // (CsvWriter debug-asserts non-finite renderings are bugs).
+        let row = FaultWhatIfRow {
+            mtbf_secs: f64::INFINITY,
+            checkpoint_cost_secs: 2.0,
+            failures: 0,
+            evictions: 0,
+            lost_fill_flops: 0.0,
+            recovered_tflops: 1.0,
+            goodput_fraction: 1.0,
+            main_slowdown: 0.0,
+        };
+        let dir = std::env::temp_dir().join(format!("pipefill-faults-{}", std::process::id()));
+        let path = dir.join("whatif_faults.csv");
+        save_faults(&[row], path.to_str().unwrap()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("none,2,"), "{content}");
+        assert!(!content.contains("inf"), "{content}");
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -9,6 +9,7 @@
 //! | Fig. 6 (simulator validation, mix sweep) | [`validation::fig6_validation`] |
 //! | Fig. 7a/7b (fill-job characterization) | [`characterization::fig7_characterization`] |
 //! | Fig. 8 (GPipe vs 1F1B) | [`schedules::fig8_schedules`] |
+//! | 4-schedule × depth bubble-geometry sweep (extension) | [`schedules::schedule_depth_sweep`] |
 //! | Fig. 9a/9b (scheduling policies) | [`policies::fig9_policies`] |
 //! | Fig. 10a/10b (bubble size / free memory) | [`sensitivity`] |
 //! | Table 1 (fill-job categories) | [`table1::table1`] |
@@ -44,7 +45,7 @@ pub use fill_fraction::{fig5_fill_fraction, FillFractionRow};
 pub use fleet::{fleet_scale, fleet_scale_with, FleetScaleRow};
 pub use policies::{fig9_policies, PolicyRow};
 pub use scaling::{fig4_scaling, fig4_scaling_with, ScalingRow};
-pub use schedules::{fig8_schedules, ScheduleRow};
+pub use schedules::{fig8_schedules, schedule_depth_sweep, DepthRow, ScheduleRow};
 pub use sensitivity::{fig10a_bubble_size, fig10b_free_memory, BubbleSizeRow, FreeMemoryRow};
 pub use sweep::{par_map, replicate, run_sweep, set_threads};
 pub use table1::{table1, Table1Row};

@@ -2,9 +2,15 @@
 //! schedules, 2K–16K GPUs. 1F1B's non-contiguous bubbles are not filled,
 //! so it recovers less at low scale; the gap closes at high scale as the
 //! fill-drain and fwd-bwd bubbles dominate.
+//!
+//! The depth sweep extends the Fig. 8 question to the full schedule
+//! family — GPipe, 1F1B, interleaved 1F1B and ZB-H1 — across pipeline
+//! depths: how much fillable bubble *remains* once the main job runs a
+//! better schedule ([`schedule_depth_sweep`]).
 
 use pipefill_executor::ExecutorConfig;
-use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_pipeline::{bubble_fraction_for, EngineConfig, MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
 use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +102,111 @@ pub fn save_schedules(rows: &[ScheduleRow], path: &str) -> std::io::Result<()> {
     w.finish().map(|_| ())
 }
 
+/// One point of the 4-schedule × depth sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthRow {
+    /// Main-job schedule.
+    pub schedule: ScheduleKind,
+    /// Pipeline depth `p`.
+    pub stages: usize,
+    /// Microbatches per replica `m`.
+    pub microbatches: usize,
+    /// Steady-state iteration period in seconds.
+    pub period_secs: f64,
+    /// Engine-measured total bubble ratio.
+    pub bubble_ratio: f64,
+    /// Engine-measured fillable bubble ratio (what PipeFill gets).
+    pub fillable_ratio: f64,
+    /// Closed-form ideal bubble ratio for this schedule
+    /// ([`bubble_fraction_for`] at the 2:1 calibration) — exact for
+    /// GPipe/1F1B/ZB-H1, a lower bound for interleaved.
+    pub formula_bubble_ratio: f64,
+}
+
+/// The per-microbatch forward time the depth sweep runs at (the 40B
+/// job's calibration; backward is 2×).
+const SWEEP_FWD: SimDuration = SimDuration::from_millis(43);
+
+/// Runs the 4-schedule × depth sweep: every canonical schedule
+/// ([`ScheduleKind::ALL`]) across pipeline depths 4–32 at one and two
+/// full microbatch rounds per depth. Pure engine geometry — no fill
+/// workload — so the sweep isolates exactly what each schedule leaves
+/// for PipeFill to fill.
+pub fn schedule_depth_sweep() -> Vec<DepthRow> {
+    let mut grid = Vec::new();
+    for &p in &[4usize, 8, 16, 32] {
+        for &m in &[p, 2 * p] {
+            for schedule in ScheduleKind::ALL {
+                grid.push((schedule, p, m));
+            }
+        }
+    }
+    sweep::par_map(grid, |(schedule, p, m)| {
+        let timeline = EngineConfig::uniform(schedule, p, m, SWEEP_FWD, SWEEP_FWD * 2).run();
+        DepthRow {
+            schedule,
+            stages: p,
+            microbatches: m,
+            period_secs: timeline.period.as_secs_f64(),
+            bubble_ratio: timeline.bubble_ratio(),
+            fillable_ratio: timeline.fillable_ratio(),
+            formula_bubble_ratio: bubble_fraction_for(schedule, p, m, 2.0),
+        }
+    })
+}
+
+/// Prints the depth sweep.
+pub fn print_depth_sweep(rows: &[DepthRow]) {
+    println!(
+        "{:>14} {:>7} {:>7} {:>10} {:>8} {:>10} {:>9}",
+        "sched", "stages", "microb", "period", "bubble", "fillable", "formula"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>7} {:>7} {:>9.2}s {:>7.1}% {:>9.1}% {:>8.1}%",
+            r.schedule.to_string(),
+            r.stages,
+            r.microbatches,
+            r.period_secs,
+            100.0 * r.bubble_ratio,
+            100.0 * r.fillable_ratio,
+            100.0 * r.formula_bubble_ratio,
+        );
+    }
+}
+
+/// Writes the depth-sweep CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_depth_sweep(rows: &[DepthRow], path: &str) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(
+        path,
+        &[
+            "schedule",
+            "stages",
+            "microbatches",
+            "period_secs",
+            "bubble_ratio",
+            "fillable_ratio",
+            "formula_bubble_ratio",
+        ],
+    )?;
+    for r in rows {
+        w.row(&[
+            &r.schedule,
+            &r.stages,
+            &r.microbatches,
+            &r.period_secs,
+            &r.bubble_ratio,
+            &r.fillable_ratio,
+            &r.formula_bubble_ratio,
+        ])?;
+    }
+    w.finish().map(|_| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +239,59 @@ mod tests {
             "gap did not close: {low_scale} -> {high_scale}"
         );
         assert!(high_scale < 0.13, "high-scale gap {high_scale}");
+    }
+
+    #[test]
+    fn depth_sweep_covers_the_full_grid() {
+        let rows = schedule_depth_sweep();
+        // 4 depths × 2 microbatch points × 4 schedules.
+        assert_eq!(rows.len(), 32);
+        for r in &rows {
+            assert!(r.period_secs > 0.0);
+            assert!((0.0..1.0).contains(&r.bubble_ratio), "{r:?}");
+            assert!(r.fillable_ratio <= r.bubble_ratio + 1e-12, "{r:?}");
+            assert!(r.formula_bubble_ratio <= r.bubble_ratio + 1e-9, "{r:?}");
+        }
+        for schedule in ScheduleKind::ALL {
+            assert_eq!(
+                rows.iter().filter(|r| r.schedule == schedule).count(),
+                8,
+                "{schedule}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_sweep_orders_schedules_at_every_grid_point() {
+        let rows = schedule_depth_sweep();
+        for &p in &[4usize, 8, 16, 32] {
+            for &m in &[p, 2 * p] {
+                let at = |schedule: ScheduleKind| {
+                    rows.iter()
+                        .find(|r| r.schedule == schedule && r.stages == p && r.microbatches == m)
+                        .unwrap()
+                };
+                let gpipe = at(ScheduleKind::GPipe);
+                let ofob = at(ScheduleKind::OneFOneB);
+                let il = at(ScheduleKind::Interleaved { chunks: 2 });
+                let zb = at(ScheduleKind::ZbH1);
+                // ZB-H1 ≤ 1F1B ≤ GPipe, with interleaved under 1F1B too
+                // (complete rounds everywhere on this grid).
+                assert!(zb.bubble_ratio <= ofob.bubble_ratio + 1e-9, "p={p} m={m}");
+                assert!(
+                    ofob.bubble_ratio <= gpipe.bubble_ratio + 1e-9,
+                    "p={p} m={m}"
+                );
+                assert!(il.bubble_ratio <= ofob.bubble_ratio + 1e-9, "p={p} m={m}");
+                // ZB-H1 matches its closed form exactly on this grid.
+                assert!(
+                    (zb.bubble_ratio - zb.formula_bubble_ratio).abs() < 1e-9,
+                    "p={p} m={m}: {} vs {}",
+                    zb.bubble_ratio,
+                    zb.formula_bubble_ratio
+                );
+            }
+        }
     }
 
     #[test]

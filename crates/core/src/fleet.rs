@@ -212,12 +212,20 @@ impl FleetSimConfig {
     }
 
     /// Lowers a generated fleet workload (see
-    /// [`FleetWorkloadConfig`]) onto a runnable configuration.
+    /// [`FleetWorkloadConfig`]) onto a runnable configuration; every
+    /// main job runs GPipe.
     pub fn from_workload(workload: &FleetWorkloadConfig) -> Self {
+        Self::from_workload_scheduled(workload, ScheduleKind::GPipe)
+    }
+
+    /// Like [`FleetSimConfig::from_workload`], with every main job
+    /// running the given pipeline schedule — the fleet-level seam of the
+    /// `--schedule` flag.
+    pub fn from_workload_scheduled(workload: &FleetWorkloadConfig, schedule: ScheduleKind) -> Self {
         let jobs = workload
             .generate()
             .iter()
-            .map(|plan| FleetJobConfig::from_plan(plan, ScheduleKind::GPipe))
+            .map(|plan| FleetJobConfig::from_plan(plan, schedule))
             .collect();
         let mut cfg = FleetSimConfig::new(jobs);
         cfg.seed = workload.seed;
@@ -929,7 +937,10 @@ impl SimBackend for FleetBackend {
                 elapsed,
                 fill_flops: surviving,
                 lost_fill_flops: js.lost_flops,
-                recovered_tflops_per_gpu: if surviving == 0.0 {
+                recovered_tflops_per_gpu: if surviving == 0.0 || elapsed.is_zero() {
+                    // The elapsed guard covers degenerate zero-iteration
+                    // jobs, where the division would mint a NaN that
+                    // flows straight into fleet_scale.csv.
                     0.0
                 } else {
                     surviving / (p as f64 * elapsed.as_secs_f64()) / 1e12
@@ -943,20 +954,31 @@ impl SimBackend for FleetBackend {
             });
         }
 
+        // A degenerate fleet — no stages (empty job list) or a zero
+        // horizon (zero iterations everywhere) — must aggregate to zeros,
+        // not to the NaNs the unguarded divisions would produce (which
+        // then land silently in fleet_scale.csv).
+        let per_stage = |weighted: f64| {
+            if total_stages == 0 {
+                0.0
+            } else {
+                weighted / total_stages as f64
+            }
+        };
         self.result = Some(FleetSimResult {
             total_gpus: jobs.iter().map(|r| r.gpus).sum(),
             num_devices: self.flat_owner.len(),
             elapsed: fleet_elapsed,
             fill_flops: total_surviving,
             lost_fill_flops: total_lost,
-            recovered_tflops_per_gpu: if total_surviving == 0.0 {
+            recovered_tflops_per_gpu: if total_surviving == 0.0 || device_time == 0.0 {
                 0.0
             } else {
                 total_surviving / device_time / 1e12
             },
-            main_tflops_per_gpu: weighted_main / total_stages as f64,
-            mean_slowdown: weighted_slowdown / total_stages as f64,
-            bubble_ratio: weighted_bubble / total_stages as f64,
+            main_tflops_per_gpu: per_stage(weighted_main),
+            mean_slowdown: per_stage(weighted_slowdown),
+            bubble_ratio: per_stage(weighted_bubble),
             fill_jobs_completed: fills_completed,
             completed_fill_ids: std::mem::take(&mut self.completed_ids),
             failures,
@@ -1037,6 +1059,38 @@ mod tests {
         let mut cfg = FleetSimConfig::new(vec![a, b]);
         cfg.seed = seed;
         cfg
+    }
+
+    #[test]
+    fn degenerate_zero_horizon_fleet_reports_finite_zeros() {
+        // A fleet whose every job simulates zero iterations has no
+        // elapsed time and no bubbles; the aggregate divisions must not
+        // mint NaN (which would flow silently into fleet_scale.csv).
+        let mut cfg = twin_fleet(11);
+        for job in &mut cfg.jobs {
+            job.iterations = 0;
+        }
+        let result = FleetSim::new(cfg).run();
+        assert_eq!(result.elapsed, SimDuration::ZERO);
+        assert_eq!(result.fill_flops, 0.0);
+        for (name, v) in [
+            ("recovered", result.recovered_tflops_per_gpu),
+            ("main", result.main_tflops_per_gpu),
+            ("slowdown", result.mean_slowdown),
+            ("bubble", result.bubble_ratio),
+            ("goodput", result.goodput_fraction),
+        ] {
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+        for job in &result.jobs {
+            assert!(job.recovered_tflops_per_gpu.is_finite());
+            assert!(job.main_tflops_per_gpu.is_finite());
+            assert!(job.main_slowdown.is_finite());
+            assert_eq!(job.mean_period, job.nominal_period);
+        }
+        // The per-job main TFLOPS aggregate is still the nominal rate —
+        // the guard zeroes only truly stage-less fleets.
+        assert!(result.main_tflops_per_gpu > 0.0);
     }
 
     #[test]

@@ -25,6 +25,50 @@ pub fn bubble_fraction(p: usize, m: usize) -> f64 {
     (p - 1) as f64 / (m + p - 1) as f64
 }
 
+/// Closed-form bubble fraction of each supported schedule, for `p`
+/// stages, `m` microbatches and a backward/forward time ratio `r`
+/// (`t_b = r·t_f`; the repo's calibration is `r = 2`). This is what the
+/// coarse fidelity pins the engine against, and what the schedule sweeps
+/// report alongside the measured geometry:
+///
+/// * GPipe and 1F1B: `(p-1)/(m+p-1)` — same total bubble, different
+///   fillability (§2.1, §4.5).
+/// * Interleaved 1F1B with `v` chunks: the fill/drain ramp shrinks to
+///   `(p-1)/v` chunk-slots → `(p-1)/(v·m + p - 1)`. This is the ideal
+///   (perfectly packed) geometry, a *lower bound* on what any realizable
+///   interleaved schedule — including the engine's — measures; the
+///   realized value sits between it and 1F1B's fraction.
+/// * ZB-H1: per-stage bubble drops from `(p-1)(t_f+t_b)` to
+///   `(p-1)(t_f + t_B - t_W)` with `t_B = t_W = t_b/2`, i.e.
+///   `(p-1)·t_f` → `(p-1)/((1+r)·m + p - 1)`, which the engine
+///   reproduces exactly for uniform stages.
+///
+/// Valid in the paper's regime `m >= p`; below it the schedules pick up
+/// extra forward-starvation terms the engine measures directly.
+///
+/// # Panics
+///
+/// Panics if `p` or `m` is zero, or `r` is not positive.
+pub fn bubble_fraction_for(
+    schedule: crate::schedule::ScheduleKind,
+    p: usize,
+    m: usize,
+    r: f64,
+) -> f64 {
+    use crate::schedule::ScheduleKind;
+    assert!(p > 0 && m > 0, "p and m must be positive");
+    assert!(r > 0.0, "backward/forward ratio must be positive");
+    let p1 = (p - 1) as f64;
+    match schedule {
+        ScheduleKind::GPipe | ScheduleKind::OneFOneB => p1 / (m as f64 + p1),
+        ScheduleKind::Interleaved { chunks } => {
+            assert!(chunks > 0, "interleaved needs at least 1 chunk");
+            p1 / (chunks as f64 * m as f64 + p1)
+        }
+        ScheduleKind::ZbH1 => p1 / ((1.0 + r) * m as f64 + p1),
+    }
+}
+
 /// Wall-clock days to finish a token budget at one iteration per
 /// `iteration_time`.
 ///
@@ -88,6 +132,32 @@ mod tests {
     fn bubble_fraction_limits() {
         assert_eq!(bubble_fraction(1, 10), 0.0);
         assert!(bubble_fraction(1000, 1) >= 0.999);
+    }
+
+    #[test]
+    fn per_schedule_fractions_are_ordered() {
+        use crate::schedule::ScheduleKind;
+        for (p, m) in [(4usize, 8usize), (8, 16), (16, 64)] {
+            let gpipe = bubble_fraction_for(ScheduleKind::GPipe, p, m, 2.0);
+            let ofob = bubble_fraction_for(ScheduleKind::OneFOneB, p, m, 2.0);
+            let il2 = bubble_fraction_for(ScheduleKind::Interleaved { chunks: 2 }, p, m, 2.0);
+            let il4 = bubble_fraction_for(ScheduleKind::Interleaved { chunks: 4 }, p, m, 2.0);
+            let zb = bubble_fraction_for(ScheduleKind::ZbH1, p, m, 2.0);
+            assert_eq!(gpipe, ofob, "total bubble is schedule-independent");
+            assert_eq!(gpipe, bubble_fraction(p, m));
+            assert!(il2 < ofob, "p={p} m={m}");
+            assert!(il4 < il2, "p={p} m={m}");
+            assert!(zb < ofob, "p={p} m={m}");
+        }
+        // 1-chunk interleaved degenerates to 1F1B's fraction.
+        assert_eq!(
+            bubble_fraction_for(ScheduleKind::Interleaved { chunks: 1 }, 8, 16, 2.0),
+            bubble_fraction_for(ScheduleKind::OneFOneB, 8, 16, 2.0)
+        );
+        // ZB-H1's fraction at r=2 equals the (1+r)·m stretch: p=16, m=8
+        // → 15 / (24 + 15).
+        let zb = bubble_fraction_for(ScheduleKind::ZbH1, 16, 8, 2.0);
+        assert!((zb - 15.0 / 39.0).abs() < 1e-12, "{zb}");
     }
 
     #[test]

@@ -59,6 +59,43 @@ pub struct BubbleWindow {
 }
 
 impl BubbleWindow {
+    /// Validated constructor: a window must lie entirely within its
+    /// iteration period (`offset + duration <= period`), or every
+    /// consumer that multiplies by the period — fill partitioning, the
+    /// coarse backend's slot table, the renderer — silently works with
+    /// phantom idle time. The duration is clamped to the period
+    /// boundary, and exceeding it is a debug-build error (an emission
+    /// site produced an impossible window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset > period` (the window starts outside the
+    /// period); debug-panics if the duration had to be clamped.
+    pub fn within_period(
+        kind: BubbleKind,
+        offset: SimDuration,
+        duration: SimDuration,
+        free_memory: Bytes,
+        period: SimDuration,
+    ) -> BubbleWindow {
+        assert!(
+            offset <= period,
+            "bubble window starts at {offset}, outside the {period} period"
+        );
+        debug_assert!(
+            offset + duration <= period,
+            "bubble window [{offset}, {}) overruns the {period} period",
+            offset + duration,
+        );
+        let duration = duration.min(period - offset);
+        BubbleWindow {
+            kind,
+            offset,
+            duration,
+            free_memory,
+        }
+    }
+
     /// Absolute start time of this window in iteration `k`.
     pub fn start_in_iteration(&self, period: SimDuration, k: u64) -> SimTime {
         SimTime::ZERO + period * k + self.offset
@@ -109,6 +146,44 @@ mod tests {
             w.start_in_iteration(period, 3),
             SimTime::from_secs_f64(6.25)
         );
+    }
+
+    #[test]
+    fn within_period_accepts_valid_windows() {
+        let w = BubbleWindow::within_period(
+            BubbleKind::FwdBwd,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(50),
+            Bytes::from_gib(4),
+            SimDuration::from_millis(150),
+        );
+        assert_eq!(w.duration, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn within_period_rejects_offset_beyond_period() {
+        let _ = BubbleWindow::within_period(
+            BubbleKind::FwdBwd,
+            SimDuration::from_millis(200),
+            SimDuration::from_millis(1),
+            Bytes::from_gib(4),
+            SimDuration::from_millis(150),
+        );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overruns"))]
+    fn within_period_clamps_overrunning_duration() {
+        // Release builds clamp; debug builds flag the emission-site bug.
+        let w = BubbleWindow::within_period(
+            BubbleKind::FillDrain,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(100),
+            Bytes::from_gib(4),
+            SimDuration::from_millis(150),
+        );
+        assert_eq!(w.duration, SimDuration::from_millis(50));
     }
 
     #[test]

@@ -84,6 +84,10 @@ impl EngineConfig {
         assert_eq!(self.stage_bwd.len(), p, "stage_bwd length mismatch");
         assert_eq!(self.stage_opt.len(), p, "stage_opt length mismatch");
         assert!(self.microbatches > 0, "need at least one microbatch");
+        assert!(
+            self.schedule.chunk_count() > 0,
+            "interleaved schedule needs at least 1 chunk per device"
+        );
         if let BubbleMemoryModel::PerStage(v) = &self.memory {
             assert_eq!(v.len(), p, "per-stage memory length mismatch");
         }
@@ -101,21 +105,32 @@ impl EngineConfig {
         let p = self.num_stages();
         let m = self.microbatches;
 
-        // Build per-stage instruction streams for SIM_ITERATIONS.
-        let streams: Vec<Vec<(usize, PipelineInstruction)>> = (0..p)
-            .map(|s| {
+        // Build per-stage instruction streams for SIM_ITERATIONS. One
+        // generator pass covers every stage (the interleaved schedule
+        // derives all streams from a single constructive simulation),
+        // and the per-iteration stream is the same emission repeated.
+        let streams: Vec<Vec<(usize, PipelineInstruction)>> = self
+            .schedule
+            .all_stage_instructions(p, m)
+            .into_iter()
+            .map(|stage_stream| {
                 (0..SIM_ITERATIONS)
-                    .flat_map(|iter| {
-                        self.schedule
-                            .stage_instructions(s, p, m)
-                            .into_iter()
-                            .map(move |i| (iter, i))
-                    })
+                    .flat_map(|iter| stage_stream.iter().map(move |&i| (iter, i)))
                     .collect()
             })
             .collect();
 
-        // Dependency-driven list scheduling.
+        // Dependency-driven list scheduling. End-time maps are keyed by
+        // (iteration, virtual stage, microbatch); for unchunked schedules
+        // the virtual stage is the device stage, for interleaved ones
+        // chunk `c` on device `s` is virtual stage `c·p + s`.
+        let chunks = self.schedule.chunk_count();
+        let vs_total = chunks * p;
+        // Per-chunk compute: slice `1/chunks` of the stage total,
+        // telescoped so chunk durations sum exactly to the stage's.
+        let chunk_slice = |total: SimDuration, c: usize| -> SimDuration {
+            total * (c as u64 + 1) / chunks as u64 - total * c as u64 / chunks as u64
+        };
         let mut fwd_end: HashMap<(usize, usize, usize), SimTime> = HashMap::new();
         let mut bwd_end: HashMap<(usize, usize, usize), SimTime> = HashMap::new();
         let mut next = vec![0usize; p];
@@ -138,7 +153,26 @@ impl EngineConfig {
                                     .map(|&t| t + self.comm)
                             }
                         }
-                        PipelineInstruction::Backward { microbatch } => {
+                        PipelineInstruction::ForwardChunk { chunk, microbatch } => {
+                            let vs = chunk * p + s;
+                            if vs == 0 {
+                                Some(SimTime::ZERO)
+                            } else {
+                                // The previous virtual stage lives on the
+                                // previous device (wrapping across chunk
+                                // boundaries), so the hand-off pays the
+                                // inter-stage link unless p == 1.
+                                fwd_end.get(&(iter, vs - 1, microbatch)).map(|&t| {
+                                    if (vs - 1) % p == s {
+                                        t
+                                    } else {
+                                        t + self.comm
+                                    }
+                                })
+                            }
+                        }
+                        PipelineInstruction::Backward { microbatch }
+                        | PipelineInstruction::BackwardInput { microbatch } => {
                             if s == p - 1 {
                                 Some(SimTime::ZERO)
                             } else {
@@ -147,12 +181,39 @@ impl EngineConfig {
                                     .map(|&t| t + self.comm)
                             }
                         }
+                        PipelineInstruction::BackwardChunk { chunk, microbatch } => {
+                            let vs = chunk * p + s;
+                            if vs == vs_total - 1 {
+                                Some(SimTime::ZERO)
+                            } else {
+                                bwd_end.get(&(iter, vs + 1, microbatch)).map(|&t| {
+                                    if (vs + 1) % p == s {
+                                        t
+                                    } else {
+                                        t + self.comm
+                                    }
+                                })
+                            }
+                        }
                         _ => Some(SimTime::ZERO),
                     };
                     let Some(dep) = dep else { break };
                     let dur = match instr {
                         PipelineInstruction::Forward { .. } => self.stage_fwd[s],
                         PipelineInstruction::Backward { .. } => self.stage_bwd[s],
+                        PipelineInstruction::ForwardChunk { chunk, .. } => {
+                            chunk_slice(self.stage_fwd[s], chunk)
+                        }
+                        PipelineInstruction::BackwardChunk { chunk, .. } => {
+                            chunk_slice(self.stage_bwd[s], chunk)
+                        }
+                        // ZB-H1's split: B is the activation-gradient half,
+                        // W the weight-gradient remainder (together exactly
+                        // the full backward).
+                        PipelineInstruction::BackwardInput { .. } => self.stage_bwd[s] / 2,
+                        PipelineInstruction::BackwardWeight { .. } => {
+                            self.stage_bwd[s] - self.stage_bwd[s] / 2
+                        }
                         PipelineInstruction::OptimizerStep => self.stage_opt[s],
                         PipelineInstruction::GradSync => {
                             if self.overlap_grad_sync {
@@ -169,9 +230,17 @@ impl EngineConfig {
                         PipelineInstruction::Forward { microbatch } => {
                             fwd_end.insert((iter, s, microbatch), end);
                         }
-                        PipelineInstruction::Backward { microbatch } => {
+                        PipelineInstruction::ForwardChunk { chunk, microbatch } => {
+                            fwd_end.insert((iter, chunk * p + s, microbatch), end);
+                        }
+                        PipelineInstruction::Backward { microbatch }
+                        | PipelineInstruction::BackwardInput { microbatch } => {
                             bwd_end.insert((iter, s, microbatch), end);
                         }
+                        PipelineInstruction::BackwardChunk { chunk, microbatch } => {
+                            bwd_end.insert((iter, chunk * p + s, microbatch), end);
+                        }
+                        // BackwardWeight has no cross-stage consumers.
                         _ => {}
                     }
                     records[s].push((iter, instr, start, end));
@@ -236,9 +305,10 @@ impl EngineConfig {
 
             let first_bwd_start = intervals
                 .iter()
-                .find(|(_, _, i)| matches!(i, PipelineInstruction::Backward { .. }))
+                .find(|(_, _, i)| i.is_backward())
                 .map(|&(start, _, _)| start);
 
+            let period = window_end - window_start;
             let mut windows = Vec::new();
             let mut busy = SimDuration::ZERO;
             let mut cursor = window_start;
@@ -249,24 +319,32 @@ impl EngineConfig {
                     } else {
                         BubbleKind::NonContiguous
                     };
-                    windows.push(BubbleWindow {
+                    windows.push(BubbleWindow::within_period(
                         kind,
-                        offset: cursor - window_start,
-                        duration: start - cursor,
-                        free_memory: self.memory.free(s, kind),
-                    });
+                        cursor - window_start,
+                        start - cursor,
+                        self.memory.free(s, kind),
+                        period,
+                    ));
                 }
                 busy += end - start;
                 cursor = cursor.max(end);
             }
             if window_end > cursor {
-                windows.push(BubbleWindow {
-                    kind: BubbleKind::FillDrain,
-                    offset: cursor - window_start,
-                    duration: window_end - cursor,
-                    free_memory: self.memory.free(s, BubbleKind::FillDrain),
-                });
+                windows.push(BubbleWindow::within_period(
+                    BubbleKind::FillDrain,
+                    cursor - window_start,
+                    window_end - cursor,
+                    self.memory.free(s, BubbleKind::FillDrain),
+                    period,
+                ));
             }
+            debug_assert!(
+                windows
+                    .windows(2)
+                    .all(|w| w[0].offset + w[0].duration <= w[1].offset),
+                "stage {s}: bubble windows overlap or are unordered"
+            );
 
             stages.push(StageTimeline {
                 stage: s,
@@ -529,5 +607,119 @@ mod tests {
         let mut cfg = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20));
         cfg.stage_bwd.pop();
         let _ = cfg.run();
+    }
+
+    /// ZB-H1 with uniform stages and m ≥ p reproduces the Qi et al.
+    /// closed form exactly: per-stage bubble (p-1)(t_f + t_B - t_W) and
+    /// period m(t_f + t_b) + (p-1)(t_f + t_B - t_W).
+    #[test]
+    fn zb_h1_matches_closed_form() {
+        for (p, m) in [(2usize, 4usize), (4, 8), (8, 16), (16, 16)] {
+            let (tf, tb) = (ms(10), ms(20));
+            let tl = EngineConfig::uniform(ScheduleKind::ZbH1, p, m, tf, tb).run();
+            // t_B = t_W = t_b / 2, so the residual ramp term is t_f alone.
+            let ramp = tf * (p - 1) as u64;
+            assert_eq!(tl.period, (tf + tb) * m as u64 + ramp, "p={p} m={m}");
+            for (s, st) in tl.stages.iter().enumerate() {
+                assert_eq!(st.busy, (tf + tb) * m as u64, "p={p} m={m} stage {s}");
+                assert_eq!(st.bubble_time(), ramp, "p={p} m={m} stage {s}");
+            }
+            let expect = (p - 1) as f64 * 10.0 / (m as f64 * 30.0 + (p - 1) as f64 * 10.0);
+            assert!((tl.bubble_ratio() - expect).abs() < 1e-9, "p={p} m={m}");
+        }
+    }
+
+    /// ZB-H1 strictly shrinks both total and fillable bubble relative to
+    /// 1F1B, and every remaining window is fillable (the W-fill converts
+    /// the fragmented drain gaps into solid compute).
+    #[test]
+    fn zb_h1_beats_one_f_one_b() {
+        let (p, m) = (8usize, 16usize);
+        let (tf, tb) = (ms(10), ms(20));
+        let ofob = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb).run();
+        let zb = EngineConfig::uniform(ScheduleKind::ZbH1, p, m, tf, tb).run();
+        assert!(zb.period < ofob.period);
+        assert!(zb.bubble_ratio() < ofob.bubble_ratio());
+        assert!(zb.total_bubble_time() < ofob.total_bubble_time());
+    }
+
+    /// Interleaving shrinks the total bubble below 1F1B's, monotonically
+    /// in the chunk count, while fragmenting what remains (fillable share
+    /// drops even faster — the Fig. 8 trade-off at its sharpest).
+    #[test]
+    fn interleaving_shrinks_but_fragments_bubbles() {
+        let (p, m) = (4usize, 8usize);
+        let (tf, tb) = (ms(10), ms(20));
+        let ofob = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, tf, tb).run();
+        let il2 =
+            EngineConfig::uniform(ScheduleKind::Interleaved { chunks: 2 }, p, m, tf, tb).run();
+        let il4 =
+            EngineConfig::uniform(ScheduleKind::Interleaved { chunks: 4 }, p, m, tf, tb).run();
+        assert!(il2.bubble_ratio() < ofob.bubble_ratio());
+        assert!(il4.bubble_ratio() < il2.bubble_ratio());
+        assert!(il2.period < ofob.period);
+        // The ideal interleaved geometry lower-bounds the realized one.
+        let ideal2 = crate::analysis::bubble_fraction_for(
+            ScheduleKind::Interleaved { chunks: 2 },
+            p,
+            m,
+            2.0,
+        );
+        assert!(il2.bubble_ratio() >= ideal2 - 1e-9);
+        // Fragmentation: interleaved fills a smaller share of a smaller
+        // bubble than 1F1B does.
+        assert!(il2.fillable_ratio() < ofob.fillable_ratio());
+        assert!(
+            il2.stages.iter().any(|s| s
+                .windows
+                .iter()
+                .any(|w| w.kind == BubbleKind::NonContiguous)),
+            "interleaving induces non-contiguous fragments"
+        );
+    }
+
+    /// The conformance pin's engine half: 1-chunk interleaved is 1F1B
+    /// bit for bit, timelines included.
+    #[test]
+    fn one_chunk_interleaved_timeline_equals_one_f_one_b() {
+        for (p, m) in [(4usize, 8usize), (8, 4), (1, 2)] {
+            let il = EngineConfig::uniform(
+                ScheduleKind::Interleaved { chunks: 1 },
+                p,
+                m,
+                ms(13),
+                ms(29),
+            )
+            .run();
+            let ofob = EngineConfig::uniform(ScheduleKind::OneFOneB, p, m, ms(13), ms(29)).run();
+            assert_eq!(il, ofob, "p={p} m={m}");
+        }
+    }
+
+    /// Busy + bubble time still partitions the period for the new
+    /// schedules (the invariant the proptests sweep much wider).
+    #[test]
+    fn new_schedules_partition_the_period() {
+        for schedule in [
+            ScheduleKind::Interleaved { chunks: 2 },
+            ScheduleKind::Interleaved { chunks: 3 },
+            ScheduleKind::ZbH1,
+        ] {
+            let tl = EngineConfig::uniform(schedule, 5, 7, ms(13), ms(29)).run();
+            for st in &tl.stages {
+                assert_eq!(
+                    st.busy + st.bubble_time(),
+                    tl.period,
+                    "{schedule} stage {}",
+                    st.stage
+                );
+                let mut cursor = SimDuration::ZERO;
+                for w in &st.windows {
+                    assert!(w.offset >= cursor, "{schedule} window overlap");
+                    cursor = w.offset + w.duration;
+                }
+                assert!(cursor <= tl.period, "{schedule} windows exceed period");
+            }
+        }
     }
 }

@@ -42,7 +42,7 @@ mod profiler;
 mod render;
 mod schedule;
 
-pub use analysis::{bubble_fraction, days_to_train, ScalingPoint};
+pub use analysis::{bubble_fraction, bubble_fraction_for, days_to_train, ScalingPoint};
 pub use bubbles::{BubbleKind, BubbleWindow};
 pub use engine::{EngineConfig, EngineTimeline, StageTimeline};
 pub use instructions::PipelineInstruction;

@@ -1,6 +1,21 @@
-//! Pipeline schedule generators: GPipe and 1F1B per-stage instruction
-//! sequences with PipeFill's bubble markers inserted where the large
-//! bubbles are expected (§4.2, §4.5).
+//! Pipeline schedule generators: GPipe, 1F1B, interleaved 1F1B and
+//! ZB-H1 per-stage instruction sequences with PipeFill's bubble markers
+//! inserted where the large bubbles are expected (§4.2, §4.5).
+//!
+//! The two schedule families beyond the paper's pair reshape the bubble
+//! geometry PipeFill gets to fill:
+//!
+//! * **Interleaved 1F1B** (Megatron-LM virtual pipeline stages): each
+//!   device hosts `v` model chunks, shrinking the fill/drain ramp to
+//!   `(p-1)/v` chunk-slots at the cost of extra mid-iteration
+//!   fragmentation (more, smaller gaps — which PipeFill classifies as
+//!   non-contiguous and does not fill).
+//! * **ZB-H1** (Qi et al., *Zero Bubble Pipeline Parallelism*): the
+//!   backward pass splits into a dependency-critical activation-gradient
+//!   half (`B`) and a freely movable weight-gradient half (`W`); the
+//!   schedule defers `W` work into what 1F1B leaves as fwd-bwd/drain
+//!   bubble, shrinking total bubble time to roughly
+//!   `(p-1)·(t_f + t_B - t_W)` per stage.
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +30,17 @@ pub enum ScheduleKind {
     /// 1F1B (PipeDream-flush; Narayanan et al., 2019): warmup forwards,
     /// then alternate one-forward-one-backward, then drain.
     OneFOneB,
+    /// Interleaved 1F1B (Narayanan et al., 2021): `chunks` virtual
+    /// pipeline stages per device. `chunks == 1` is exactly 1F1B (pinned
+    /// bit for bit by the conformance suite).
+    Interleaved {
+        /// Model chunks (virtual stages) per device, `>= 1`.
+        chunks: usize,
+    },
+    /// ZB-H1 (Qi et al., 2023): backward split into B/W instructions;
+    /// deferred W work fills what was fwd-bwd bubble, within 1F1B's
+    /// activation-memory budget.
+    ZbH1,
 }
 
 impl std::fmt::Display for ScheduleKind {
@@ -22,23 +48,83 @@ impl std::fmt::Display for ScheduleKind {
         match self {
             ScheduleKind::GPipe => write!(f, "GPipe"),
             ScheduleKind::OneFOneB => write!(f, "1F1B"),
+            ScheduleKind::Interleaved { chunks } => write!(f, "interleaved:{chunks}"),
+            ScheduleKind::ZbH1 => write!(f, "ZB-H1"),
+        }
+    }
+}
+
+impl std::str::FromStr for ScheduleKind {
+    type Err = String;
+
+    /// Parses CLI spellings: `gpipe`, `1f1b`, `interleaved` (2 chunks),
+    /// `interleaved:<v>`, `zb-h1`. Case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canonical = s.to_ascii_lowercase();
+        match canonical.as_str() {
+            "gpipe" => Ok(ScheduleKind::GPipe),
+            "1f1b" | "one-f-one-b" => Ok(ScheduleKind::OneFOneB),
+            "interleaved" => Ok(ScheduleKind::Interleaved { chunks: 2 }),
+            "zb-h1" | "zbh1" => Ok(ScheduleKind::ZbH1),
+            other => {
+                if let Some(v) = other.strip_prefix("interleaved:") {
+                    let chunks: usize = v.parse().map_err(|_| {
+                        format!("interleaved chunk count must be an integer, got '{v}'")
+                    })?;
+                    if chunks == 0 {
+                        return Err("interleaved needs at least 1 chunk per device".into());
+                    }
+                    return Ok(ScheduleKind::Interleaved { chunks });
+                }
+                Err(format!(
+                    "unknown schedule '{s}' (gpipe|1f1b|interleaved[:v]|zb-h1)"
+                ))
+            }
         }
     }
 }
 
 impl ScheduleKind {
+    /// The four canonical schedules the sweeps and CLI expose
+    /// (interleaved at its default 2 chunks per device).
+    pub const ALL: [ScheduleKind; 4] = [
+        ScheduleKind::GPipe,
+        ScheduleKind::OneFOneB,
+        ScheduleKind::Interleaved { chunks: 2 },
+        ScheduleKind::ZbH1,
+    ];
+
+    /// Model chunks per device: `chunks` for the interleaved schedule,
+    /// 1 for everything else.
+    pub fn chunk_count(self) -> usize {
+        match self {
+            ScheduleKind::Interleaved { chunks } => chunks,
+            _ => 1,
+        }
+    }
+
     /// The instruction stream for one iteration on stage `stage` of a
     /// `p`-stage pipeline processing `m` microbatches.
     ///
-    /// Both schedules end with gradient sync, the optimizer step, and the
-    /// fill-drain bubble marker; both carry a fwd-bwd marker immediately
+    /// All schedules end with gradient sync, the optimizer step, and the
+    /// fill-drain bubble marker; all carry a fwd-bwd marker immediately
     /// before the stage's first backward.
     ///
     /// # Panics
     ///
-    /// Panics if `stage >= p` or `m == 0`.
+    /// Panics if `stage >= p`, `m == 0`, or an interleaved schedule has
+    /// zero chunks.
     pub fn stage_instructions(self, stage: usize, p: usize, m: usize) -> Vec<PipelineInstruction> {
         assert!(stage < p, "stage {stage} out of range for {p} stages");
+        if let ScheduleKind::Interleaved { chunks } = self {
+            assert!(chunks > 0, "interleaved needs at least 1 chunk per device");
+            if chunks > 1 {
+                // The constructive derivation produces every device's
+                // stream in one pass; single-stage callers pay for the
+                // fleet, so the engine uses all_stage_instructions.
+                return interleaved_all_stage_instructions(p, m, chunks).swap_remove(stage);
+            }
+        }
         assert!(m > 0, "need at least one microbatch");
         let mut out = Vec::with_capacity(2 * m + 4);
         match self {
@@ -72,6 +158,46 @@ impl ScheduleKind {
                     out.push(PipelineInstruction::Backward { microbatch: bwd });
                 }
             }
+            ScheduleKind::Interleaved { .. } => {
+                // chunks == 1 (the multi-chunk case returned above): one
+                // chunk per device *is* 1F1B; delegating keeps the
+                // instruction streams — and therefore every derived
+                // timeline — identical bit for bit.
+                return ScheduleKind::OneFOneB.stage_instructions(stage, p, m);
+            }
+            ScheduleKind::ZbH1 => {
+                // Same warmup (and so the same activation-memory envelope)
+                // as 1F1B; backwards split into B (emitted eagerly, it
+                // unblocks the upstream stage) and W (deferred — during the
+                // drain phase one deferred W slots in front of each B,
+                // filling the gap 1F1B leaves there, and the rest flush
+                // back-to-back before the optimizer step).
+                let warmup = (p - 1 - stage).min(m);
+                for i in 0..warmup {
+                    out.push(PipelineInstruction::Forward { microbatch: i });
+                }
+                out.push(PipelineInstruction::Bubble {
+                    kind: BubbleKind::FwdBwd,
+                });
+                let mut next_fwd = warmup;
+                let mut next_w = 0;
+                for bwd in 0..m {
+                    if next_fwd < m {
+                        out.push(PipelineInstruction::Forward {
+                            microbatch: next_fwd,
+                        });
+                        next_fwd += 1;
+                    } else if next_w < bwd {
+                        out.push(PipelineInstruction::BackwardWeight { microbatch: next_w });
+                        next_w += 1;
+                    }
+                    out.push(PipelineInstruction::BackwardInput { microbatch: bwd });
+                }
+                while next_w < m {
+                    out.push(PipelineInstruction::BackwardWeight { microbatch: next_w });
+                    next_w += 1;
+                }
+            }
         }
         out.push(PipelineInstruction::GradSync);
         out.push(PipelineInstruction::OptimizerStep);
@@ -80,6 +206,144 @@ impl ScheduleKind {
         });
         out
     }
+
+    /// Every stage's instruction stream for one iteration, in stage
+    /// order — semantically `(0..p).map(|s| stage_instructions(s, p, m))`,
+    /// but the multi-chunk interleaved schedule derives all `p` streams
+    /// from a single constructive pass instead of re-simulating the whole
+    /// fleet once per stage. The engine builds its streams through this.
+    ///
+    /// # Panics
+    ///
+    /// As [`ScheduleKind::stage_instructions`].
+    pub fn all_stage_instructions(self, p: usize, m: usize) -> Vec<Vec<PipelineInstruction>> {
+        assert!(p > 0, "need at least one stage");
+        if let ScheduleKind::Interleaved { chunks } = self {
+            assert!(chunks > 0, "interleaved needs at least 1 chunk per device");
+            if chunks > 1 {
+                return interleaved_all_stage_instructions(p, m, chunks);
+            }
+        }
+        (0..p).map(|s| self.stage_instructions(s, p, m)).collect()
+    }
+}
+
+/// Interleaved-1F1B streams for every device, derived constructively: a
+/// unit-time greedy simulation over the `v·p` virtual stages (per-chunk
+/// forward = 1 unit, backward = 2, matching the repo's 2:1 calibration)
+/// schedules every (chunk, microbatch) unit work-conservingly —
+/// globally-earliest start first, backwards preferred over forwards on
+/// ties (the 1F1B discipline; forward run-ahead is bounded only by this
+/// preference plus dependency latency, not by an explicit warmup cap),
+/// Megatron round order breaking the rest. The committed order is a
+/// linearization of a real execution, so the engine's in-order replay can
+/// never deadlock, whatever the stage timings.
+fn interleaved_all_stage_instructions(
+    p: usize,
+    m: usize,
+    v: usize,
+) -> Vec<Vec<PipelineInstruction>> {
+    assert!(m > 0, "need at least one microbatch");
+    const UNSCHEDULED: u64 = u64::MAX;
+    let vs_total = v * p;
+    let (t_fwd, t_bwd) = (1u64, 2u64);
+    // Megatron's microbatch grouping: forwards proceed in rounds of
+    // `g` microbatches per chunk (chunk 0's round, then chunk 1's, …).
+    let g = p.min(m);
+    // Per-virtual-stage cursors (microbatches run in order) and unit
+    // completion times.
+    let mut next_f = vec![0usize; vs_total];
+    let mut next_b = vec![0usize; vs_total];
+    let mut f_end = vec![vec![UNSCHEDULED; m]; vs_total];
+    let mut b_end = vec![vec![UNSCHEDULED; m]; vs_total];
+    let mut dev_free = vec![0u64; p];
+
+    let mut per_device: Vec<Vec<PipelineInstruction>> = vec![Vec::new(); p];
+    let total_units = 2 * vs_total * m;
+    let mut committed = 0usize;
+    while committed < total_units {
+        // The globally earliest-starting runnable unit. Ties prefer
+        // backwards over forwards (the 1F1B discipline that bounds
+        // activation run-ahead), then Megatron's round order: forwards
+        // chunk-ascending within a round, backwards chunk-descending.
+        let mut best: Option<(u64, u8, usize, bool, usize)> = None;
+        for vs in 0..vs_total {
+            let dev = vs % p;
+            let chunk = vs / p;
+            let i = next_b[vs];
+            if i < m && f_end[vs][i] != UNSCHEDULED {
+                let dep = if vs == vs_total - 1 {
+                    f_end[vs][i]
+                } else {
+                    b_end[vs + 1][i]
+                };
+                if dep != UNSCHEDULED {
+                    let rank = (i / g) * v + (v - 1 - chunk);
+                    let key = (dev_free[dev].max(dep), 0u8, rank);
+                    if best.is_none_or(|(s0, k0, r0, _, _)| key < (s0, k0, r0)) {
+                        best = Some((key.0, key.1, key.2, false, vs));
+                    }
+                }
+            }
+            let i = next_f[vs];
+            if i < m {
+                let dep = if vs == 0 { 0 } else { f_end[vs - 1][i] };
+                if dep != UNSCHEDULED {
+                    let rank = (i / g) * v + chunk;
+                    let key = (dev_free[dev].max(dep), 1u8, rank);
+                    if best.is_none_or(|(s0, k0, r0, _, _)| key < (s0, k0, r0)) {
+                        best = Some((key.0, key.1, key.2, true, vs));
+                    }
+                }
+            }
+        }
+        let (start, _, _, is_fwd, vs) =
+            best.expect("interleaved schedule wedged: no runnable unit");
+        let dev = vs % p;
+        let chunk = vs / p;
+        if is_fwd {
+            let i = next_f[vs];
+            f_end[vs][i] = start + t_fwd;
+            next_f[vs] += 1;
+            dev_free[dev] = start + t_fwd;
+            per_device[dev].push(PipelineInstruction::ForwardChunk {
+                chunk,
+                microbatch: i,
+            });
+        } else {
+            let i = next_b[vs];
+            b_end[vs][i] = start + t_bwd;
+            next_b[vs] += 1;
+            dev_free[dev] = start + t_bwd;
+            per_device[dev].push(PipelineInstruction::BackwardChunk {
+                chunk,
+                microbatch: i,
+            });
+        }
+        committed += 1;
+    }
+
+    per_device
+        .into_iter()
+        .map(|stream| {
+            let mut out = Vec::with_capacity(stream.len() + 4);
+            let first_bwd = stream
+                .iter()
+                .position(|i| i.is_backward())
+                .unwrap_or(stream.len());
+            out.extend_from_slice(&stream[..first_bwd]);
+            out.push(PipelineInstruction::Bubble {
+                kind: BubbleKind::FwdBwd,
+            });
+            out.extend_from_slice(&stream[first_bwd..]);
+            out.push(PipelineInstruction::GradSync);
+            out.push(PipelineInstruction::OptimizerStep);
+            out.push(PipelineInstruction::Bubble {
+                kind: BubbleKind::FillDrain,
+            });
+            out
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -197,5 +461,181 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_stage_rejected() {
         let _ = ScheduleKind::GPipe.stage_instructions(4, 4, 2);
+    }
+
+    #[test]
+    fn parses_and_prints_all_schedules() {
+        for kind in ScheduleKind::ALL {
+            let round_trip: ScheduleKind = kind.to_string().parse().unwrap();
+            assert_eq!(round_trip, kind, "{kind}");
+        }
+        assert_eq!(
+            "interleaved".parse::<ScheduleKind>().unwrap(),
+            ScheduleKind::Interleaved { chunks: 2 }
+        );
+        assert_eq!(
+            "interleaved:4".parse::<ScheduleKind>().unwrap(),
+            ScheduleKind::Interleaved { chunks: 4 }
+        );
+        assert_eq!("ZB-H1".parse::<ScheduleKind>().unwrap(), ScheduleKind::ZbH1);
+        assert!("interleaved:0".parse::<ScheduleKind>().is_err());
+        assert!("interleaved:two".parse::<ScheduleKind>().is_err());
+        assert!("bidirectional".parse::<ScheduleKind>().is_err());
+        assert_eq!(ScheduleKind::Interleaved { chunks: 3 }.chunk_count(), 3);
+        assert_eq!(ScheduleKind::ZbH1.chunk_count(), 1);
+    }
+
+    #[test]
+    fn one_chunk_interleaved_is_one_f_one_b_bit_for_bit() {
+        for (p, m) in [(4usize, 6usize), (8, 2), (1, 3), (5, 5)] {
+            for stage in 0..p {
+                assert_eq!(
+                    ScheduleKind::Interleaved { chunks: 1 }.stage_instructions(stage, p, m),
+                    ScheduleKind::OneFOneB.stage_instructions(stage, p, m),
+                    "p={p} m={m} stage={stage}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zb_h1_splits_every_backward_and_defers_weight_work() {
+        let (p, m) = (4usize, 8usize);
+        for stage in 0..p {
+            let instrs = ScheduleKind::ZbH1.stage_instructions(stage, p, m);
+            let inputs: Vec<usize> = instrs
+                .iter()
+                .filter_map(|i| match i {
+                    PipelineInstruction::BackwardInput { microbatch } => Some(*microbatch),
+                    _ => None,
+                })
+                .collect();
+            let weights: Vec<usize> = instrs
+                .iter()
+                .filter_map(|i| match i {
+                    PipelineInstruction::BackwardWeight { microbatch } => Some(*microbatch),
+                    _ => None,
+                })
+                .collect();
+            let expect: Vec<usize> = (0..m).collect();
+            assert_eq!(inputs, expect, "stage {stage}: every B exactly once");
+            assert_eq!(weights, expect, "stage {stage}: every W exactly once");
+            assert!(
+                !instrs
+                    .iter()
+                    .any(|i| matches!(i, PipelineInstruction::Backward { .. })),
+                "ZB-H1 never emits an unsplit backward"
+            );
+            // W_i never runs before its B_i.
+            for i in 0..m {
+                let b_pos = instrs
+                    .iter()
+                    .position(|x| *x == PipelineInstruction::BackwardInput { microbatch: i })
+                    .unwrap();
+                let w_pos = instrs
+                    .iter()
+                    .position(|x| *x == PipelineInstruction::BackwardWeight { microbatch: i })
+                    .unwrap();
+                assert!(b_pos < w_pos, "stage {stage} microbatch {i}");
+            }
+        }
+        // The last stage ends with a burst of deferred W's.
+        let last = ScheduleKind::ZbH1.stage_instructions(p - 1, p, m);
+        let n = last.len();
+        assert_eq!(
+            last[n - 4],
+            PipelineInstruction::BackwardWeight { microbatch: m - 1 }
+        );
+    }
+
+    #[test]
+    fn interleaved_emits_every_chunk_unit_exactly_once() {
+        for (p, m, v) in [(4usize, 8usize, 2usize), (4, 4, 4), (3, 2, 2), (2, 5, 3)] {
+            for stage in 0..p {
+                let instrs =
+                    ScheduleKind::Interleaved { chunks: v }.stage_instructions(stage, p, m);
+                let mut fwd = vec![vec![false; m]; v];
+                let mut bwd = vec![vec![false; m]; v];
+                for i in &instrs {
+                    match i {
+                        PipelineInstruction::ForwardChunk { chunk, microbatch } => {
+                            assert!(!fwd[*chunk][*microbatch], "duplicate F");
+                            fwd[*chunk][*microbatch] = true;
+                        }
+                        PipelineInstruction::BackwardChunk { chunk, microbatch } => {
+                            assert!(!bwd[*chunk][*microbatch], "duplicate B");
+                            bwd[*chunk][*microbatch] = true;
+                        }
+                        PipelineInstruction::Forward { .. }
+                        | PipelineInstruction::Backward { .. } => {
+                            panic!("interleaved streams are fully chunked")
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(fwd.iter().flatten().all(|&x| x), "p={p} m={m} v={v}");
+                assert!(bwd.iter().flatten().all(|&x| x), "p={p} m={m} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_schedules_end_with_sync_opt_filldrain() {
+        for kind in ScheduleKind::ALL {
+            let instrs = kind.stage_instructions(1, 4, 4);
+            let n = instrs.len();
+            assert_eq!(instrs[n - 3], PipelineInstruction::GradSync, "{kind}");
+            assert_eq!(instrs[n - 2], PipelineInstruction::OptimizerStep, "{kind}");
+            assert_eq!(
+                instrs[n - 1],
+                PipelineInstruction::Bubble {
+                    kind: BubbleKind::FillDrain
+                },
+                "{kind}"
+            );
+            assert_eq!(
+                instrs
+                    .iter()
+                    .filter(|i| matches!(
+                        i,
+                        PipelineInstruction::Bubble {
+                            kind: BubbleKind::FwdBwd
+                        }
+                    ))
+                    .count(),
+                1,
+                "{kind}: exactly one fwd-bwd marker"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 chunk")]
+    fn zero_chunk_interleaved_rejected() {
+        let _ = ScheduleKind::Interleaved { chunks: 0 }.stage_instructions(0, 4, 4);
+    }
+
+    #[test]
+    fn all_stage_instructions_matches_per_stage_emission() {
+        for kind in [
+            ScheduleKind::GPipe,
+            ScheduleKind::OneFOneB,
+            ScheduleKind::Interleaved { chunks: 1 },
+            ScheduleKind::Interleaved { chunks: 2 },
+            ScheduleKind::Interleaved { chunks: 3 },
+            ScheduleKind::ZbH1,
+        ] {
+            for (p, m) in [(1usize, 1usize), (4, 6), (5, 3)] {
+                let all = kind.all_stage_instructions(p, m);
+                assert_eq!(all.len(), p, "{kind} p={p} m={m}");
+                for (s, expect) in all.iter().enumerate() {
+                    assert_eq!(
+                        &kind.stage_instructions(s, p, m),
+                        expect,
+                        "{kind} p={p} m={m} stage {s}"
+                    );
+                }
+            }
+        }
     }
 }

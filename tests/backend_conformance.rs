@@ -192,6 +192,89 @@ fn fleet_backend_conforms() {
     }
 }
 
+/// Schedule diversity: every fidelity runs every canonical schedule —
+/// GPipe, 1F1B, interleaved 1F1B, ZB-H1 — through the full conformance
+/// harness, and the derived bubble geometry orders the way the theory
+/// says: ZB-H1 leaves less total bubble than 1F1B/GPipe.
+#[test]
+fn all_backends_conform_on_every_schedule() {
+    for schedule in ScheduleKind::ALL {
+        let main = || MainJobSpec::physical_5b(8, schedule);
+
+        let coarse = check_conformance(&format!("coarse/{schedule}"), || {
+            let mut trace = TraceConfig::physical(3);
+            trace.horizon = SimDuration::from_secs(900);
+            CoarseBackend::new(ClusterSimConfig::new(main(), trace))
+        });
+        let phys = check_conformance(&format!("physical/{schedule}"), || {
+            let mut cfg = PhysicalSimConfig::new(main());
+            cfg.iterations = 40;
+            cfg.seed = 3;
+            PhysicalBackend::new(cfg)
+        });
+        let fault = check_conformance(&format!("fault/{schedule}"), || {
+            let mut cfg = FaultSimConfig::new(main()).with_mtbf(SimDuration::from_secs(400));
+            cfg.iterations = 40;
+            cfg.seed = 3;
+            FaultBackend::new(cfg)
+        });
+        let fleet = check_conformance(&format!("fleet/{schedule}"), || {
+            let mut workload = FleetWorkloadConfig::new(2, 2 * 128, 3);
+            workload.iterations = 40;
+            FleetBackend::new(FleetSimConfig::from_workload_scheduled(&workload, schedule))
+        });
+
+        // All fidelities agree on the engine-derived bubble ratio of the
+        // same main job (the fleet runs different jobs, so it only has
+        // to be sane).
+        assert_eq!(coarse.bubble_ratio, phys.bubble_ratio, "{schedule}");
+        assert_eq!(phys.bubble_ratio, fault.bubble_ratio, "{schedule}");
+        assert!(fleet.bubble_ratio > 0.0, "{schedule}");
+    }
+
+    // The geometry ordering across schedules on the fixed 5B job.
+    let ratio = |schedule| {
+        MainJobSpec::physical_5b(8, schedule)
+            .engine_timeline()
+            .bubble_ratio()
+    };
+    let gpipe = ratio(ScheduleKind::GPipe);
+    let ofob = ratio(ScheduleKind::OneFOneB);
+    let zb = ratio(ScheduleKind::ZbH1);
+    assert!(zb < ofob, "ZB-H1 {zb} vs 1F1B {ofob}");
+    // Inter-stage comm latency perturbs the two periods slightly (the
+    // same 2% the fig8 driver tolerates); without comm they are equal.
+    assert!((ofob - gpipe).abs() < 0.02, "1F1B {ofob} vs GPipe {gpipe}");
+}
+
+/// The tentpole's conformance pin: 1-chunk interleaved reproduces 1F1B
+/// **bit for bit** — identical engine timelines and identical physical-
+/// backend metrics, fill FLOPs included.
+#[test]
+fn one_chunk_interleaved_reproduces_one_f_one_b_bit_for_bit() {
+    let mk = |schedule| {
+        let main = MainJobSpec::physical_5b(8, schedule);
+        assert_eq!(
+            main.engine_timeline(),
+            MainJobSpec::physical_5b(8, ScheduleKind::OneFOneB).engine_timeline(),
+            "engine timelines must match bit for bit"
+        );
+        let mut cfg = PhysicalSimConfig::new(main);
+        cfg.iterations = 60;
+        cfg.seed = 5;
+        BackendConfig::Physical(cfg).run()
+    };
+    let interleaved = mk(ScheduleKind::Interleaved { chunks: 1 });
+    let ofob = mk(ScheduleKind::OneFOneB);
+    assert_eq!(interleaved.metrics, ofob.metrics);
+    let il_detail = interleaved.physical().expect("physical detail");
+    let ofob_detail = ofob.physical().expect("physical detail");
+    assert_eq!(il_detail.fill_flops, ofob_detail.fill_flops);
+    assert_eq!(il_detail.jobs_completed, ofob_detail.jobs_completed);
+    assert_eq!(il_detail.main_slowdown, ofob_detail.main_slowdown);
+    assert_eq!(il_detail.nominal_period, ofob_detail.nominal_period);
+}
+
 /// The fleet acceptance gate: a fleet of exactly one homogeneous job —
 /// no faults, physical workload defaults — must reproduce the physical
 /// backend **bit for bit**: same fill FLOPs, same recovered and main

@@ -14,7 +14,7 @@
 
 use pipefill::core::experiments::{
     fig4_scaling, fig5_fill_fraction, fig8_schedules, fig9_policies, fill_fraction, fleet,
-    fleet_scale_with, policies, scaling, schedules, table1,
+    fleet_scale_with, policies, scaling, schedule_depth_sweep, schedules, table1,
 };
 use pipefill::executor::ExecutorConfig;
 use pipefill::sim::SimDuration;
@@ -74,6 +74,23 @@ fn fig8_schedules_matches_golden_snapshot() {
         "fig8_schedules.csv",
         &fresh,
         include_str!("golden/fig8_schedules.csv"),
+    );
+}
+
+/// The 4-schedule × depth geometry sweep: pins the per-schedule bubble
+/// geometry — GPipe, 1F1B, interleaved 1F1B, ZB-H1 — the engine derives,
+/// byte for byte. A schedule-emission or engine change that moves any
+/// bubble window shows up here first.
+#[test]
+fn schedule_depth_matches_golden_snapshot() {
+    let rows = schedule_depth_sweep();
+    let fresh = csv_bytes("schedule_depth.csv", |p| {
+        schedules::save_depth_sweep(&rows, p)
+    });
+    golden_check(
+        "schedule_depth.csv",
+        &fresh,
+        include_str!("golden/schedule_depth.csv"),
     );
 }
 

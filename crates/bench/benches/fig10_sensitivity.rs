@@ -3,10 +3,7 @@
 //! ablation (offloading widens free memory, moving along the 10b axis).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::sensitivity::{
-    fig10a_bubble_size, fig10b_free_memory, print_sensitivity, save_sensitivity,
-};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_core::steady_recovered_tflops;
 use pipefill_device::Bytes;
 use pipefill_executor::ExecutorConfig;
@@ -15,17 +12,10 @@ use pipefill_trace::ModelMix;
 
 fn bench(c: &mut Criterion) {
     let exec = ExecutorConfig::default();
-    let a = fig10a_bubble_size(&exec);
-    let b = fig10b_free_memory(&exec);
-    println!();
-    print_sensitivity(&a, &b);
-    save_sensitivity(
-        &a,
-        &b,
-        &experiment_csv("fig10a_bubble_size.csv"),
-        &experiment_csv("fig10b_free_memory.csv"),
-    )
-    .expect("csv");
+    println!("\nFig. 10a — bubble size (model scale), free memory fixed at 4.5 GiB:");
+    regenerate("fig10a_bubble_size");
+    println!("\nFig. 10b — bubble free memory, model size fixed:");
+    regenerate("fig10b_free_memory");
 
     // Ablation: what main-job optimizer-state offloading buys. The
     // offloadable bytes add to every bubble's free memory (§4.2).

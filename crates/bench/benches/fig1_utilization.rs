@@ -3,24 +3,22 @@
 //! of Fig. 4c.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::scaling::{fig4_scaling, save_scaling};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 
 fn bench(c: &mut Criterion) {
-    let rows = fig4_scaling();
-    println!("\nFig. 1 — TFLOPS/GPU while scaling the 40B LLM:");
+    println!("\nFig. 1 — TFLOPS/GPU while scaling the 40B LLM (Fig. 4 sweep):");
+    let table = regenerate("fig4_scaling");
+    let gpus = table.f64_column("gpus");
+    let trad = table.f64_column("traditional_tflops");
+    let mix = table.f64_column("pipefill_trace_mix_tflops");
     println!(
-        "{:>6} {:>18} {:>22}",
+        "\n{:>6} {:>18} {:>22}",
         "GPUs", "Traditional PP", "PipeFill (trace mix)"
     );
-    for r in &rows {
-        println!(
-            "{:>6} {:>18.1} {:>22.1}",
-            r.gpus, r.traditional_tflops, r.pipefill_trace_mix_tflops
-        );
+    for i in 0..gpus.len() {
+        println!("{:>6} {:>18.1} {:>22.1}", gpus[i], trad[i], mix[i]);
     }
-    save_scaling(&rows, &experiment_csv("fig1_utilization.csv")).expect("csv");
 
     c.bench_function("fig1/engine_timeline_8k", |b| {
         b.iter(|| MainJobSpec::simulator_40b(8, ScheduleKind::GPipe).engine_timeline())

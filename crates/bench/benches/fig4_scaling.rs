@@ -2,15 +2,12 @@
 //! utilization (c) while scaling the 40B job across 1K–8K GPUs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::scaling::{fig4_scaling, print_scaling, save_scaling};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 
 fn bench(c: &mut Criterion) {
-    let rows = fig4_scaling();
     println!("\nFig. 4 — scaling the 40B main job:");
-    print_scaling(&rows);
-    save_scaling(&rows, &experiment_csv("fig4_scaling.csv")).expect("csv");
+    regenerate("fig4_scaling");
 
     c.bench_function("fig4/scaling_point", |b| {
         b.iter(|| MainJobSpec::simulator_40b(16, ScheduleKind::GPipe).scaling_point())

@@ -2,18 +2,13 @@
 //! each bubble filled, on the fine-grained "physical" 5B/16-GPU setup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::fill_fraction::{
-    fig5_fill_fraction, print_fill_fraction, save_fill_fraction,
-};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_core::{BackendConfig, PhysicalSimConfig};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 
 fn bench(c: &mut Criterion) {
-    let rows = fig5_fill_fraction(300, 7);
     println!("\nFig. 5 — fill-fraction sweep (5B physical cluster):");
-    print_fill_fraction(&rows);
-    save_fill_fraction(&rows, &experiment_csv("fig5_fill_fraction.csv")).expect("csv");
+    regenerate("fig5_fill_fraction");
 
     c.bench_function("fig5/physical_backend_100_iters", |b| {
         b.iter(|| {

@@ -3,29 +3,18 @@
 //! from all-XLM to all-EfficientNet.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::validation::{
-    fig6_agreement, fig6_validation, print_agreement, print_validation, save_validation,
-};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_core::steady_recovered_tflops;
 use pipefill_executor::ExecutorConfig;
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_trace::ModelMix;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig6_validation(300, 7);
     println!("\nFig. 6 — simulator vs physical, varying the fill-job mix:");
-    print_validation(&rows);
-    let max_err = rows.iter().map(|r| r.relative_error).fold(0.0, f64::max);
-    println!(
-        "maximum simulator error: {:.2}% (paper: <2%)",
-        100.0 * max_err
-    );
-    save_validation(&rows, &experiment_csv("fig6_validation.csv")).expect("csv");
+    regenerate("fig6_validation");
 
     println!("\ncross-backend agreement (coarse vs physical on the shared kernel):");
-    let agreement = fig6_agreement(&[1, 2, 3], 200);
-    print_agreement(&agreement);
+    regenerate("fig6_agreement");
 
     c.bench_function("fig6/steady_prediction", |b| {
         let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);

@@ -3,10 +3,8 @@
 //! Algorithm-1-vs-naive-packing ablation from DESIGN.md §6.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::characterization::{
-    fig7_characterization, fig7_default_main, print_characterization, save_characterization,
-};
+use pipefill_bench::{criterion_config, regenerate};
+use pipefill_core::experiments::characterization::fig7_default_main;
 use pipefill_core::steady_rate;
 use pipefill_executor::ExecutorConfig;
 use pipefill_model_zoo::{JobKind, ModelId};
@@ -14,10 +12,8 @@ use pipefill_model_zoo::{JobKind, ModelId};
 fn bench(c: &mut Criterion) {
     let main = fig7_default_main();
     let exec = ExecutorConfig::default();
-    let rows = fig7_characterization(&main, &exec);
     println!("\nFig. 7 — fill-job characterization (40B main job, 8K-GPU bubbles):");
-    print_characterization(&rows);
-    save_characterization(&rows, &experiment_csv("fig7_characterization.csv")).expect("csv");
+    regenerate("fig7_characterization");
 
     c.bench_function("fig7/steady_rate_bert_inference", |b| {
         b.iter(|| steady_rate(&main, &exec, ModelId::BertBase, JobKind::BatchInference))

@@ -2,16 +2,12 @@
 //! 2K–16K GPUs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::schedules::{fig8_schedules, print_schedules, save_schedules};
-use pipefill_executor::ExecutorConfig;
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 
 fn bench(c: &mut Criterion) {
-    let rows = fig8_schedules(&ExecutorConfig::default());
     println!("\nFig. 8 — GPipe vs 1F1B:");
-    print_schedules(&rows);
-    save_schedules(&rows, &experiment_csv("fig8_schedules.csv")).expect("csv");
+    regenerate("fig8_schedules");
 
     c.bench_function("fig8/one_f_one_b_timeline_16k", |b| {
         b.iter(|| MainJobSpec::simulator_40b(4, ScheduleKind::OneFOneB).engine_timeline())

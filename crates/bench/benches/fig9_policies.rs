@@ -2,18 +2,15 @@
 //! (9b) for SJF vs Makespan-Min across offered loads.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::policies::{fig9_policies, print_policies, save_policies};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_core::{BackendConfig, ClusterSimConfig};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_sim_core::SimDuration;
 use pipefill_trace::TraceConfig;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig9_policies(11, SimDuration::from_secs(3600));
     println!("\nFig. 9 — scheduling policies:");
-    print_policies(&rows);
-    save_policies(&rows, &experiment_csv("fig9_policies.csv")).expect("csv");
+    regenerate("fig9_policies");
 
     c.bench_function("fig9/coarse_backend_30min_trace", |b| {
         b.iter(|| {

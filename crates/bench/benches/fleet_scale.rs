@@ -4,16 +4,14 @@
 //! the 64-job construction + simulation at the paper's projection scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::fleet::{fleet_scale, print_fleet, save_fleet, FLEET_MTBF};
+use pipefill_bench::{criterion_config, regenerate};
+use pipefill_core::experiments::fleet::FLEET_MTBF;
 use pipefill_core::{BackendConfig, FleetSimConfig};
 use pipefill_trace::FleetWorkloadConfig;
 
 fn bench(c: &mut Criterion) {
-    let rows = fleet_scale(150, 7);
     println!("\nFleet-size scaling — multi-job fleets on one global fill queue:");
-    print_fleet(&rows);
-    save_fleet(&rows, &experiment_csv("fleet_scale.csv")).expect("csv");
+    regenerate("fleet_scale");
 
     c.bench_function("fleet/rack_scale_4_jobs_150_iters", |b| {
         b.iter(|| {

@@ -2,18 +2,13 @@
 //! 1F1B and ZB-H1 engine timelines across pipeline depths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::schedules::{
-    print_depth_sweep, save_depth_sweep, schedule_depth_sweep,
-};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_pipeline::{EngineConfig, ScheduleKind};
 use pipefill_sim_core::SimDuration;
 
 fn bench(c: &mut Criterion) {
-    let rows = schedule_depth_sweep();
     println!("\nSchedule × depth bubble-geometry sweep:");
-    print_depth_sweep(&rows);
-    save_depth_sweep(&rows, &experiment_csv("schedule_depth.csv")).expect("csv");
+    regenerate("schedule_depth");
 
     // One timeline derivation per schedule at the 16-stage × 32-microbatch
     // point: the interleaved arm exercises the constructive generator,

@@ -2,15 +2,12 @@
 //! (plus a build-speed benchmark of the zoo itself).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::table1::{print_table1, save_table1, table1};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_model_zoo::ModelId;
 
 fn bench(c: &mut Criterion) {
-    let rows = table1();
     println!("\nTable 1 — fill-job categories:");
-    print_table1(&rows);
-    save_table1(&rows, &experiment_csv("table1.csv")).expect("csv");
+    regenerate("table1");
 
     c.bench_function("table1/build_zoo", |b| {
         b.iter(|| {

@@ -3,17 +3,14 @@
 //! fault-backend run (the newest simulation hot path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pipefill_bench::{criterion_config, experiment_csv};
-use pipefill_core::experiments::faults::{print_faults, save_faults, whatif_faults};
+use pipefill_bench::{criterion_config, regenerate};
 use pipefill_core::{BackendConfig, FaultSimConfig};
 use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_sim_core::SimDuration;
 
 fn bench(c: &mut Criterion) {
-    let rows = whatif_faults(200, 7);
     println!("\nFault-tolerance map — MTBF × checkpoint cost on the 5B cluster:");
-    print_faults(&rows);
-    save_faults(&rows, &experiment_csv("whatif_faults.csv")).expect("csv");
+    regenerate("whatif_faults");
 
     c.bench_function("faults/one_run_60_iters", |b| {
         b.iter(|| {

@@ -26,6 +26,27 @@ pub fn experiment_csv(name: &str) -> String {
     p.to_string_lossy().into_owned()
 }
 
+/// Regenerates one registered experiment at full scale: prints the
+/// table and writes `target/experiments/<name>.csv`. Returns the table
+/// so benches can derive summary lines from its columns.
+///
+/// # Panics
+///
+/// Panics on unknown experiment names or CSV I/O failures (benches want
+/// loud failures).
+pub fn regenerate(name: &str) -> pipefill_scenario::Table {
+    let exp = pipefill_scenario::find(name).expect("registered experiment");
+    let table = exp.run(&exp.grid(pipefill_scenario::Scale::Full));
+    table.print();
+    if let Some(summary) = exp.summary(&table) {
+        println!("{summary}");
+    }
+    table
+        .save(&experiment_csv(&format!("{name}.csv")))
+        .expect("csv");
+    table
+}
+
 /// A short Criterion configuration suitable for simulation-scale
 /// workloads: 10 samples, bounded measurement time.
 pub fn criterion_config() -> criterion::Criterion {

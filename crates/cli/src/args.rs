@@ -1,5 +1,11 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy has no
 //! CLI crate; the grammar is tiny).
+//!
+//! The uniform entry points are `run <scenario.toml>` (declarative
+//! scenarios) and `exp <name>` / `exp --list` (the experiment registry).
+//! The historical per-figure subcommands survive as thin aliases over
+//! `exp`, declared in one table ([`EXP_ALIASES`]) instead of one match
+//! arm each.
 
 use pipefill_core::{BackendKind, PolicyKind};
 use pipefill_model_zoo::{JobKind, ModelId};
@@ -9,30 +15,29 @@ use pipefill_pipeline::ScheduleKind;
 pub const USAGE: &str = "\
 usage: pipefill-cli <command> [options] [--threads N]
 
-commands:
-  table1                          fill-job category table (Table 1)
-  fig4                            scaling study (Figs. 1 & 4)
-  fig5   [--iterations N] [--seed S]
-  fig6   [--iterations N] [--seed S]
-  fig7                            fill-job characterization
-  fig8                            GPipe vs 1F1B
-  fig9   [--horizon-secs N] [--seed S]
-  fig10                           sensitivity studies
-  whatif                          offload-bandwidth what-if
-  faults [--iterations N] [--seed S]
-                                  MTBF x checkpoint-cost fault-tolerance map
-  fleet  [--jobs N] [--gpus N] [--iterations N] [--seed S]
-         [--mtbf-secs X|none] [--policy fifo|sjf|makespan-min|edf]
-         [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
-                                  multi-job fleet on one global fill queue
-  all    [--out DIR]              run everything, write CSVs
+scenarios & experiments:
+  run <scenario.toml> [--set key=value ...]
+                                  run a declarative scenario file
+                                  (see examples/scenarios/)
+  exp <name> [--iterations N] [--seed S] [--horizon-secs N] [--seeds N]
+         [--out DIR]              run one registered experiment
+  exp --list                      list every registered experiment
+  all    [--out DIR]              run every experiment, write CSVs
+  table1 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 | whatif
+  faults | agree                  aliases over `exp` (same flags as before)
+
+single simulations:
   sim    [--backend coarse|physical|fault] [--seed S] [--iterations N]
          [--horizon-secs N] [--load X] [--fill-fraction F]
          [--mtbf-secs X|none] [--checkpoint-secs C]
          [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
                                   one simulation at a chosen fidelity
-  agree  [--seeds N] [--iterations N]
-                                  coarse-vs-physical backend agreement (Fig. 6)
+  fleet  [--jobs N] [--gpus N] [--iterations N] [--seed S]
+         [--mtbf-secs X|none] [--policy fifo|sjf|makespan-min|edf]
+         [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
+                                  multi-job fleet on one global fill queue
+
+inspection:
   timeline [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
          [--stages P] [--microbatches M] [--width W]
   plan   [--model NAME] [--kind training|inference] [--stage S]
@@ -45,45 +50,30 @@ global options:
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Table 1.
-    Table1,
-    /// Figs. 1 & 4.
-    Fig4,
-    /// Fig. 5.
-    Fig5 {
-        /// Physical-sim iterations.
-        iterations: usize,
-        /// RNG seed.
-        seed: u64,
+    /// Run one registered experiment (by canonical name or alias), with
+    /// optional grid-axis overrides.
+    Exp {
+        /// Experiment name (resolved against the registry at run time).
+        name: String,
+        /// Override: iterations per grid point.
+        iterations: Option<usize>,
+        /// Override: RNG seed.
+        seed: Option<u64>,
+        /// Override: trace horizon in seconds.
+        horizon_secs: Option<u64>,
+        /// Override: replication count for multi-seed studies.
+        seeds: Option<u64>,
+        /// CSV output directory (default `target/experiments`).
+        out: Option<String>,
     },
-    /// Fig. 6.
-    Fig6 {
-        /// Physical-sim iterations.
-        iterations: usize,
-        /// RNG seed.
-        seed: u64,
-    },
-    /// Fig. 7.
-    Fig7,
-    /// Fig. 8.
-    Fig8,
-    /// Fig. 9.
-    Fig9 {
-        /// Trace horizon in seconds.
-        horizon_secs: u64,
-        /// RNG seed.
-        seed: u64,
-    },
-    /// Fig. 10.
-    Fig10,
-    /// Offload-bandwidth what-if.
-    WhatIf,
-    /// Fault-tolerance MTBF × checkpoint-cost map.
-    Faults {
-        /// Main-job iterations per grid point.
-        iterations: usize,
-        /// RNG seed.
-        seed: u64,
+    /// List the experiment registry.
+    ExpList,
+    /// Run a declarative scenario file with `--set key=value` overrides.
+    RunScenario {
+        /// Path to the scenario TOML.
+        path: String,
+        /// Key/value overrides applied after parsing.
+        sets: Vec<(String, String)>,
     },
     /// Multi-job fleet simulation on one global fill queue.
     Fleet {
@@ -131,13 +121,6 @@ pub enum Command {
         /// Pipeline schedule the main job runs (all backends).
         schedule: ScheduleKind,
     },
-    /// Coarse-vs-physical agreement study (Fig. 6).
-    Agree {
-        /// Number of seeds to replicate.
-        seeds: u64,
-        /// Main-job iterations per physical run.
-        iterations: usize,
-    },
     /// ASCII schedule rendering.
     Timeline {
         /// Pipeline schedule.
@@ -171,6 +154,66 @@ pub struct Invocation {
     pub threads: usize,
 }
 
+/// Which grid-axis flags a legacy experiment alias accepts. `Min1`
+/// variants reject 0 with a diagnostic carrying the alias name, exactly
+/// as the hand-written arms used to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GridFlag {
+    Iterations,
+    IterationsMin1,
+    Seed,
+    HorizonSecs,
+    SeedsMin1,
+}
+
+/// The legacy per-figure subcommands as data: spelling(s), the registry
+/// experiment they run, and the flags they accept. Adding an experiment
+/// needs no entry here — `exp <name>` reaches it — this table only
+/// preserves the historical short commands.
+const EXP_ALIASES: &[(&[&str], &str, &[GridFlag])] = &[
+    (&["table1"], "table1", &[]),
+    (&["fig1", "fig4"], "fig4_scaling", &[]),
+    (
+        &["fig5"],
+        "fig5_fill_fraction",
+        &[GridFlag::Iterations, GridFlag::Seed],
+    ),
+    (
+        &["fig6"],
+        "fig6_validation",
+        &[GridFlag::Iterations, GridFlag::Seed],
+    ),
+    (&["fig7"], "fig7_characterization", &[]),
+    // `fig8` and `fig10` fan out to two experiments each; the command
+    // layer resolves them through its multi-alias table.
+    (&["fig8"], "fig8", &[]),
+    (
+        &["fig9"],
+        "fig9_policies",
+        &[GridFlag::HorizonSecs, GridFlag::Seed],
+    ),
+    (&["fig10"], "fig10", &[]),
+    (&["whatif"], "whatif_offload_bandwidth", &[]),
+    (
+        &["faults"],
+        "whatif_faults",
+        &[GridFlag::IterationsMin1, GridFlag::Seed],
+    ),
+    (
+        &["agree"],
+        "fig6_agreement",
+        &[GridFlag::SeedsMin1, GridFlag::IterationsMin1],
+    ),
+];
+
+/// Every grid flag, for the generic `exp <name>` command.
+const ALL_GRID_FLAGS: &[GridFlag] = &[
+    GridFlag::IterationsMin1,
+    GridFlag::Seed,
+    GridFlag::HorizonSecs,
+    GridFlag::SeedsMin1,
+];
+
 /// Parses an argument vector (without the binary name).
 ///
 /// # Errors
@@ -182,39 +225,52 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
     let Some(cmd) = it.next() else {
         return Err("missing command".into());
     };
-    let rest: Vec<&String> = it.collect();
+    let mut rest: Vec<&String> = it.collect();
+
+    // `exp` and `run` take one positional operand before the flags.
+    let positional = match cmd.as_str() {
+        "exp" | "run" => {
+            if rest.first().is_some_and(|a| !a.starts_with("--")) {
+                Some(rest.remove(0).clone())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    if cmd == "exp" && rest.iter().any(|a| a.as_str() == "--list") {
+        if positional.is_some() || rest.len() != 1 {
+            return Err("exp --list takes no other arguments".into());
+        }
+        return Ok(Invocation {
+            command: Command::ExpList,
+            threads: 0,
+        });
+    }
 
     let mut flags = FlagSet::new(&rest)?;
     // Global options are accepted by every command.
     let threads = flags.take_usize("threads", 0)?;
     let command = match cmd.as_str() {
-        "table1" => Command::Table1,
-        "fig1" | "fig4" => Command::Fig4,
-        "fig5" => Command::Fig5 {
-            iterations: flags.take_usize("iterations", 300)?,
-            seed: flags.take_u64("seed", 7)?,
-        },
-        "fig6" => Command::Fig6 {
-            iterations: flags.take_usize("iterations", 300)?,
-            seed: flags.take_u64("seed", 7)?,
-        },
-        "fig7" => Command::Fig7,
-        "fig8" => Command::Fig8,
-        "fig9" => Command::Fig9 {
-            horizon_secs: flags.take_u64("horizon-secs", 3600)?,
-            seed: flags.take_u64("seed", 11)?,
-        },
-        "fig10" => Command::Fig10,
-        "whatif" => Command::WhatIf,
-        "faults" => {
-            let iterations = flags.take_usize("iterations", 200)?;
-            if iterations == 0 {
-                return Err("--iterations must be at least 1 for faults".into());
+        "exp" => {
+            let Some(name) = positional else {
+                return Err("exp needs an experiment name (or --list)".into());
+            };
+            let grid = take_grid_flags(&mut flags, &name, ALL_GRID_FLAGS)?;
+            grid.into_exp(name, flags.take("out"))
+        }
+        "run" => {
+            let Some(path) = positional else {
+                return Err("run needs a scenario file path".into());
+            };
+            let mut sets = Vec::new();
+            while let Some(pair) = flags.take("set") {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(format!("--set expects key=value, got '{pair}'"));
+                };
+                sets.push((key.trim().to_string(), value.trim().to_string()));
             }
-            Command::Faults {
-                iterations,
-                seed: flags.take_u64("seed", 7)?,
-            }
+            Command::RunScenario { path, sets }
         }
         "fleet" => {
             let jobs = flags.take_usize("jobs", 8)?;
@@ -236,7 +292,7 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 gpus,
                 iterations,
                 seed: flags.take_u64("seed", 7)?,
-                mtbf_secs: take_mtbf_secs(&mut flags, "1800")?,
+                mtbf_secs: take_duration_secs(&mut flags, &MTBF_FLAG, "1800")?,
                 policy: flags.take_string("policy", "fifo")?.parse::<PolicyKind>()?,
                 schedule: flags
                     .take_string("schedule", "gpipe")?
@@ -283,13 +339,6 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                     "--fill-fraction must be within [0, 1], got {fill_fraction}"
                 ));
             }
-            let mtbf_secs = take_mtbf_secs(&mut flags, "none")?;
-            let checkpoint_secs = flags.take_f64("checkpoint-secs", 2.0)?;
-            if !(checkpoint_secs >= 0.0 && checkpoint_secs.is_finite()) {
-                return Err(format!(
-                    "--checkpoint-secs must be a finite non-negative number, got {checkpoint_secs}"
-                ));
-            }
             Command::Sim {
                 backend,
                 seed: flags.take_u64("seed", 7)?,
@@ -297,23 +346,12 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 horizon_secs: flags.take_u64("horizon-secs", 3600)?,
                 load,
                 fill_fraction,
-                mtbf_secs,
-                checkpoint_secs,
+                mtbf_secs: take_duration_secs(&mut flags, &MTBF_FLAG, "none")?,
+                checkpoint_secs: take_duration_secs(&mut flags, &CHECKPOINT_FLAG, "2.0")?,
                 schedule: flags
                     .take_string("schedule", "gpipe")?
                     .parse::<ScheduleKind>()?,
             }
-        }
-        "agree" => {
-            let seeds = flags.take_u64("seeds", 3)?;
-            if seeds == 0 {
-                return Err("--seeds must be at least 1 for agree".into());
-            }
-            let iterations = flags.take_usize("iterations", 200)?;
-            if iterations == 0 {
-                return Err("--iterations must be at least 1 for agree".into());
-            }
-            Command::Agree { seeds, iterations }
         }
         "timeline" => Command::Timeline {
             schedule: flags
@@ -333,36 +371,160 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
             stage: flags.take_usize("stage", 8)?,
         },
         "help" | "--help" | "-h" => Command::Help,
-        other => return Err(format!("unknown command '{other}'")),
+        other => {
+            let Some((_, exp, allowed)) = EXP_ALIASES
+                .iter()
+                .find(|(spellings, _, _)| spellings.contains(&other))
+            else {
+                return Err(format!("unknown command '{other}'"));
+            };
+            let grid = take_grid_flags(&mut flags, other, allowed)?;
+            grid.into_exp(exp.to_string(), None)
+        }
     };
     flags.finish()?;
     Ok(Invocation { command, threads })
 }
 
-/// Parses `--mtbf-secs`: the explicit sentinel `'none'` disables failure
-/// injection (surfaced to the backends as `f64::INFINITY`); any numeric
-/// value must be a finite positive number of seconds. Numeric infinity
-/// spellings (`inf`, `Infinity`, overflowing literals like `1e999`) are
-/// rejected — `f64::from_str` happily produces them, and they would flow
-/// into `SimDuration::from_secs_f64` and the exponential MTBF sampler as
-/// garbage rather than as the documented off switch.
-fn take_mtbf_secs(flags: &mut FlagSet, default: &str) -> Result<f64, String> {
-    let v = flags.take_string("mtbf-secs", default)?;
-    match v.as_str() {
-        "none" => Ok(f64::INFINITY),
-        v => {
-            let secs: f64 = v.parse().map_err(|_| {
-                format!("--mtbf-secs expects a number of seconds or 'none', got '{v}'")
-            })?;
-            if !(secs > 0.0 && secs.is_finite()) {
-                return Err(format!(
-                    "--mtbf-secs must be a finite positive number of seconds \
-                     (use 'none' to disable failure injection), got '{v}'"
-                ));
-            }
-            Ok(secs)
+/// The grid-axis overrides an experiment command collected.
+struct GridOverrides {
+    iterations: Option<usize>,
+    seed: Option<u64>,
+    horizon_secs: Option<u64>,
+    seeds: Option<u64>,
+}
+
+impl GridOverrides {
+    fn into_exp(self, name: String, out: Option<String>) -> Command {
+        Command::Exp {
+            name,
+            iterations: self.iterations,
+            seed: self.seed,
+            horizon_secs: self.horizon_secs,
+            seeds: self.seeds,
+            out,
         }
     }
+}
+
+/// Consumes the grid flags an experiment command accepts; flags not in
+/// `allowed` stay unconsumed and trip the shared unknown-flag error.
+fn take_grid_flags(
+    flags: &mut FlagSet,
+    cmd: &str,
+    allowed: &[GridFlag],
+) -> Result<GridOverrides, String> {
+    let mut grid = GridOverrides {
+        iterations: None,
+        seed: None,
+        horizon_secs: None,
+        seeds: None,
+    };
+    for flag in allowed {
+        match flag {
+            GridFlag::Iterations | GridFlag::IterationsMin1 => {
+                if let Some(v) = flags.take("iterations") {
+                    let iterations = parse_usize("iterations", &v)?;
+                    if iterations == 0 && *flag == GridFlag::IterationsMin1 {
+                        return Err(format!("--iterations must be at least 1 for {cmd}"));
+                    }
+                    grid.iterations = Some(iterations);
+                }
+            }
+            GridFlag::Seed => {
+                if let Some(v) = flags.take("seed") {
+                    grid.seed = Some(parse_u64("seed", &v)?);
+                }
+            }
+            GridFlag::HorizonSecs => {
+                if let Some(v) = flags.take("horizon-secs") {
+                    grid.horizon_secs = Some(parse_u64("horizon-secs", &v)?);
+                }
+            }
+            GridFlag::SeedsMin1 => {
+                if let Some(v) = flags.take("seeds") {
+                    let seeds = parse_u64("seeds", &v)?;
+                    if seeds == 0 {
+                        return Err(format!("--seeds must be at least 1 for {cmd}"));
+                    }
+                    grid.seeds = Some(seeds);
+                }
+            }
+        }
+    }
+    Ok(grid)
+}
+
+/// The shape of an `f64` duration-valued flag. Every such flag shares
+/// one parse-and-reject path ([`take_duration_secs`]): numeric infinity
+/// spellings (`inf`, `Infinity`, overflowing literals like `1e999`) and
+/// `NaN` are rejected everywhere — `f64::from_str` happily produces
+/// them, and they would flow into `SimDuration::from_secs_f64` and the
+/// exponential MTBF sampler as garbage rather than as a documented off
+/// switch.
+struct DurationFlag {
+    name: &'static str,
+    /// The explicit sentinel `'none'` disables the mechanism (surfaced
+    /// to the backends as `f64::INFINITY`).
+    none_disables: bool,
+    /// Whether an exact 0 is meaningful (free checkpoints: yes; a mean
+    /// time between failures: no).
+    allow_zero: bool,
+}
+
+/// `--mtbf-secs`: positive, `'none'` disables injection.
+const MTBF_FLAG: DurationFlag = DurationFlag {
+    name: "mtbf-secs",
+    none_disables: true,
+    allow_zero: false,
+};
+
+/// `--checkpoint-secs`: non-negative, no disable sentinel.
+const CHECKPOINT_FLAG: DurationFlag = DurationFlag {
+    name: "checkpoint-secs",
+    none_disables: false,
+    allow_zero: true,
+};
+
+/// All `f64` duration flags — the table the rejection tests sweep.
+#[cfg(test)]
+const DURATION_FLAGS: &[&DurationFlag] = &[&MTBF_FLAG, &CHECKPOINT_FLAG];
+
+/// Parses one duration flag according to its [`DurationFlag`] shape.
+fn take_duration_secs(
+    flags: &mut FlagSet,
+    spec: &DurationFlag,
+    default: &str,
+) -> Result<f64, String> {
+    let name = spec.name;
+    let v = flags.take_string(name, default)?;
+    if spec.none_disables && v == "none" {
+        return Ok(f64::INFINITY);
+    }
+    let secs: f64 = v.parse().map_err(|_| {
+        if spec.none_disables {
+            format!("--{name} expects a number of seconds or 'none', got '{v}'")
+        } else {
+            format!("--{name} expects a number of seconds, got '{v}'")
+        }
+    })?;
+    let in_range = secs.is_finite()
+        && if spec.allow_zero {
+            secs >= 0.0
+        } else {
+            secs > 0.0
+        };
+    if !in_range {
+        return Err(if spec.none_disables {
+            format!(
+                "--{name} must be a finite positive number of seconds \
+                 (use 'none' to disable failure injection), got '{v}'"
+            )
+        } else {
+            format!("--{name} must be a finite non-negative number, got '{v}'")
+        });
+    }
+    Ok(secs)
 }
 
 fn parse_model(name: &str) -> Result<ModelId, String> {
@@ -377,6 +539,16 @@ fn parse_model(name: &str) -> Result<ModelId, String> {
         "unknown model '{name}'; available: {}",
         names.join(", ")
     ))
+}
+
+fn parse_usize(name: &str, v: &str) -> Result<usize, String> {
+    v.parse()
+        .map_err(|_| format!("--{name} expects an integer, got '{v}'"))
+}
+
+fn parse_u64(name: &str, v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("--{name} expects an integer, got '{v}'"))
 }
 
 /// `--flag value` pairs with consumption tracking so leftovers error.
@@ -423,18 +595,14 @@ impl FlagSet {
     fn take_usize(&mut self, name: &str, default: usize) -> Result<usize, String> {
         match self.take(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+            Some(v) => parse_usize(name, &v),
         }
     }
 
     fn take_u64(&mut self, name: &str, default: u64) -> Result<u64, String> {
         match self.take(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+            Some(v) => parse_u64(name, &v),
         }
     }
 
@@ -469,48 +637,124 @@ mod tests {
         parse(&argv(s)).unwrap().command
     }
 
-    #[test]
-    fn parses_bare_commands() {
-        assert_eq!(cmd("table1"), Command::Table1);
-        assert_eq!(cmd("fig4"), Command::Fig4);
-        assert_eq!(cmd("fig1"), Command::Fig4);
-        assert_eq!(cmd("help"), Command::Help);
-        assert_eq!(cmd("whatif"), Command::WhatIf);
+    /// An `Exp` command with no overrides.
+    fn bare_exp(name: &str) -> Command {
+        Command::Exp {
+            name: name.to_string(),
+            iterations: None,
+            seed: None,
+            horizon_secs: None,
+            seeds: None,
+            out: None,
+        }
     }
 
     #[test]
-    fn parses_flags_with_defaults() {
-        assert_eq!(
-            cmd("fig5"),
-            Command::Fig5 {
-                iterations: 300,
-                seed: 7
-            }
-        );
+    fn parses_bare_commands_as_registry_aliases() {
+        assert_eq!(cmd("table1"), bare_exp("table1"));
+        assert_eq!(cmd("fig4"), bare_exp("fig4_scaling"));
+        assert_eq!(cmd("fig1"), bare_exp("fig4_scaling"));
+        assert_eq!(cmd("fig7"), bare_exp("fig7_characterization"));
+        assert_eq!(cmd("fig8"), bare_exp("fig8"));
+        assert_eq!(cmd("fig10"), bare_exp("fig10"));
+        assert_eq!(cmd("whatif"), bare_exp("whatif_offload_bandwidth"));
+        assert_eq!(cmd("help"), Command::Help);
+    }
+
+    #[test]
+    fn parses_alias_flags_as_grid_overrides() {
+        assert_eq!(cmd("fig5"), bare_exp("fig5_fill_fraction"));
         assert_eq!(
             cmd("fig5 --iterations 50 --seed 9"),
-            Command::Fig5 {
-                iterations: 50,
-                seed: 9
+            Command::Exp {
+                name: "fig5_fill_fraction".into(),
+                iterations: Some(50),
+                seed: Some(9),
+                horizon_secs: None,
+                seeds: None,
+                out: None,
             }
         );
+        assert_eq!(
+            cmd("fig9 --horizon-secs 1200"),
+            Command::Exp {
+                name: "fig9_policies".into(),
+                iterations: None,
+                seed: None,
+                horizon_secs: Some(1200),
+                seeds: None,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_exp_command() {
+        assert_eq!(cmd("exp fleet_scale"), bare_exp("fleet_scale"));
+        assert_eq!(
+            cmd("exp whatif_faults --iterations 40 --seed 3 --out /tmp/x"),
+            Command::Exp {
+                name: "whatif_faults".into(),
+                iterations: Some(40),
+                seed: Some(3),
+                horizon_secs: None,
+                seeds: None,
+                out: Some("/tmp/x".into()),
+            }
+        );
+        assert_eq!(cmd("exp --list"), Command::ExpList);
+        let err = parse(&argv("exp")).unwrap_err();
+        assert!(err.contains("experiment name"), "{err}");
+        let err = parse(&argv("exp --list --seed 3")).unwrap_err();
+        assert!(err.contains("no other arguments"), "{err}");
+        let err = parse(&argv("exp table1 --iterations 0")).unwrap_err();
+        assert!(err.contains("at least 1 for table1"), "{err}");
+        let err = parse(&argv("exp table1 --bogus 3")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+    }
+
+    #[test]
+    fn parses_run_command_with_set_overrides() {
+        assert_eq!(
+            cmd("run examples/scenarios/fault.toml"),
+            Command::RunScenario {
+                path: "examples/scenarios/fault.toml".into(),
+                sets: vec![],
+            }
+        );
+        assert_eq!(
+            cmd("run s.toml --set seed=9 --set mtbf_secs=none"),
+            Command::RunScenario {
+                path: "s.toml".into(),
+                sets: vec![
+                    ("seed".into(), "9".into()),
+                    ("mtbf_secs".into(), "none".into())
+                ],
+            }
+        );
+        let err = parse(&argv("run")).unwrap_err();
+        assert!(err.contains("scenario file path"), "{err}");
+        let err = parse(&argv("run s.toml --set seed")).unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+        let err = parse(&argv("run s.toml --bogus 1")).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
     }
 
     #[test]
     fn parses_global_threads_flag() {
         let inv = parse(&argv("fig5 --threads 4")).unwrap();
         assert_eq!(inv.threads, 4);
-        assert_eq!(
-            inv.command,
-            Command::Fig5 {
-                iterations: 300,
-                seed: 7
-            }
-        );
+        assert_eq!(inv.command, bare_exp("fig5_fill_fraction"));
         // Default: 0 = all cores.
         assert_eq!(parse(&argv("fig4")).unwrap().threads, 0);
         // Accepted by every command.
         assert_eq!(parse(&argv("table1 --threads 2")).unwrap().threads, 2);
+        assert_eq!(
+            parse(&argv("run s.toml --threads 2 --set seed=1"))
+                .unwrap()
+                .threads,
+            2
+        );
     }
 
     #[test]
@@ -595,30 +839,30 @@ mod tests {
 
     /// Every duration-valued flag rejects non-finite spellings: `inf`
     /// and friends parse as f64 infinity and would otherwise flow into
-    /// `SimDuration` and the MTBF sampler.
+    /// `SimDuration` and the MTBF sampler. The sweep is table-driven
+    /// over [`DURATION_FLAGS`], so a new duration flag is covered by
+    /// adding it to the table.
     #[test]
     fn duration_flags_reject_non_finite_values() {
         for spelling in ["inf", "infinity", "Infinity", "INF", "1e999", "-inf", "NaN"] {
-            let err = parse(&argv(&format!(
-                "sim --backend fault --mtbf-secs {spelling}"
-            )))
-            .unwrap_err();
-            assert!(
-                err.contains("finite positive") || err.contains("'none'"),
-                "mtbf {spelling}: {err}"
-            );
+            for flag in DURATION_FLAGS {
+                let err = parse(&argv(&format!(
+                    "sim --backend fault --{} {spelling}",
+                    flag.name
+                )))
+                .unwrap_err();
+                assert!(
+                    err.contains("finite positive")
+                        || err.contains("'none'")
+                        || err.contains("finite non-negative"),
+                    "--{} {spelling}: {err}",
+                    flag.name
+                );
+            }
             let err = parse(&argv(&format!("fleet --mtbf-secs {spelling}"))).unwrap_err();
             assert!(
                 err.contains("finite positive") || err.contains("'none'"),
                 "fleet mtbf {spelling}: {err}"
-            );
-            let err = parse(&argv(&format!(
-                "sim --backend fault --checkpoint-secs {spelling}"
-            )))
-            .unwrap_err();
-            assert!(
-                err.contains("--checkpoint-secs must be a finite non-negative"),
-                "checkpoint {spelling}: {err}"
             );
             // Integer-valued duration flags reject them at the integer
             // parse.
@@ -638,6 +882,9 @@ mod tests {
             cmd("fleet --mtbf-secs none"),
             Command::Fleet { mtbf_secs, .. } if mtbf_secs.is_infinite()
         ));
+        // 'none' only disables flags documented to support it.
+        let err = parse(&argv("sim --backend fault --checkpoint-secs none")).unwrap_err();
+        assert!(err.contains("expects a number of seconds"), "{err}");
     }
 
     #[test]
@@ -689,9 +936,13 @@ mod tests {
     fn parses_agree_command() {
         assert_eq!(
             cmd("agree --seeds 5 --iterations 100"),
-            Command::Agree {
-                seeds: 5,
-                iterations: 100
+            Command::Exp {
+                name: "fig6_agreement".into(),
+                iterations: Some(100),
+                seed: None,
+                horizon_secs: None,
+                seeds: Some(5),
+                out: None,
             }
         );
     }
@@ -712,18 +963,16 @@ mod tests {
 
     #[test]
     fn parses_faults_command_and_rejects_bad_flags() {
-        assert_eq!(
-            cmd("faults"),
-            Command::Faults {
-                iterations: 200,
-                seed: 7
-            }
-        );
+        assert_eq!(cmd("faults"), bare_exp("whatif_faults"));
         assert_eq!(
             cmd("faults --iterations 50 --seed 9"),
-            Command::Faults {
-                iterations: 50,
-                seed: 9
+            Command::Exp {
+                name: "whatif_faults".into(),
+                iterations: Some(50),
+                seed: Some(9),
+                horizon_secs: None,
+                seeds: None,
+                out: None,
             }
         );
         let err = parse(&argv("faults --bogus 3")).unwrap_err();
@@ -846,6 +1095,7 @@ mod tests {
         assert!(parse(&argv("fig5 --bogus 3")).is_err());
         assert!(parse(&argv("fig5 --iterations abc")).is_err());
         assert!(parse(&argv("fig5 --iterations")).is_err());
+        assert!(parse(&argv("fig4 --iterations 3")).is_err());
         assert!(parse(&argv("plan --model nonesuch")).is_err());
         assert!(parse(&[]).is_err());
     }

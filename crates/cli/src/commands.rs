@@ -1,57 +1,168 @@
-//! Command implementations: thin glue over the experiment drivers.
+//! Command implementations: thin glue over the scenario API and the
+//! experiment registry.
+//!
+//! A command either resolves to registry experiments (`exp`, `all`, the
+//! legacy per-figure aliases) and runs them through the generic
+//! table/CSV path, or builds a [`ScenarioSpec`] (`run <file>`, `sim`,
+//! `fleet`) and lowers it to a backend run. No command owns bespoke
+//! persistence or per-driver printing anymore.
 
-use pipefill_core::experiments::*;
-use pipefill_core::{
-    BackendConfig, BackendKind, BackendMetrics, ClusterSimConfig, FaultSimConfig, FleetSimConfig,
-    FleetSimResult, PhysicalSimConfig,
-};
+use pipefill_core::experiments::sweep;
+use pipefill_core::{BackendKind, BackendMetrics, FleetSimResult};
 use pipefill_executor::{plan_best, ExecutorConfig, FillJobSpec};
 use pipefill_pipeline::{render_timeline, EngineConfig, MainJobSpec, ScheduleKind};
+use pipefill_scenario::{toml as scenario_toml, Axis, Experiment, Grid, Scale, ScenarioSpec};
 use pipefill_sim_core::SimDuration;
-use pipefill_trace::{FleetWorkloadConfig, TraceConfig};
 
 use crate::args::{Command, Invocation, USAGE};
+
+/// Resolves an experiment spelling through the registry's shared
+/// single/multi-alias resolution, with a CLI-flavoured error.
+fn resolve(name: &str) -> Result<Vec<&'static dyn Experiment>, String> {
+    pipefill_scenario::resolve(name).ok_or_else(|| {
+        format!("unknown experiment '{name}'; run `pipefill-cli exp --list` for the registry")
+    })
+}
+
+/// Rejects grid overrides on axes none of the resolved experiments
+/// sweep — the override would otherwise be a silent no-op (the same
+/// stance the per-backend flag rejection takes).
+fn reject_unswept_axes(
+    name: &str,
+    exps: &[&'static dyn Experiment],
+    iterations: Option<usize>,
+    seed: Option<u64>,
+    horizon_secs: Option<u64>,
+    seeds: Option<u64>,
+) -> Result<(), String> {
+    for (axis, flag, set) in [
+        (Axis::Iterations, "--iterations", iterations.is_some()),
+        (Axis::Seed, "--seed", seed.is_some()),
+        (Axis::HorizonSecs, "--horizon-secs", horizon_secs.is_some()),
+        (Axis::Seeds, "--seeds", seeds.is_some()),
+    ] {
+        if set && !exps.iter().any(|e| e.axes().contains(&axis)) {
+            return Err(format!(
+                "{flag} does not apply to experiment '{name}' (its grid does not sweep it)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one experiment: print the table, any experiment-declared
+/// summary line, and persist the CSV.
+fn run_experiment(exp: &dyn Experiment, grid: &Grid, out: &str) -> Result<(), String> {
+    println!("== {} — {} ==", exp.name(), exp.description());
+    let table = exp.run(grid);
+    table.print();
+    if let Some(summary) = exp.summary(&table) {
+        println!("{summary}");
+    }
+    let path = format!("{out}/{}.csv", exp.name());
+    table
+        .save(&path)
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    println!("CSV written to {path}\n");
+    Ok(())
+}
 
 /// Executes a parsed invocation.
 ///
 /// # Errors
 ///
-/// Returns a message for I/O failures or infeasible plan requests.
+/// Returns a message for I/O failures, unknown experiments, invalid
+/// scenarios, or infeasible plan requests.
 pub fn run(invocation: Invocation) -> Result<(), String> {
     let threads = sweep::set_threads(invocation.threads);
-    let exec = ExecutorConfig::default();
     match invocation.command {
         Command::Help => println!("{USAGE}"),
-        Command::Table1 => table1::print_table1(&table1()),
-        Command::Fig4 => scaling::print_scaling(&fig4_scaling()),
-        Command::Fig5 { iterations, seed } => {
-            fill_fraction::print_fill_fraction(&fig5_fill_fraction(iterations, seed));
-        }
-        Command::Fig6 { iterations, seed } => {
-            validation::print_validation(&fig6_validation(iterations, seed));
-        }
-        Command::Fig7 => characterization::print_characterization(&fig7_characterization(
-            &characterization::fig7_default_main(),
-            &exec,
-        )),
-        Command::Fig8 => {
-            schedules::print_schedules(&fig8_schedules(&exec));
-            println!("\nschedule × depth bubble-geometry sweep:");
-            schedules::print_depth_sweep(&schedule_depth_sweep());
-        }
-        Command::Fig9 { horizon_secs, seed } => {
-            policies::print_policies(&fig9_policies(seed, SimDuration::from_secs(horizon_secs)));
-        }
-        Command::Fig10 => {
-            sensitivity::print_sensitivity(&fig10a_bubble_size(&exec), &fig10b_free_memory(&exec));
-        }
-        Command::WhatIf => whatif::print_whatif(&whatif_offload_bandwidth()),
-        Command::Faults { iterations, seed } => {
+        Command::ExpList => {
             println!(
-                "fault-tolerance map on the 5B cluster \
-                 ({iterations} iterations per grid point, {threads} threads):"
+                "{} registered experiments (run with `exp <name>`, `all`, or a \
+                 scenario file with `experiment = \"<name>\"`):\n",
+                pipefill_scenario::REGISTRY.len()
             );
-            faults::print_faults(&whatif_faults(iterations, seed));
+            for exp in pipefill_scenario::REGISTRY {
+                let tag = if exp.simulation_backed() {
+                    "sim"
+                } else {
+                    "analysis"
+                };
+                let aliases = if exp.aliases().is_empty() {
+                    String::new()
+                } else {
+                    format!(" (alias: {})", exp.aliases().join(", "))
+                };
+                println!(
+                    "  {:<26} [{tag:>8}] {}{aliases}",
+                    exp.name(),
+                    exp.description()
+                );
+            }
+        }
+        Command::Exp {
+            name,
+            iterations,
+            seed,
+            horizon_secs,
+            seeds,
+            out,
+        } => {
+            let out = out.unwrap_or_else(|| "target/experiments".to_string());
+            let exps = resolve(&name)?;
+            reject_unswept_axes(&name, &exps, iterations, seed, horizon_secs, seeds)?;
+            for exp in exps {
+                let grid =
+                    exp.grid(Scale::Full)
+                        .with_overrides(iterations, seed, horizon_secs, seeds);
+                run_experiment(exp, &grid, &out)?;
+            }
+        }
+        Command::All { out } => {
+            for &exp in pipefill_scenario::REGISTRY {
+                run_experiment(exp, &exp.grid(Scale::Full), &out)?;
+            }
+            println!("CSV written under {out}/ ({threads} threads)");
+        }
+        Command::RunScenario { path, sets } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading scenario {path}: {e}"))?;
+            let mut spec =
+                scenario_toml::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            for (key, value) in &sets {
+                spec.set(key, value)
+                    .map_err(|e| format!("--set {key}={value}: {e}"))?;
+            }
+            spec.validate()?;
+            if let Some(name) = spec.name.as_deref() {
+                println!("scenario: {name} ({path})");
+            }
+            if let Some(exp_name) = spec.experiment.clone() {
+                let out = "target/experiments".to_string();
+                for exp in resolve(&exp_name)? {
+                    // validate() already rejected unswept-axis overrides.
+                    let grid = exp.grid(Scale::Full).with_overrides(
+                        spec.iterations,
+                        spec.seed,
+                        spec.horizon_secs,
+                        spec.seeds,
+                    );
+                    run_experiment(exp, &grid, &out)?;
+                }
+            } else {
+                let run = spec.lower()?.run();
+                print_metrics(run.metrics());
+                if let Some(detail) = run.as_fleet() {
+                    println!();
+                    print_fleet_jobs(detail);
+                    println!("failures:           {}", detail.failures);
+                    println!(
+                        "cross-job resumes:  {} (peak queue depth {})",
+                        detail.cross_job_dispatches, detail.peak_queue_depth
+                    );
+                }
+            }
         }
         Command::Fleet {
             jobs,
@@ -62,35 +173,32 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             policy,
             schedule,
         } => {
-            let mut workload = FleetWorkloadConfig::new(jobs, gpus, seed);
-            workload.iterations = iterations;
-            let mtbf = if mtbf_secs.is_finite() {
-                SimDuration::from_secs_f64(mtbf_secs)
-            } else {
-                SimDuration::MAX
-            };
-            let config = FleetSimConfig::from_workload_scheduled(&workload, schedule)
-                .with_mtbf(mtbf)
-                .with_policy(policy);
-            let run = BackendConfig::Fleet(config).run();
-            let metrics = run.metrics;
-            let detail = run.fleet().expect("fleet config yields fleet detail");
+            let spec = ScenarioSpec::run(BackendKind::Fleet)
+                .with_jobs(jobs)
+                .with_gpus(gpus)
+                .with_iterations(iterations)
+                .with_seed(seed)
+                .with_mtbf_secs(mtbf_secs)
+                .with_policy(policy)
+                .with_schedule(schedule);
+            let run = spec.lower()?.run();
+            let metrics = run.metrics();
+            let detail = run.as_fleet().expect("fleet scenario yields fleet detail");
             println!(
                 "fleet of {jobs} jobs over {} GPUs ({} simulated devices, \
                  {iterations} iterations each, {schedule} main jobs, \
                  {policy} global queue, {threads} threads):\n",
                 detail.total_gpus, detail.num_devices
             );
-            print_fleet_jobs(&detail);
+            print_fleet_jobs(detail);
             println!();
-            print_metrics(&metrics);
+            print_metrics(metrics);
             println!("failures:           {}", detail.failures);
             println!(
                 "cross-job resumes:  {} (peak queue depth {})",
                 detail.cross_job_dispatches, detail.peak_queue_depth
             );
         }
-        Command::All { out } => run_all(&out)?,
         Command::Sim {
             backend,
             seed,
@@ -102,54 +210,27 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             checkpoint_secs,
             schedule,
         } => {
-            let main = MainJobSpec::physical_5b(8, schedule);
-            let config = match backend {
-                BackendKind::Coarse => {
-                    let mut trace = TraceConfig::physical(seed).with_load(load);
-                    trace.horizon = SimDuration::from_secs(horizon_secs);
-                    BackendConfig::Coarse(ClusterSimConfig::new(main, trace))
-                }
-                BackendKind::Physical => {
-                    let mut cfg = PhysicalSimConfig::new(main).with_fill_fraction(fill_fraction);
-                    cfg.iterations = iterations;
-                    cfg.seed = seed;
-                    BackendConfig::Physical(cfg)
-                }
-                BackendKind::Fault => {
-                    let mtbf = if mtbf_secs.is_finite() {
-                        SimDuration::from_secs_f64(mtbf_secs)
-                    } else {
-                        SimDuration::MAX
-                    };
-                    let mut cfg = FaultSimConfig::new(main)
-                        .with_fill_fraction(fill_fraction)
-                        .with_mtbf(mtbf)
-                        .with_checkpoint_cost(SimDuration::from_secs_f64(checkpoint_secs));
-                    cfg.iterations = iterations;
-                    cfg.seed = seed;
-                    BackendConfig::Fault(cfg)
-                }
+            // Only the backend's own knobs are set on the spec: the
+            // parser already rejected inapplicable flags, and the spec's
+            // validator enforces the same table.
+            let base = ScenarioSpec::run(backend)
+                .with_schedule(schedule)
+                .with_seed(seed);
+            let spec = match backend {
+                BackendKind::Coarse => base.with_horizon_secs(horizon_secs).with_load(load),
+                BackendKind::Physical => base
+                    .with_iterations(iterations)
+                    .with_fill_fraction(fill_fraction),
+                BackendKind::Fault => base
+                    .with_iterations(iterations)
+                    .with_fill_fraction(fill_fraction)
+                    .with_mtbf_secs(mtbf_secs)
+                    .with_checkpoint_secs(checkpoint_secs),
                 // The parser routes the fleet backend to its own
                 // subcommand (it simulates many main jobs, not one).
                 BackendKind::Fleet => unreachable!("rejected by the argument parser"),
             };
-            print_metrics(&config.run().metrics);
-        }
-        Command::Agree { seeds, iterations } => {
-            let seeds: Vec<u64> = (1..=seeds).collect();
-            let rows = fig6_agreement(&seeds, iterations);
-            println!(
-                "coarse vs physical backend agreement on the 5B cluster \
-                 ({} seeds × {iterations} iterations, {threads} threads):",
-                seeds.len()
-            );
-            validation::print_agreement(&rows);
-            let max_err = rows.iter().map(|r| r.relative_error).fold(0.0, f64::max);
-            println!(
-                "maximum disagreement: {:.2}% (paper Fig. 6: <2%; tolerance {:.0}%)",
-                100.0 * max_err,
-                100.0 * validation::AGREEMENT_TOLERANCE
-            );
+            print_metrics(spec.lower()?.run().metrics());
         }
         Command::Timeline {
             schedule,
@@ -279,84 +360,38 @@ fn print_metrics(m: &BackendMetrics) {
     }
 }
 
-fn run_all(out: &str) -> Result<(), String> {
-    let exec = ExecutorConfig::default();
-    let io = |e: std::io::Error| format!("writing CSV under {out}: {e}");
-    std::fs::create_dir_all(out).map_err(io)?;
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-    println!("== Table 1 ==");
-    let t1 = table1();
-    table1::print_table1(&t1);
-    table1::save_table1(&t1, &format!("{out}/table1.csv")).map_err(io)?;
+    #[test]
+    fn resolve_reaches_single_and_multi_spellings() {
+        assert_eq!(resolve("table1").unwrap().len(), 1);
+        assert_eq!(resolve("fig8").unwrap().len(), 2);
+        assert_eq!(resolve("fig10").unwrap().len(), 2);
+        let err = resolve("warp-speed").err().expect("unknown name errors");
+        assert!(err.contains("exp --list"), "{err}");
+    }
 
-    println!("\n== Figs. 1 & 4 ==");
-    let s = fig4_scaling();
-    scaling::print_scaling(&s);
-    scaling::save_scaling(&s, &format!("{out}/fig4_scaling.csv")).map_err(io)?;
-
-    println!("\n== Fig. 5 ==");
-    let f5 = fig5_fill_fraction(300, 7);
-    fill_fraction::print_fill_fraction(&f5);
-    fill_fraction::save_fill_fraction(&f5, &format!("{out}/fig5_fill_fraction.csv")).map_err(io)?;
-
-    println!("\n== Fig. 6 ==");
-    let f6 = fig6_validation(300, 7);
-    validation::print_validation(&f6);
-    validation::save_validation(&f6, &format!("{out}/fig6_validation.csv")).map_err(io)?;
-
-    println!("\n== Fig. 6 (cross-backend agreement) ==");
-    let agreement = fig6_agreement(&[1, 2, 3], 300);
-    validation::print_agreement(&agreement);
-    validation::save_agreement(&agreement, &format!("{out}/fig6_agreement.csv")).map_err(io)?;
-
-    println!("\n== Fig. 7 ==");
-    let f7 = fig7_characterization(&characterization::fig7_default_main(), &exec);
-    characterization::print_characterization(&f7);
-    characterization::save_characterization(&f7, &format!("{out}/fig7_characterization.csv"))
-        .map_err(io)?;
-
-    println!("\n== Fig. 8 ==");
-    let f8 = fig8_schedules(&exec);
-    schedules::print_schedules(&f8);
-    schedules::save_schedules(&f8, &format!("{out}/fig8_schedules.csv")).map_err(io)?;
-
-    println!("\n== Schedule × depth sweep ==");
-    let sd = schedule_depth_sweep();
-    schedules::print_depth_sweep(&sd);
-    schedules::save_depth_sweep(&sd, &format!("{out}/schedule_depth.csv")).map_err(io)?;
-
-    println!("\n== Fig. 9 ==");
-    let f9 = fig9_policies(11, SimDuration::from_secs(3600));
-    policies::print_policies(&f9);
-    policies::save_policies(&f9, &format!("{out}/fig9_policies.csv")).map_err(io)?;
-
-    println!("\n== Fig. 10 ==");
-    let f10a = fig10a_bubble_size(&exec);
-    let f10b = fig10b_free_memory(&exec);
-    sensitivity::print_sensitivity(&f10a, &f10b);
-    sensitivity::save_sensitivity(
-        &f10a,
-        &f10b,
-        &format!("{out}/fig10a_bubble_size.csv"),
-        &format!("{out}/fig10b_free_memory.csv"),
-    )
-    .map_err(io)?;
-
-    println!("\n== What-if: offload bandwidth ==");
-    let wi = whatif_offload_bandwidth();
-    whatif::print_whatif(&wi);
-    whatif::save_whatif(&wi, &format!("{out}/whatif_offload_bandwidth.csv")).map_err(io)?;
-
-    println!("\n== What-if: fault tolerance ==");
-    let ft = whatif_faults(200, 7);
-    faults::print_faults(&ft);
-    faults::save_faults(&ft, &format!("{out}/whatif_faults.csv")).map_err(io)?;
-
-    println!("\n== Fleet-size scaling ==");
-    let fs = fleet_scale(150, 7);
-    fleet::print_fleet(&fs);
-    fleet::save_fleet(&fs, &format!("{out}/fleet_scale.csv")).map_err(io)?;
-
-    println!("\nCSV written under {out}/");
-    Ok(())
+    #[test]
+    fn unswept_axis_overrides_are_rejected_not_ignored() {
+        let table1 = resolve("table1").unwrap();
+        let err = reject_unswept_axes("table1", &table1, Some(50), None, None, None).unwrap_err();
+        assert!(err.contains("--iterations does not apply"), "{err}");
+        let err = reject_unswept_axes(
+            "fig10",
+            &resolve("fig10").unwrap(),
+            None,
+            Some(3),
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("--seed does not apply"), "{err}");
+        // Swept axes pass.
+        let fig9 = resolve("fig9_policies").unwrap();
+        reject_unswept_axes("fig9_policies", &fig9, None, Some(3), Some(60), None).unwrap();
+        let agree = resolve("fig6_agreement").unwrap();
+        reject_unswept_axes("fig6_agreement", &agree, Some(10), None, None, Some(2)).unwrap();
+    }
 }

@@ -3,23 +3,23 @@
 //! ```text
 //! pipefill-cli <command> [options]
 //!
-//! commands:
-//!   table1                         fill-job category table
-//!   fig4                           scaling study (Figs. 1 & 4)
-//!   fig5   [--iterations N]        fill-fraction sweep (physical sim)
-//!   fig6   [--iterations N]        simulator validation
-//!   fig7                           fill-job characterization
-//!   fig8                           GPipe vs 1F1B
-//!   fig9   [--horizon-secs N]      scheduling policies
-//!   fig10                          bubble-size / free-memory sensitivity
-//!   whatif                         newer-hardware offload-bandwidth sweep
-//!   faults [--iterations N]        MTBF x checkpoint-cost fault-tolerance map
-//!   fleet  [--jobs N] [--gpus N]   multi-job fleet on one global fill queue
-//!   all    [--out DIR]             everything + CSV output
+//! the uniform entry points:
+//!   run <scenario.toml> [--set key=value ...]
+//!                                  run a declarative scenario file
+//!                                  (see examples/scenarios/)
+//!   exp <name> [--iterations N] [--seed S] [--horizon-secs N] [--seeds N]
+//!                                  run one registered experiment
+//!   exp --list                     list the experiment registry
+//!   all    [--out DIR]             every experiment + CSV output
+//!
+//! legacy aliases over `exp` (same flags as before):
+//!   table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10, whatif, faults,
+//!   agree
+//!
+//! single simulations and inspection:
 //!   sim    [--backend coarse|physical|fault] [...]
 //!                                  one simulation at a chosen fidelity
-//!   agree  [--seeds N] [--iterations N]
-//!                                  coarse-vs-physical agreement (Fig. 6)
+//!   fleet  [--jobs N] [--gpus N]   multi-job fleet on one global fill queue
 //!   timeline [--schedule S] [--stages P] [--microbatches M] [--width W]
 //!                                  render a pipeline schedule as ASCII
 //!   plan   [--model NAME] [--kind training|inference] [--stage S]

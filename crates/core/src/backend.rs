@@ -346,6 +346,53 @@ pub enum BackendDetail {
 }
 
 impl BackendRun {
+    /// The fidelity-independent metrics, by reference (the field is
+    /// `Copy`, but the accessor pairs with [`BackendRun::detail`] for
+    /// generic callers).
+    pub fn metrics(&self) -> &BackendMetrics {
+        &self.metrics
+    }
+
+    /// The backend-specific detail, by reference. Borrowing callers
+    /// (conformance suites comparing a run against its metrics, report
+    /// printers) use this instead of cloning the whole run just to feed
+    /// one of the consuming accessors below.
+    pub fn detail(&self) -> &BackendDetail {
+        &self.detail
+    }
+
+    /// The coarse detail by reference, if this was a coarse run.
+    pub fn as_coarse(&self) -> Option<&ClusterSimResult> {
+        match &self.detail {
+            BackendDetail::Coarse(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The physical detail by reference, if this was a physical run.
+    pub fn as_physical(&self) -> Option<&PhysicalSimResult> {
+        match &self.detail {
+            BackendDetail::Physical(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fault detail by reference, if this was a fault run.
+    pub fn as_fault(&self) -> Option<&FaultSimResult> {
+        match &self.detail {
+            BackendDetail::Fault(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The fleet detail by reference, if this was a fleet run.
+    pub fn as_fleet(&self) -> Option<&FleetSimResult> {
+        match &self.detail {
+            BackendDetail::Fleet(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The coarse detail, if this was a coarse run.
     pub fn coarse(self) -> Option<ClusterSimResult> {
         match self.detail {
@@ -425,7 +472,10 @@ mod tests {
         assert_eq!(coarse.metrics.kind, BackendKind::Coarse);
         assert!(coarse.metrics.recovered_tflops_per_gpu > 0.0);
         assert!(coarse.metrics.events_dispatched > 0);
-        assert!(coarse.clone().coarse().is_some());
+        assert!(coarse.as_coarse().is_some());
+        assert!(coarse.as_physical().is_none());
+        assert!(matches!(coarse.detail(), BackendDetail::Coarse(_)));
+        assert_eq!(coarse.metrics(), &coarse.metrics);
         assert!(coarse.physical().is_none());
 
         let phys = BackendConfig::Physical(physical_config(3)).run();

@@ -11,7 +11,6 @@ use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 use crate::steady::{steady_rate, SteadyRate};
 
@@ -160,58 +159,6 @@ pub fn mix_relative_performance_from(rows: &[CharacterizationRow], mix: &ModelMi
 /// Default Fig. 7 context: the 8K-GPU 40B main job.
 pub fn fig7_default_main() -> MainJobSpec {
     MainJobSpec::simulator_40b(8, ScheduleKind::GPipe)
-}
-
-/// Prints both Fig. 7 panels.
-pub fn print_characterization(rows: &[CharacterizationRow]) {
-    println!(
-        "{:>16} {:>16} {:>12} {:>10} {:>9} {:>12} {:>11}",
-        "model", "kind", "exec TFLOPS", "rel perf", "stages", "alg1 TFLOPS", "naive TFLOPS"
-    );
-    for r in rows {
-        println!(
-            "{:>16} {:>16} {:>12.1} {:>10.2} {:>9} {:>12.2} {:>11.2}",
-            r.model.name(),
-            r.kind.to_string(),
-            r.tflops_during_execution,
-            r.relative_performance,
-            r.feasible_stages,
-            r.recovered_tflops,
-            r.naive_recovered_tflops,
-        );
-    }
-}
-
-/// Writes the rows as CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_characterization(rows: &[CharacterizationRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "model",
-            "kind",
-            "tflops_during_execution",
-            "relative_performance",
-            "feasible_stages",
-            "recovered_tflops",
-            "naive_recovered_tflops",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.model.name(),
-            &r.kind,
-            &r.tflops_during_execution,
-            &r.relative_performance,
-            &r.feasible_stages,
-            &r.recovered_tflops,
-            &r.naive_recovered_tflops,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

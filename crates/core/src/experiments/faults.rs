@@ -12,7 +12,6 @@ use pipefill_sim_core::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendConfig;
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 use crate::fault::FaultSimConfig;
 
@@ -91,72 +90,6 @@ pub fn whatif_faults(iterations: usize, seed: u64) -> Vec<FaultWhatIfRow> {
     })
 }
 
-/// Prints the sweep.
-pub fn print_faults(rows: &[FaultWhatIfRow]) {
-    println!(
-        "{:>10} {:>8} {:>9} {:>10} {:>13} {:>9} {:>10}",
-        "MTBF (s)", "ckpt (s)", "failures", "evictions", "fill TFLOPS", "goodput", "slowdown"
-    );
-    for r in rows {
-        let mtbf = if r.mtbf_secs.is_finite() {
-            format!("{:.0}", r.mtbf_secs)
-        } else {
-            "none".to_string()
-        };
-        println!(
-            "{mtbf:>10} {:>8.1} {:>9} {:>10} {:>13.2} {:>8.1}% {:>9.2}%",
-            r.checkpoint_cost_secs,
-            r.failures,
-            r.evictions,
-            r.recovered_tflops,
-            100.0 * r.goodput_fraction,
-            100.0 * r.main_slowdown,
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_faults(rows: &[FaultWhatIfRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "mtbf_secs",
-            "checkpoint_cost_secs",
-            "failures",
-            "evictions",
-            "lost_fill_flops",
-            "recovered_tflops",
-            "goodput_fraction",
-            "main_slowdown",
-        ],
-    )?;
-    for r in rows {
-        // The disabled-injection sentinel is written as the explicit
-        // string the CLI accepts ('none'), not as a float infinity —
-        // CsvWriter treats non-finite numeric renderings as bugs.
-        let mtbf: &dyn std::fmt::Display = if r.mtbf_secs.is_finite() {
-            &r.mtbf_secs
-        } else {
-            &"none"
-        };
-        w.row(&[
-            mtbf,
-            &r.checkpoint_cost_secs,
-            &r.failures,
-            &r.evictions,
-            &r.lost_fill_flops,
-            &r.recovered_tflops,
-            &r.goodput_fraction,
-            &r.main_slowdown,
-        ])?;
-    }
-    w.finish().map(|_| ())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,26 +119,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn csv_renders_disabled_injection_as_none_not_inf() {
-        // The MTBF=∞ sentinel must not reach the CSV as a float infinity
-        // (CsvWriter debug-asserts non-finite renderings are bugs).
-        let row = FaultWhatIfRow {
-            mtbf_secs: f64::INFINITY,
-            checkpoint_cost_secs: 2.0,
-            failures: 0,
-            evictions: 0,
-            lost_fill_flops: 0.0,
-            recovered_tflops: 1.0,
-            goodput_fraction: 1.0,
-            main_slowdown: 0.0,
-        };
-        let dir = std::env::temp_dir().join(format!("pipefill-faults-{}", std::process::id()));
-        let path = dir.join("whatif_faults.csv");
-        save_faults(&[row], path.to_str().unwrap()).unwrap();
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.contains("none,2,"), "{content}");
-        assert!(!content.contains("inf"), "{content}");
-        std::fs::remove_dir_all(dir).ok();
-    }
+    // The MTBF=∞-renders-as-'none' pin moved next to the generic CSV
+    // path: see `faults_table_renders_disabled_injection_as_none_not_inf`
+    // in pipefill-scenario's registry tests.
 }

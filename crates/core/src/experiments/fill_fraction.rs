@@ -6,7 +6,6 @@ use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendConfig;
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 use crate::physical::PhysicalSimConfig;
 
@@ -55,49 +54,6 @@ pub fn fig5_fill_fraction(iterations: usize, seed: u64) -> Vec<FillFractionRow> 
             }
         })
         .collect()
-}
-
-/// Prints the sweep.
-pub fn print_fill_fraction(rows: &[FillFractionRow]) {
-    println!(
-        "{:>9} {:>11} {:>12} {:>12}",
-        "filled", "slowdown", "fill TFLOPS", "total TFLOPS"
-    );
-    for r in rows {
-        println!(
-            "{:>8.0}% {:>10.2}% {:>12.2} {:>12.2}",
-            100.0 * r.fill_fraction,
-            100.0 * r.main_slowdown,
-            r.recovered_tflops,
-            r.total_tflops,
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_fill_fraction(rows: &[FillFractionRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "fill_fraction",
-            "main_slowdown",
-            "recovered_tflops",
-            "total_tflops",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.fill_fraction,
-            &r.main_slowdown,
-            &r.recovered_tflops,
-            &r.total_tflops,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

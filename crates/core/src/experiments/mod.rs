@@ -1,6 +1,8 @@
 //! Experiment drivers — one per table/figure of the paper's evaluation
-//! (§6). Each returns typed rows, can print the series the paper plots,
-//! and can persist CSV under `target/experiments/`.
+//! (§6). Each returns typed rows; printing, CSV persistence and
+//! golden-snapshot pinning are generic over the `Experiment` trait in
+//! the `pipefill-scenario` crate, whose registry wraps every driver
+//! below (`pipefill-cli exp --list`).
 //!
 //! | Paper artifact | Driver |
 //! |---|---|

@@ -9,7 +9,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendConfig;
 use crate::cluster::{ClusterSimConfig, PolicyKind};
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 
 /// One (policy, load) point.
@@ -65,52 +64,6 @@ pub fn fig9_policies(seed: u64, horizon: SimDuration) -> Vec<PolicyRow> {
             }
         })
         .collect()
-}
-
-/// Prints both panels.
-pub fn print_policies(rows: &[PolicyRow]) {
-    println!(
-        "{:>14} {:>6} {:>12} {:>12} {:>10}",
-        "policy", "load", "mean JCT(s)", "makespan(s)", "completed"
-    );
-    for r in rows {
-        println!(
-            "{:>14} {:>6.2} {:>12.1} {:>12.1} {:>10}",
-            r.policy.to_string(),
-            r.load,
-            r.mean_jct_secs,
-            r.makespan_secs,
-            r.completed,
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_policies(rows: &[PolicyRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "policy",
-            "load",
-            "mean_jct_secs",
-            "makespan_secs",
-            "completed",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.policy,
-            &r.load,
-            &r.mean_jct_secs,
-            &r.makespan_secs,
-            &r.completed,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

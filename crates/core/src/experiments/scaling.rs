@@ -11,7 +11,6 @@ use pipefill_pipeline::{MainJobSpec, ScheduleKind};
 use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
-use crate::csv::CsvWriter;
 use crate::experiments::characterization::{fig7_characterization, mix_relative_performance_from};
 use crate::experiments::sweep;
 use crate::metrics::gpus_saved;
@@ -73,72 +72,6 @@ pub fn fig4_scaling_with(microbatches: &[usize], exec: &ExecutorConfig) -> Vec<S
             gpus_saved_best: gpus_saved(point.gpus, point.bubble_ratio, perf_bert),
         }
     })
-}
-
-/// Prints the three Fig. 4 panels as one table.
-pub fn print_scaling(rows: &[ScalingRow]) {
-    println!(
-        "{:>6} {:>4} {:>8} {:>7} {:>12} {:>14} {:>13} {:>11} {:>10}",
-        "GPUs",
-        "m",
-        "bubble",
-        "days",
-        "trad TFLOPS",
-        "mix TFLOPS",
-        "bert TFLOPS",
-        "saved(mix)",
-        "saved(max)"
-    );
-    for r in rows {
-        println!(
-            "{:>6} {:>4} {:>7.1}% {:>7.1} {:>12.1} {:>14.1} {:>13.1} {:>11.0} {:>10.0}",
-            r.gpus,
-            r.microbatches,
-            100.0 * r.bubble_ratio,
-            r.days_to_train,
-            r.traditional_tflops,
-            r.pipefill_trace_mix_tflops,
-            r.pipefill_bert_inf_tflops,
-            r.gpus_saved_trace_mix,
-            r.gpus_saved_best,
-        );
-    }
-}
-
-/// Writes the rows as CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_scaling(rows: &[ScalingRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "gpus",
-            "microbatches",
-            "bubble_ratio",
-            "days_to_train",
-            "traditional_tflops",
-            "pipefill_trace_mix_tflops",
-            "pipefill_bert_inf_tflops",
-            "gpus_saved_trace_mix",
-            "gpus_saved_best",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.gpus,
-            &r.microbatches,
-            &r.bubble_ratio,
-            &r.days_to_train,
-            &r.traditional_tflops,
-            &r.pipefill_trace_mix_tflops,
-            &r.pipefill_bert_inf_tflops,
-            &r.gpus_saved_trace_mix,
-            &r.gpus_saved_best,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

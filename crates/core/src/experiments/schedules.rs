@@ -14,7 +14,6 @@ use pipefill_sim_core::SimDuration;
 use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 use crate::steady::steady_recovered_tflops;
 
@@ -54,52 +53,6 @@ pub fn fig8_schedules(exec: &ExecutorConfig) -> Vec<ScheduleRow> {
             recovered_tflops: steady_recovered_tflops(&main, exec, &mix),
         }
     })
-}
-
-/// Prints the comparison.
-pub fn print_schedules(rows: &[ScheduleRow]) {
-    println!(
-        "{:>6} {:>8} {:>8} {:>10} {:>12}",
-        "GPUs", "sched", "bubble", "fillable", "fill TFLOPS"
-    );
-    for r in rows {
-        println!(
-            "{:>6} {:>8} {:>7.1}% {:>9.1}% {:>12.2}",
-            r.gpus,
-            r.schedule.to_string(),
-            100.0 * r.bubble_ratio,
-            100.0 * r.fillable_ratio,
-            r.recovered_tflops,
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_schedules(rows: &[ScheduleRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "gpus",
-            "schedule",
-            "bubble_ratio",
-            "fillable_ratio",
-            "recovered_tflops",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.gpus,
-            &r.schedule,
-            &r.bubble_ratio,
-            &r.fillable_ratio,
-            &r.recovered_tflops,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 /// One point of the 4-schedule × depth sweep.
@@ -153,58 +106,6 @@ pub fn schedule_depth_sweep() -> Vec<DepthRow> {
             formula_bubble_ratio: bubble_fraction_for(schedule, p, m, 2.0),
         }
     })
-}
-
-/// Prints the depth sweep.
-pub fn print_depth_sweep(rows: &[DepthRow]) {
-    println!(
-        "{:>14} {:>7} {:>7} {:>10} {:>8} {:>10} {:>9}",
-        "sched", "stages", "microb", "period", "bubble", "fillable", "formula"
-    );
-    for r in rows {
-        println!(
-            "{:>14} {:>7} {:>7} {:>9.2}s {:>7.1}% {:>9.1}% {:>8.1}%",
-            r.schedule.to_string(),
-            r.stages,
-            r.microbatches,
-            r.period_secs,
-            100.0 * r.bubble_ratio,
-            100.0 * r.fillable_ratio,
-            100.0 * r.formula_bubble_ratio,
-        );
-    }
-}
-
-/// Writes the depth-sweep CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_depth_sweep(rows: &[DepthRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "schedule",
-            "stages",
-            "microbatches",
-            "period_secs",
-            "bubble_ratio",
-            "fillable_ratio",
-            "formula_bubble_ratio",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.schedule,
-            &r.stages,
-            &r.microbatches,
-            &r.period_secs,
-            &r.bubble_ratio,
-            &r.fillable_ratio,
-            &r.formula_bubble_ratio,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

@@ -9,7 +9,6 @@ use pipefill_pipeline::{BubbleMemoryModel, MainJobSpec, ScheduleKind};
 use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 use crate::steady::steady_recovered_tflops;
 
@@ -64,52 +63,6 @@ pub fn fig10b_free_memory(exec: &ExecutorConfig) -> Vec<FreeMemoryRow> {
             recovered_tflops: steady_recovered_tflops(&main, exec, &ModelMix::paper_mix()),
         }
     })
-}
-
-/// Prints both panels.
-pub fn print_sensitivity(a: &[BubbleSizeRow], b: &[FreeMemoryRow]) {
-    println!("Fig. 10a — bubble size (model scale), free memory fixed at 4.5 GiB");
-    println!(
-        "{:>8} {:>16} {:>12}",
-        "scale", "fillable s/iter", "fill TFLOPS"
-    );
-    for r in a {
-        println!(
-            "{:>8.2} {:>16.2} {:>12.2}",
-            r.model_scale, r.mean_fillable_secs, r.recovered_tflops
-        );
-    }
-    println!("Fig. 10b — bubble free memory, model size fixed");
-    println!("{:>8} {:>12}", "GiB", "fill TFLOPS");
-    for r in b {
-        println!("{:>8.1} {:>12.2}", r.free_gib, r.recovered_tflops);
-    }
-}
-
-/// Writes both panels as CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_sensitivity(
-    a: &[BubbleSizeRow],
-    b: &[FreeMemoryRow],
-    path_a: &str,
-    path_b: &str,
-) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path_a,
-        &["model_scale", "mean_fillable_secs", "recovered_tflops"],
-    )?;
-    for r in a {
-        w.row(&[&r.model_scale, &r.mean_fillable_secs, &r.recovered_tflops])?;
-    }
-    w.finish()?;
-    let mut w = CsvWriter::create(path_b, &["free_gib", "recovered_tflops"])?;
-    for r in b {
-        w.row(&[&r.free_gib, &r.recovered_tflops])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

@@ -4,8 +4,6 @@
 use pipefill_model_zoo::ModelId;
 use serde::{Deserialize, Serialize};
 
-use crate::csv::CsvWriter;
-
 /// One row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Table1Row {
@@ -31,52 +29,6 @@ pub fn table1() -> Vec<Table1Row> {
             paper_params_millions: paper,
         })
         .collect()
-}
-
-/// Prints Table 1 with the paper's columns.
-pub fn print_table1(rows: &[Table1Row]) {
-    println!(
-        "{:>5} {:>16} {:>12} {:>12} {:>9}",
-        "size", "model", "params (M)", "paper (M)", "job type"
-    );
-    for r in rows {
-        println!(
-            "{:>5} {:>16} {:>12.1} {:>12.1} {:>9}",
-            r.model.size_class().to_string(),
-            r.model.name(),
-            r.params_millions,
-            r.paper_params_millions,
-            r.model.domain().to_string(),
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_table1(rows: &[Table1Row], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "size_class",
-            "model",
-            "params_millions",
-            "paper_params_millions",
-            "domain",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.model.size_class(),
-            &r.model.name(),
-            &r.params_millions,
-            &r.paper_params_millions,
-            &r.model.domain(),
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

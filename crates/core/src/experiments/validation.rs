@@ -15,7 +15,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendConfig;
 use crate::cluster::ClusterSimConfig;
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 use crate::physical::PhysicalSimConfig;
 use crate::steady::steady_recovered_tflops;
@@ -123,98 +122,6 @@ pub fn fig6_agreement(seeds: &[u64], iterations: usize) -> Vec<AgreementRow> {
             ),
         }
     })
-}
-
-/// Writes the agreement rows as CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_agreement(rows: &[AgreementRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "seed",
-            "coarse_recovered",
-            "physical_recovered",
-            "physical_slowdown",
-            "relative_error",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.seed,
-            &r.coarse_recovered,
-            &r.physical_recovered,
-            &r.physical_slowdown,
-            &r.relative_error,
-        ])?;
-    }
-    w.finish().map(|_| ())
-}
-
-/// Prints the agreement rows.
-pub fn print_agreement(rows: &[AgreementRow]) {
-    println!(
-        "{:>6} {:>14} {:>14} {:>11} {:>9}",
-        "seed", "coarse TFLOPS", "phys TFLOPS", "slowdown", "error"
-    );
-    for r in rows {
-        println!(
-            "{:>6} {:>14.2} {:>14.2} {:>10.2}% {:>8.2}%",
-            r.seed,
-            r.coarse_recovered,
-            r.physical_recovered,
-            100.0 * r.physical_slowdown,
-            100.0 * r.relative_error,
-        );
-    }
-}
-
-/// Prints the sweep.
-pub fn print_validation(rows: &[ValidationRow]) {
-    println!(
-        "{:>8} {:>11} {:>14} {:>13} {:>9}",
-        "XLM %", "slowdown", "phys TFLOPS", "sim TFLOPS", "error"
-    );
-    for r in rows {
-        println!(
-            "{:>7.0}% {:>10.2}% {:>14.2} {:>13.2} {:>8.2}%",
-            100.0 * r.xlm_fraction,
-            100.0 * r.physical_slowdown,
-            r.physical_recovered,
-            r.simulator_recovered,
-            100.0 * r.relative_error,
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_validation(rows: &[ValidationRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "xlm_fraction",
-            "physical_slowdown",
-            "physical_recovered",
-            "simulator_recovered",
-            "relative_error",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.xlm_fraction,
-            &r.physical_slowdown,
-            &r.physical_recovered,
-            &r.simulator_recovered,
-            &r.relative_error,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

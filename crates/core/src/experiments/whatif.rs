@@ -16,7 +16,6 @@ use pipefill_executor::{build_profile, ExecConfig, ExecTechnique};
 use pipefill_model_zoo::{JobKind, ModelId};
 use serde::{Deserialize, Serialize};
 
-use crate::csv::CsvWriter;
 use crate::experiments::sweep;
 
 /// One host-bandwidth point.
@@ -79,46 +78,6 @@ pub fn whatif_offload_bandwidth() -> Vec<WhatIfRow> {
             bert_plain_iter_ms: control.iteration_time().as_millis_f64(),
         }
     })
-}
-
-/// Prints the sweep.
-pub fn print_whatif(rows: &[WhatIfRow]) {
-    println!(
-        "{:>10} {:>16} {:>12} {:>16}",
-        "host GB/s", "XLM iter (ms)", "offload tax", "BERT iter (ms)"
-    );
-    for r in rows {
-        println!(
-            "{:>10.0} {:>16.1} {:>11.2}× {:>16.1}",
-            r.host_gbps, r.xlm_streamed_iter_ms, r.offload_tax, r.bert_plain_iter_ms
-        );
-    }
-}
-
-/// Writes CSV.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn save_whatif(rows: &[WhatIfRow], path: &str) -> std::io::Result<()> {
-    let mut w = CsvWriter::create(
-        path,
-        &[
-            "host_gbps",
-            "xlm_streamed_iter_ms",
-            "offload_tax",
-            "bert_plain_iter_ms",
-        ],
-    )?;
-    for r in rows {
-        w.row(&[
-            &r.host_gbps,
-            &r.xlm_streamed_iter_ms,
-            &r.offload_tax,
-            &r.bert_plain_iter_ms,
-        ])?;
-    }
-    w.finish().map(|_| ())
 }
 
 #[cfg(test)]

@@ -1,0 +1,877 @@
+//! The static experiment registry: every table and figure of the
+//! paper's evaluation (plus the extension studies) as an
+//! [`Experiment`], discoverable by name.
+//!
+//! Adding an experiment is a one-file change: implement the trait here
+//! and append the instance to [`REGISTRY`]. It is then listed by
+//! `pipefill-cli exp --list`, runnable by `exp <name>` or a scenario
+//! file, written as `target/experiments/<name>.csv`, and pinned by the
+//! registry-driven golden-snapshot suite against
+//! `tests/golden/<name>.csv`.
+
+use pipefill_core::experiments::{
+    characterization, faults, fill_fraction, fleet, policies, scaling, schedules, sensitivity,
+    table1, validation, whatif,
+};
+use pipefill_executor::ExecutorConfig;
+use pipefill_sim_core::SimDuration;
+
+use crate::experiment::{Axis, Experiment, Grid, Scale, Table};
+use crate::row;
+
+/// Every registered experiment, in the order `all` runs and `exp
+/// --list` prints them.
+pub static REGISTRY: &[&dyn Experiment] = &[
+    &Table1,
+    &Fig4Scaling,
+    &Fig5FillFraction,
+    &Fig6Validation,
+    &Fig6Agreement,
+    &Fig7Characterization,
+    &Fig8Schedules,
+    &ScheduleDepth,
+    &Fig9Policies,
+    &Fig10aBubbleSize,
+    &Fig10bFreeMemory,
+    &WhatifOffloadBandwidth,
+    &WhatifFaults,
+    &FleetScale,
+];
+
+/// Looks an experiment up by canonical name or alias.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY
+        .iter()
+        .find(|e| e.name() == name || e.aliases().contains(&name))
+        .copied()
+}
+
+/// Spellings that fan out to more than one experiment — the historical
+/// `fig8` subcommand printed the depth sweep alongside the schedule
+/// comparison, and `fig10` prints both sensitivity panels.
+const MULTI_ALIASES: &[(&str, &[&str])] = &[
+    ("fig8", &["fig8_schedules", "schedule_depth"]),
+    ("fig10", &["fig10a_bubble_size", "fig10b_free_memory"]),
+];
+
+/// Resolves an experiment spelling — canonical name, alias, or
+/// multi-experiment alias — to the experiments it runs, in run order.
+/// This is the one resolution path the CLI, scenario files and library
+/// callers share, so `exp fig10` and `experiment = "fig10"` agree.
+pub fn resolve(name: &str) -> Option<Vec<&'static dyn Experiment>> {
+    if let Some((_, names)) = MULTI_ALIASES.iter().find(|(alias, _)| *alias == name) {
+        return Some(
+            names
+                .iter()
+                .map(|n| find(n).expect("multi-alias names a registered experiment"))
+                .collect(),
+        );
+    }
+    find(name).map(|e| vec![e])
+}
+
+/// Table 1.
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn description(&self) -> &'static str {
+        "Table 1: fill-job categories vs the paper's parameter counts"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "size_class",
+            "model",
+            "params_millions",
+            "paper_params_millions",
+            "domain",
+        ]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in table1::table1() {
+            t.push(row![
+                r.model.size_class().to_string(),
+                r.model.name(),
+                r.params_millions,
+                r.paper_params_millions,
+                r.model.domain().to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Figs. 1 & 4.
+pub struct Fig4Scaling;
+
+impl Experiment for Fig4Scaling {
+    fn name(&self) -> &'static str {
+        "fig4_scaling"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig4", "fig1"]
+    }
+    fn description(&self) -> &'static str {
+        "Figs. 1 & 4: scaling the 40B main job 1K-8K GPUs (days, bubble, TFLOPS, GPUs saved)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "gpus",
+            "microbatches",
+            "bubble_ratio",
+            "days_to_train",
+            "traditional_tflops",
+            "pipefill_trace_mix_tflops",
+            "pipefill_bert_inf_tflops",
+            "gpus_saved_trace_mix",
+            "gpus_saved_best",
+        ]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in scaling::fig4_scaling() {
+            t.push(row![
+                r.gpus,
+                r.microbatches,
+                r.bubble_ratio,
+                r.days_to_train,
+                r.traditional_tflops,
+                r.pipefill_trace_mix_tflops,
+                r.pipefill_bert_inf_tflops,
+                r.gpus_saved_trace_mix,
+                r.gpus_saved_best,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 5.
+pub struct Fig5FillFraction;
+
+impl Experiment for Fig5FillFraction {
+    fn name(&self) -> &'static str {
+        "fig5_fill_fraction"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig5"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 5: fill-fraction sweep on the physical 5B cluster (slowdown vs recovered TFLOPS)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "fill_fraction",
+            "main_slowdown",
+            "recovered_tflops",
+            "total_tflops",
+        ]
+    }
+    fn grid(&self, scale: Scale) -> Grid {
+        match scale {
+            Scale::Full => Grid::sim(300, 7),
+            Scale::Golden => Grid::sim(40, 7),
+        }
+    }
+    fn axes(&self) -> &'static [Axis] {
+        &[Axis::Iterations, Axis::Seed]
+    }
+    fn simulation_backed(&self) -> bool {
+        true
+    }
+    fn run(&self, grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in fill_fraction::fig5_fill_fraction(grid.iterations, grid.seed) {
+            t.push(row![
+                r.fill_fraction,
+                r.main_slowdown,
+                r.recovered_tflops,
+                r.total_tflops,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 6 (mix sweep).
+pub struct Fig6Validation;
+
+impl Experiment for Fig6Validation {
+    fn name(&self) -> &'static str {
+        "fig6_validation"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig6"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 6: simulator validation across the XLM/EfficientNet mix sweep"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "xlm_fraction",
+            "physical_slowdown",
+            "physical_recovered",
+            "simulator_recovered",
+            "relative_error",
+        ]
+    }
+    fn grid(&self, scale: Scale) -> Grid {
+        match scale {
+            Scale::Full => Grid::sim(300, 7),
+            Scale::Golden => Grid::sim(60, 7),
+        }
+    }
+    fn axes(&self) -> &'static [Axis] {
+        &[Axis::Iterations, Axis::Seed]
+    }
+    fn simulation_backed(&self) -> bool {
+        true
+    }
+    fn summary(&self, table: &Table) -> Option<String> {
+        let max_err = table
+            .f64_column("relative_error")
+            .into_iter()
+            .fold(0.0, f64::max);
+        Some(format!(
+            "maximum simulator error: {:.2}% (paper: <2%)",
+            100.0 * max_err
+        ))
+    }
+    fn run(&self, grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in validation::fig6_validation(grid.iterations, grid.seed) {
+            t.push(row![
+                r.xlm_fraction,
+                r.physical_slowdown,
+                r.physical_recovered,
+                r.simulator_recovered,
+                r.relative_error,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 6 (cross-backend agreement).
+pub struct Fig6Agreement;
+
+impl Experiment for Fig6Agreement {
+    fn name(&self) -> &'static str {
+        "fig6_agreement"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["agree", "agreement"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 6: coarse-vs-physical backend agreement, replicated across seeds"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "seed",
+            "coarse_recovered",
+            "physical_recovered",
+            "physical_slowdown",
+            "relative_error",
+        ]
+    }
+    fn grid(&self, scale: Scale) -> Grid {
+        match scale {
+            Scale::Full => Grid {
+                seeds: 3,
+                iterations: 200,
+                ..Grid::default()
+            },
+            Scale::Golden => Grid {
+                seeds: 2,
+                iterations: 60,
+                ..Grid::default()
+            },
+        }
+    }
+    fn axes(&self) -> &'static [Axis] {
+        &[Axis::Seeds, Axis::Iterations]
+    }
+    fn simulation_backed(&self) -> bool {
+        true
+    }
+    fn summary(&self, table: &Table) -> Option<String> {
+        let max_err = table
+            .f64_column("relative_error")
+            .into_iter()
+            .fold(0.0, f64::max);
+        Some(format!(
+            "maximum disagreement: {:.2}% (paper Fig. 6: <2%; tolerance {:.0}%)",
+            100.0 * max_err,
+            100.0 * validation::AGREEMENT_TOLERANCE
+        ))
+    }
+    fn run(&self, grid: &Grid) -> Table {
+        let seeds: Vec<u64> = (1..=grid.seeds).collect();
+        let mut t = Table::new(self.columns());
+        for r in validation::fig6_agreement(&seeds, grid.iterations) {
+            t.push(row![
+                r.seed,
+                r.coarse_recovered,
+                r.physical_recovered,
+                r.physical_slowdown,
+                r.relative_error,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 7.
+pub struct Fig7Characterization;
+
+impl Experiment for Fig7Characterization {
+    fn name(&self) -> &'static str {
+        "fig7_characterization"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig7"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 7: fill-job characterization (achieved TFLOPS, relative performance, Alg-1 ablation)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "model",
+            "kind",
+            "tflops_during_execution",
+            "relative_performance",
+            "feasible_stages",
+            "recovered_tflops",
+            "naive_recovered_tflops",
+        ]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let rows = characterization::fig7_characterization(
+            &characterization::fig7_default_main(),
+            &ExecutorConfig::default(),
+        );
+        let mut t = Table::new(self.columns());
+        for r in rows {
+            t.push(row![
+                r.model.name(),
+                r.kind.to_string(),
+                r.tflops_during_execution,
+                r.relative_performance,
+                r.feasible_stages,
+                r.recovered_tflops,
+                r.naive_recovered_tflops,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 8.
+pub struct Fig8Schedules;
+
+impl Experiment for Fig8Schedules {
+    fn name(&self) -> &'static str {
+        "fig8_schedules"
+    }
+    // "fig8" is a multi-alias (this sweep + the depth sweep), resolved
+    // by [`resolve`] — listing it here too would make `find("fig8")`
+    // silently run half of what `resolve("fig8")` runs.
+    fn aliases(&self) -> &'static [&'static str] {
+        &["schedules"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 8: GPipe vs 1F1B fillable bubble and recovered TFLOPS, 2K-16K GPUs"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "gpus",
+            "schedule",
+            "bubble_ratio",
+            "fillable_ratio",
+            "recovered_tflops",
+        ]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in schedules::fig8_schedules(&ExecutorConfig::default()) {
+            t.push(row![
+                r.gpus,
+                r.schedule.to_string(),
+                r.bubble_ratio,
+                r.fillable_ratio,
+                r.recovered_tflops,
+            ]);
+        }
+        t
+    }
+}
+
+/// The 4-schedule × depth geometry sweep.
+pub struct ScheduleDepth;
+
+impl Experiment for ScheduleDepth {
+    fn name(&self) -> &'static str {
+        "schedule_depth"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["depth"]
+    }
+    fn description(&self) -> &'static str {
+        "Extension: 4-schedule x depth bubble-geometry sweep (engine vs closed forms)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "schedule",
+            "stages",
+            "microbatches",
+            "period_secs",
+            "bubble_ratio",
+            "fillable_ratio",
+            "formula_bubble_ratio",
+        ]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in schedules::schedule_depth_sweep() {
+            t.push(row![
+                r.schedule.to_string(),
+                r.stages,
+                r.microbatches,
+                r.period_secs,
+                r.bubble_ratio,
+                r.fillable_ratio,
+                r.formula_bubble_ratio,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 9.
+pub struct Fig9Policies;
+
+impl Experiment for Fig9Policies {
+    fn name(&self) -> &'static str {
+        "fig9_policies"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig9"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 9: scheduling-policy sensitivity (SJF vs Makespan-Min over the load axis)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "policy",
+            "load",
+            "mean_jct_secs",
+            "makespan_secs",
+            "completed",
+        ]
+    }
+    fn grid(&self, scale: Scale) -> Grid {
+        match scale {
+            Scale::Full => Grid::horizon(3600, 11),
+            Scale::Golden => Grid::horizon(1200, 11),
+        }
+    }
+    fn axes(&self) -> &'static [Axis] {
+        &[Axis::HorizonSecs, Axis::Seed]
+    }
+    fn simulation_backed(&self) -> bool {
+        true
+    }
+    fn run(&self, grid: &Grid) -> Table {
+        let rows = policies::fig9_policies(grid.seed, SimDuration::from_secs(grid.horizon_secs));
+        let mut t = Table::new(self.columns());
+        for r in rows {
+            t.push(row![
+                r.policy.to_string(),
+                r.load,
+                r.mean_jct_secs,
+                r.makespan_secs,
+                r.completed,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 10a.
+pub struct Fig10aBubbleSize;
+
+impl Experiment for Fig10aBubbleSize {
+    fn name(&self) -> &'static str {
+        "fig10a_bubble_size"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig10a"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 10a: sensitivity to bubble size (main-job model scaled 50-200%)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &["model_scale", "mean_fillable_secs", "recovered_tflops"]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in sensitivity::fig10a_bubble_size(&ExecutorConfig::default()) {
+            t.push(row![
+                r.model_scale,
+                r.mean_fillable_secs,
+                r.recovered_tflops
+            ]);
+        }
+        t
+    }
+}
+
+/// Fig. 10b.
+pub struct Fig10bFreeMemory;
+
+impl Experiment for Fig10bFreeMemory {
+    fn name(&self) -> &'static str {
+        "fig10b_free_memory"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig10b"]
+    }
+    fn description(&self) -> &'static str {
+        "Fig. 10b: sensitivity to bubble free memory (2-8 GiB)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &["free_gib", "recovered_tflops"]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in sensitivity::fig10b_free_memory(&ExecutorConfig::default()) {
+            t.push(row![r.free_gib, r.recovered_tflops]);
+        }
+        t
+    }
+}
+
+/// §6.2 newer-hardware what-if.
+pub struct WhatifOffloadBandwidth;
+
+impl Experiment for WhatifOffloadBandwidth {
+    fn name(&self) -> &'static str {
+        "whatif_offload_bandwidth"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["whatif"]
+    }
+    fn description(&self) -> &'static str {
+        "Extension: host-link bandwidth what-if (the offload tax on newer hardware)"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "host_gbps",
+            "xlm_streamed_iter_ms",
+            "offload_tax",
+            "bert_plain_iter_ms",
+        ]
+    }
+    fn grid(&self, _scale: Scale) -> Grid {
+        Grid::default()
+    }
+    fn run(&self, _grid: &Grid) -> Table {
+        let mut t = Table::new(self.columns());
+        for r in whatif::whatif_offload_bandwidth() {
+            t.push(row![
+                r.host_gbps,
+                r.xlm_streamed_iter_ms,
+                r.offload_tax,
+                r.bert_plain_iter_ms,
+            ]);
+        }
+        t
+    }
+}
+
+/// Fault-tolerance MTBF × checkpoint-cost map.
+pub struct WhatifFaults;
+
+impl WhatifFaults {
+    /// Rows → table, split out so the `'none'` MTBF rendering is
+    /// testable without a simulation run.
+    fn table(rows: &[faults::FaultWhatIfRow]) -> Table {
+        let mut t = Table::new(WhatifFaults.columns());
+        for r in rows {
+            // The disabled-injection sentinel is written as the explicit
+            // string the CLI accepts ('none'), not as a float infinity —
+            // non-finite numeric renderings are treated as bugs.
+            let mtbf = if r.mtbf_secs.is_finite() {
+                crate::Value::Float(r.mtbf_secs)
+            } else {
+                crate::Value::from("none")
+            };
+            let mut row = row![
+                r.checkpoint_cost_secs,
+                r.failures,
+                r.evictions,
+                r.lost_fill_flops,
+                r.recovered_tflops,
+                r.goodput_fraction,
+                r.main_slowdown,
+            ];
+            row.insert(0, mtbf);
+            t.push(row);
+        }
+        t
+    }
+}
+
+impl Experiment for WhatifFaults {
+    fn name(&self) -> &'static str {
+        "whatif_faults"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["faults"]
+    }
+    fn description(&self) -> &'static str {
+        "Extension: MTBF x checkpoint-cost fault-tolerance map through the fault backend"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "mtbf_secs",
+            "checkpoint_cost_secs",
+            "failures",
+            "evictions",
+            "lost_fill_flops",
+            "recovered_tflops",
+            "goodput_fraction",
+            "main_slowdown",
+        ]
+    }
+    fn grid(&self, scale: Scale) -> Grid {
+        match scale {
+            Scale::Full => Grid::sim(200, 7),
+            Scale::Golden => Grid::sim(40, 7),
+        }
+    }
+    fn axes(&self) -> &'static [Axis] {
+        &[Axis::Iterations, Axis::Seed]
+    }
+    fn simulation_backed(&self) -> bool {
+        true
+    }
+    fn run(&self, grid: &Grid) -> Table {
+        WhatifFaults::table(&faults::whatif_faults(grid.iterations, grid.seed))
+    }
+}
+
+/// Fleet-size scaling.
+pub struct FleetScale;
+
+impl Experiment for FleetScale {
+    fn name(&self) -> &'static str {
+        "fleet_scale"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fleet-scale"]
+    }
+    fn description(&self) -> &'static str {
+        "Extension: fleet-size scaling, 1-64 concurrent main jobs on one global fill queue"
+    }
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "jobs",
+            "gpus",
+            "devices",
+            "recovered_tflops_per_gpu",
+            "main_tflops_per_gpu",
+            "total_tflops_per_gpu",
+            "mean_slowdown",
+            "fill_jobs_completed",
+            "failures",
+            "evictions",
+            "cross_job_dispatches",
+            "peak_queue_depth",
+            "goodput_fraction",
+        ]
+    }
+    fn grid(&self, scale: Scale) -> Grid {
+        match scale {
+            Scale::Full => Grid {
+                fleet_sizes: vec![1, 4, 16, 64],
+                iterations: 150,
+                seed: 7,
+                ..Grid::default()
+            },
+            Scale::Golden => Grid {
+                fleet_sizes: vec![1, 2, 4],
+                iterations: 150,
+                seed: 7,
+                ..Grid::default()
+            },
+        }
+    }
+    fn axes(&self) -> &'static [Axis] {
+        &[Axis::Iterations, Axis::Seed]
+    }
+    fn simulation_backed(&self) -> bool {
+        true
+    }
+    fn run(&self, grid: &Grid) -> Table {
+        let rows = fleet::fleet_scale_with(&grid.fleet_sizes, grid.iterations, grid.seed);
+        let mut t = Table::new(self.columns());
+        for r in rows {
+            t.push(row![
+                r.jobs,
+                r.gpus,
+                r.devices,
+                r.recovered_tflops_per_gpu,
+                r.main_tflops_per_gpu,
+                r.total_tflops_per_gpu,
+                r.mean_slowdown,
+                r.fill_jobs_completed,
+                r.failures,
+                r.evictions,
+                r.cross_job_dispatches,
+                r.peak_queue_depth,
+                r.goodput_fraction,
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate experiment names");
+        assert!(before >= 12, "the registry must cover all 12+ drivers");
+        for e in REGISTRY {
+            assert!(find(e.name()).is_some(), "{} not findable", e.name());
+            for alias in e.aliases() {
+                let hit = find(alias).expect("alias resolves");
+                assert_eq!(hit.name(), e.name(), "alias {alias} resolves elsewhere");
+            }
+            assert!(!e.description().is_empty());
+            assert!(!e.columns().is_empty());
+        }
+        assert!(find("warp-speed").is_none());
+    }
+
+    #[test]
+    fn aliases_do_not_shadow_canonical_names() {
+        for e in REGISTRY {
+            for alias in e.aliases() {
+                assert!(
+                    REGISTRY.iter().all(|other| other.name() != *alias),
+                    "alias {alias} collides with a canonical name"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_handles_single_and_multi_aliases_uniformly() {
+        assert_eq!(resolve("table1").unwrap().len(), 1);
+        assert_eq!(resolve("fig5").unwrap()[0].name(), "fig5_fill_fraction");
+        let fig8 = resolve("fig8").unwrap();
+        assert_eq!(fig8.len(), 2);
+        assert_eq!(fig8[0].name(), "fig8_schedules");
+        assert_eq!(fig8[1].name(), "schedule_depth");
+        let fig10 = resolve("fig10").unwrap();
+        assert_eq!(fig10.len(), 2);
+        assert!(resolve("warp-speed").is_none());
+        // A multi-alias must not also be a single name/alias — that
+        // would make `find` and `resolve` silently disagree.
+        for (alias, _) in MULTI_ALIASES {
+            assert!(find(alias).is_none(), "{alias} is also a single spelling");
+        }
+    }
+
+    #[test]
+    fn simulation_experiments_declare_their_swept_axes() {
+        for e in REGISTRY {
+            if e.simulation_backed() {
+                assert!(
+                    !e.axes().is_empty(),
+                    "{}: simulation-backed experiments sweep at least one axis",
+                    e.name()
+                );
+            } else {
+                assert!(
+                    e.axes().is_empty(),
+                    "{}: analysis experiments take no grid overrides",
+                    e.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn golden_grids_match_full_grids_for_analysis_experiments() {
+        for e in REGISTRY.iter().filter(|e| !e.simulation_backed()) {
+            assert_eq!(
+                e.grid(Scale::Full),
+                e.grid(Scale::Golden),
+                "{}: analysis experiments pin their full grid",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_experiments_produce_schema_true_tables() {
+        // The cheap, deterministic experiments run end to end here; the
+        // simulation-backed ones are covered by the golden suite.
+        for name in ["table1", "fig10b_free_memory", "whatif_offload_bandwidth"] {
+            let e = find(name).unwrap();
+            let t = e.run(&e.grid(Scale::Full));
+            assert!(!t.is_empty(), "{name} produced no rows");
+            assert_eq!(t.columns(), e.columns(), "{name} schema drifted");
+        }
+    }
+
+    #[test]
+    fn faults_table_renders_disabled_injection_as_none_not_inf() {
+        let row = pipefill_core::experiments::FaultWhatIfRow {
+            mtbf_secs: f64::INFINITY,
+            checkpoint_cost_secs: 2.0,
+            failures: 0,
+            evictions: 0,
+            lost_fill_flops: 0.0,
+            recovered_tflops: 1.0,
+            goodput_fraction: 1.0,
+            main_slowdown: 0.0,
+        };
+        let csv = WhatifFaults::table(&[row]).to_csv_string();
+        assert!(csv.contains("none,2,"), "{csv}");
+        assert!(!csv.contains("inf"), "{csv}");
+    }
+}

@@ -1,0 +1,687 @@
+//! [`ScenarioSpec`]: the declarative description of one run.
+//!
+//! A spec names either a *single simulation* (backend fidelity, pipeline
+//! schedule, workload knobs, seeds, fault/fleet shape — everything the
+//! old `sim`/`fleet` flag plumbing carried) or a *registered experiment*
+//! with grid overrides. Specs are built with a typed builder, validated
+//! against the same per-backend applicability rules the CLI enforces,
+//! and lowered to a runnable [`BackendConfig`]. The TOML-subset reader
+//! and writer live in [`crate::toml`]; `render → parse` is identity.
+//!
+//! Every optional field uses `Option` to mean *explicitly set*: defaults
+//! are applied at lowering time, so a spec round-trips through text
+//! without inventing keys the author never wrote.
+
+use pipefill_core::{
+    BackendConfig, BackendKind, ClusterSimConfig, FaultSimConfig, FleetSimConfig,
+    PhysicalSimConfig, PolicyKind,
+};
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_sim_core::SimDuration;
+use pipefill_trace::{FleetWorkloadConfig, TraceConfig};
+
+use crate::experiment::{Axis, Grid, Scale};
+use crate::registry;
+
+/// The declarative description of one run. See the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSpec {
+    /// Free-form label (reports, CSV naming by callers).
+    pub name: Option<String>,
+    /// Experiment mode: the registered experiment to run. Mutually
+    /// exclusive with `backend`.
+    pub experiment: Option<String>,
+    /// Run mode: the backend fidelity. Mutually exclusive with
+    /// `experiment`.
+    pub backend: Option<BackendKind>,
+    /// Pipeline schedule of the main job(s). Default: GPipe.
+    pub schedule: Option<ScheduleKind>,
+    /// RNG seed. Default: 7 (11 for `fig9_policies`-style grids, which
+    /// carry their own default).
+    pub seed: Option<u64>,
+    /// Main-job iterations (physical/fault/fleet backends and
+    /// experiment grids). Default: 300 (150 for fleet).
+    pub iterations: Option<usize>,
+    /// Trace horizon in seconds (coarse backend and experiment grids).
+    /// Default: 3600.
+    pub horizon_secs: Option<u64>,
+    /// Offered-load multiplier (coarse backend). Default: 1.0.
+    pub load: Option<f64>,
+    /// Fill fraction (physical/fault backends). Default: 0.68.
+    pub fill_fraction: Option<f64>,
+    /// Mean time between device failures in seconds; `f64::INFINITY`
+    /// (spelled `"none"` in text) disables injection. Defaults: disabled
+    /// for the fault backend, 1800 s for the fleet backend (matching
+    /// the CLI).
+    pub mtbf_secs: Option<f64>,
+    /// Checkpoint-restart cost per eviction in seconds (fault backend).
+    /// Default: 2.0.
+    pub checkpoint_secs: Option<f64>,
+    /// Fill-queue policy (coarse and fleet backends). Defaults: SJF
+    /// (coarse), FIFO (fleet).
+    pub policy: Option<PolicyKind>,
+    /// Concurrent main jobs (fleet backend). Default: 8.
+    pub jobs: Option<usize>,
+    /// Total GPU budget (fleet backend). Default: 128 per job.
+    pub gpus: Option<usize>,
+    /// Replication count for multi-seed experiment grids. Default: 3.
+    pub seeds: Option<u64>,
+}
+
+/// Field-applicability table: which keys each backend accepts, mirroring
+/// the CLI's per-backend flag rejection so a sweep over an inapplicable
+/// key can't silently no-op. `schedule` and `seed` apply everywhere.
+fn inapplicable(backend: BackendKind) -> &'static [&'static str] {
+    match backend {
+        BackendKind::Coarse => &[
+            "iterations",
+            "fill_fraction",
+            "mtbf_secs",
+            "checkpoint_secs",
+            "jobs",
+            "gpus",
+            "seeds",
+        ],
+        BackendKind::Physical => &[
+            "horizon_secs",
+            "load",
+            "mtbf_secs",
+            "checkpoint_secs",
+            "policy",
+            "jobs",
+            "gpus",
+            "seeds",
+        ],
+        BackendKind::Fault => &["horizon_secs", "load", "policy", "jobs", "gpus", "seeds"],
+        BackendKind::Fleet => &[
+            "horizon_secs",
+            "load",
+            "fill_fraction",
+            "checkpoint_secs",
+            "seeds",
+        ],
+    }
+}
+
+impl ScenarioSpec {
+    /// A run-mode spec at the given backend fidelity.
+    pub fn run(backend: BackendKind) -> ScenarioSpec {
+        ScenarioSpec {
+            backend: Some(backend),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// An experiment-mode spec naming a registered experiment.
+    pub fn experiment(name: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            experiment: Some(name.to_string()),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// Sets the label.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Sets the pipeline schedule.
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Sets the trace horizon in seconds.
+    pub fn with_horizon_secs(mut self, horizon_secs: u64) -> Self {
+        self.horizon_secs = Some(horizon_secs);
+        self
+    }
+
+    /// Sets the offered-load multiplier.
+    pub fn with_load(mut self, load: f64) -> Self {
+        self.load = Some(load);
+        self
+    }
+
+    /// Sets the fill fraction.
+    pub fn with_fill_fraction(mut self, fill_fraction: f64) -> Self {
+        self.fill_fraction = Some(fill_fraction);
+        self
+    }
+
+    /// Sets the MTBF in seconds (`f64::INFINITY` disables injection).
+    pub fn with_mtbf_secs(mut self, mtbf_secs: f64) -> Self {
+        self.mtbf_secs = Some(mtbf_secs);
+        self
+    }
+
+    /// Sets the checkpoint-restart cost in seconds.
+    pub fn with_checkpoint_secs(mut self, checkpoint_secs: f64) -> Self {
+        self.checkpoint_secs = Some(checkpoint_secs);
+        self
+    }
+
+    /// Sets the fill-queue policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the fleet job count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Sets the fleet GPU budget.
+    pub fn with_gpus(mut self, gpus: usize) -> Self {
+        self.gpus = Some(gpus);
+        self
+    }
+
+    /// Sets the replication count for multi-seed experiment grids.
+    pub fn with_seeds(mut self, seeds: u64) -> Self {
+        self.seeds = Some(seeds);
+        self
+    }
+
+    /// Assigns one field from its text spelling — the shared engine of
+    /// the TOML reader and the CLI's `--set key=value` overrides, so a
+    /// file key and an override are guaranteed to parse identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown keys or malformed/degenerate
+    /// values (the same rules the CLI flags enforce).
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "name" => self.name = Some(value.to_string()),
+            "experiment" => self.experiment = Some(value.to_string()),
+            "backend" => self.backend = Some(value.parse::<BackendKind>()?),
+            "schedule" => self.schedule = Some(value.parse::<ScheduleKind>()?),
+            "seed" => self.seed = Some(parse_int(key, value)?),
+            "iterations" => self.iterations = Some(parse_int(key, value)? as usize),
+            "horizon_secs" => self.horizon_secs = Some(parse_int(key, value)?),
+            "load" => {
+                let load = parse_f64(key, value)?;
+                if !(load > 0.0 && load.is_finite()) {
+                    return Err(format!("load must be a positive number, got {value}"));
+                }
+                self.load = Some(load);
+            }
+            "fill_fraction" => {
+                let f = parse_f64(key, value)?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("fill_fraction must be within [0, 1], got {value}"));
+                }
+                self.fill_fraction = Some(f);
+            }
+            "mtbf_secs" => self.mtbf_secs = Some(parse_mtbf_secs(value)?),
+            "checkpoint_secs" => {
+                let c = parse_f64(key, value)?;
+                if !(c >= 0.0 && c.is_finite()) {
+                    return Err(format!(
+                        "checkpoint_secs must be a finite non-negative number, got {value}"
+                    ));
+                }
+                self.checkpoint_secs = Some(c);
+            }
+            "policy" => self.policy = Some(value.parse::<PolicyKind>()?),
+            "jobs" => self.jobs = Some(parse_int(key, value)? as usize),
+            "gpus" => self.gpus = Some(parse_int(key, value)? as usize),
+            "seeds" => self.seeds = Some(parse_int(key, value)?),
+            other => {
+                return Err(format!(
+                    "unknown scenario key '{other}' (see ScenarioSpec for the accepted set)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks mode exclusivity, per-backend field applicability and
+    /// value sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        match (&self.experiment, self.backend) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "a scenario is either an experiment or a backend run, not both \
+                     (set 'experiment' or 'backend', not the two together)"
+                        .into(),
+                )
+            }
+            (None, None) => {
+                return Err(
+                    "a scenario needs 'backend = \"...\"' (coarse|physical|fault|fleet) \
+                            or 'experiment = \"...\"' (see pipefill-cli exp --list)"
+                        .into(),
+                )
+            }
+            (Some(exp), None) => {
+                let Some(exps) = registry::resolve(exp) else {
+                    return Err(format!(
+                        "unknown experiment '{exp}'; run pipefill-cli exp --list"
+                    ));
+                };
+                // Experiment grids read only iterations/seed/horizon/seeds.
+                for (key, set) in [
+                    ("schedule", self.schedule.is_some()),
+                    ("load", self.load.is_some()),
+                    ("fill_fraction", self.fill_fraction.is_some()),
+                    ("mtbf_secs", self.mtbf_secs.is_some()),
+                    ("checkpoint_secs", self.checkpoint_secs.is_some()),
+                    ("policy", self.policy.is_some()),
+                    ("jobs", self.jobs.is_some()),
+                    ("gpus", self.gpus.is_some()),
+                ] {
+                    if set {
+                        return Err(format!(
+                            "'{key}' does not apply to experiment scenarios \
+                             (grids take iterations/seed/horizon_secs/seeds)"
+                        ));
+                    }
+                }
+                // …and only the axes this experiment actually sweeps:
+                // an override of an unswept axis would silently no-op.
+                for (axis, set) in [
+                    (Axis::Iterations, self.iterations.is_some()),
+                    (Axis::Seed, self.seed.is_some()),
+                    (Axis::HorizonSecs, self.horizon_secs.is_some()),
+                    (Axis::Seeds, self.seeds.is_some()),
+                ] {
+                    if set && !exps.iter().any(|e| e.axes().contains(&axis)) {
+                        return Err(format!(
+                            "'{axis}' does not apply to experiment '{exp}' \
+                             (its grid does not sweep it)"
+                        ));
+                    }
+                }
+                // The degenerate grids the CLI flags reject: a zero
+                // would silently produce an empty or all-zero table.
+                if self.iterations == Some(0) {
+                    return Err(format!(
+                        "iterations must be at least 1 for experiment '{exp}'"
+                    ));
+                }
+                if self.seeds == Some(0) {
+                    return Err(format!("seeds must be at least 1 for experiment '{exp}'"));
+                }
+            }
+            (None, Some(backend)) => {
+                for key in inapplicable(backend) {
+                    let set = match *key {
+                        "iterations" => self.iterations.is_some(),
+                        "horizon_secs" => self.horizon_secs.is_some(),
+                        "load" => self.load.is_some(),
+                        "fill_fraction" => self.fill_fraction.is_some(),
+                        "mtbf_secs" => self.mtbf_secs.is_some(),
+                        "checkpoint_secs" => self.checkpoint_secs.is_some(),
+                        "policy" => self.policy.is_some(),
+                        "jobs" => self.jobs.is_some(),
+                        "gpus" => self.gpus.is_some(),
+                        "seeds" => self.seeds.is_some(),
+                        _ => unreachable!("applicability table names a tracked field"),
+                    };
+                    if set {
+                        return Err(format!("'{key}' does not apply to the {backend} backend"));
+                    }
+                }
+                if backend == BackendKind::Fleet {
+                    let jobs = self.jobs.unwrap_or(8);
+                    if jobs == 0 {
+                        return Err("jobs must be at least 1 for a fleet scenario".into());
+                    }
+                    if self.iterations == Some(0) {
+                        return Err("iterations must be at least 1 for a fleet scenario".into());
+                    }
+                    let gpus = self.gpus.unwrap_or(jobs * 128);
+                    if gpus / jobs < 8 {
+                        return Err(format!(
+                            "gpus = {gpus} leaves under 8 GPUs per job; \
+                             the smallest pipeline needs 8"
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(m) = self.mtbf_secs {
+            // INFINITY is the internal disabled sentinel; every other
+            // spelling must be a finite positive duration.
+            if m.is_nan() || m <= 0.0 {
+                return Err(format!(
+                    "mtbf_secs must be a finite positive number of seconds \
+                     (use \"none\" to disable failure injection), got {m}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The experiment grid this spec describes: the experiment's
+    /// full-scale defaults with any explicitly-set axis overridden.
+    /// Meaningful only in experiment mode.
+    pub fn grid(&self) -> Result<Grid, String> {
+        let name = self
+            .experiment
+            .as_deref()
+            .ok_or("grid() applies to experiment scenarios only")?;
+        let exps = registry::resolve(name).ok_or_else(|| format!("unknown experiment '{name}'"))?;
+        let [exp] = exps.as_slice() else {
+            return Err(format!(
+                "'{name}' fans out to {} experiments; resolve() them and build \
+                 each grid individually",
+                exps.len()
+            ));
+        };
+        Ok(exp.grid(Scale::Full).with_overrides(
+            self.iterations,
+            self.seed,
+            self.horizon_secs,
+            self.seeds,
+        ))
+    }
+
+    /// Validates and lowers a run-mode spec to a runnable
+    /// [`BackendConfig`], applying documented defaults for unset fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioSpec::validate`] error, or a message when
+    /// called on an experiment-mode spec.
+    pub fn lower(&self) -> Result<BackendConfig, String> {
+        self.validate()?;
+        let Some(backend) = self.backend else {
+            return Err(format!(
+                "scenario runs experiment '{}'; resolve it through the registry, not lower()",
+                self.experiment.as_deref().unwrap_or("?")
+            ));
+        };
+        let schedule = self.schedule.unwrap_or(ScheduleKind::GPipe);
+        let seed = self.seed.unwrap_or(7);
+        Ok(match backend {
+            BackendKind::Coarse => {
+                let main = MainJobSpec::physical_5b(8, schedule);
+                let mut trace = TraceConfig::physical(seed).with_load(self.load.unwrap_or(1.0));
+                trace.horizon = SimDuration::from_secs(self.horizon_secs.unwrap_or(3600));
+                let mut cfg = ClusterSimConfig::new(main, trace);
+                if let Some(policy) = self.policy {
+                    cfg.policy = policy;
+                }
+                BackendConfig::Coarse(cfg)
+            }
+            BackendKind::Physical => {
+                let main = MainJobSpec::physical_5b(8, schedule);
+                let mut cfg = PhysicalSimConfig::new(main)
+                    .with_fill_fraction(self.fill_fraction.unwrap_or(0.68));
+                cfg.iterations = self.iterations.unwrap_or(300);
+                cfg.seed = seed;
+                BackendConfig::Physical(cfg)
+            }
+            BackendKind::Fault => {
+                let main = MainJobSpec::physical_5b(8, schedule);
+                let mut cfg = FaultSimConfig::new(main)
+                    .with_fill_fraction(self.fill_fraction.unwrap_or(0.68))
+                    .with_mtbf(mtbf_duration(self.mtbf_secs.unwrap_or(f64::INFINITY)))
+                    .with_checkpoint_cost(SimDuration::from_secs_f64(
+                        self.checkpoint_secs.unwrap_or(2.0),
+                    ));
+                cfg.iterations = self.iterations.unwrap_or(300);
+                cfg.seed = seed;
+                BackendConfig::Fault(cfg)
+            }
+            BackendKind::Fleet => {
+                let jobs = self.jobs.unwrap_or(8);
+                let gpus = self.gpus.unwrap_or(jobs * 128);
+                let mut workload = FleetWorkloadConfig::new(jobs, gpus, seed);
+                workload.iterations = self.iterations.unwrap_or(150);
+                let cfg = FleetSimConfig::from_workload_scheduled(&workload, schedule)
+                    .with_mtbf(mtbf_duration(self.mtbf_secs.unwrap_or(1800.0)))
+                    .with_policy(self.policy.unwrap_or(PolicyKind::Fifo));
+                BackendConfig::Fleet(cfg)
+            }
+        })
+    }
+}
+
+/// Converts an MTBF in seconds to the backends' duration sentinel
+/// (`SimDuration::MAX` disables injection).
+fn mtbf_duration(secs: f64) -> SimDuration {
+    if secs.is_finite() {
+        SimDuration::from_secs_f64(secs)
+    } else {
+        SimDuration::MAX
+    }
+}
+
+/// Parses an MTBF spelling: `"none"` disables injection (internally
+/// `f64::INFINITY`); any numeric value must be a finite positive number
+/// of seconds. Numeric infinity spellings (`inf`, `Infinity`,
+/// overflowing literals like `1e999`) are rejected — `f64::from_str`
+/// happily produces them, and they would flow into the exponential MTBF
+/// sampler as garbage rather than as the documented off switch.
+///
+/// # Errors
+///
+/// Returns a message matching the CLI's `--mtbf-secs` diagnostics.
+pub fn parse_mtbf_secs(value: &str) -> Result<f64, String> {
+    if value == "none" {
+        return Ok(f64::INFINITY);
+    }
+    let secs: f64 = value
+        .parse()
+        .map_err(|_| format!("mtbf_secs expects a number of seconds or 'none', got '{value}'"))?;
+    if !(secs > 0.0 && secs.is_finite()) {
+        return Err(format!(
+            "mtbf_secs must be a finite positive number of seconds \
+             (use 'none' to disable failure injection), got '{value}'"
+        ));
+    }
+    Ok(secs)
+}
+
+fn parse_int(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{key} expects an integer, got '{value}'"))
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{key} expects a number, got '{value}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_lowers_to_the_expected_backend() {
+        let spec = ScenarioSpec::run(BackendKind::Coarse)
+            .with_horizon_secs(600)
+            .with_load(2.0)
+            .with_seed(3);
+        match spec.lower().unwrap() {
+            BackendConfig::Coarse(cfg) => {
+                assert_eq!(cfg.trace.horizon, SimDuration::from_secs(600));
+                assert_eq!(cfg.trace.seed, 3);
+            }
+            other => panic!("wrong backend: {other:?}"),
+        }
+
+        let spec = ScenarioSpec::run(BackendKind::Fault)
+            .with_iterations(50)
+            .with_mtbf_secs(600.0)
+            .with_checkpoint_secs(4.0);
+        match spec.lower().unwrap() {
+            BackendConfig::Fault(cfg) => {
+                assert_eq!(cfg.iterations, 50);
+                assert_eq!(cfg.mtbf, SimDuration::from_secs(600));
+                assert_eq!(cfg.checkpoint_cost, SimDuration::from_secs(4));
+            }
+            other => panic!("wrong backend: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowering_matches_cli_defaults() {
+        // The spec's defaults are the CLI's defaults: an empty fault
+        // spec is `sim --backend fault`.
+        match ScenarioSpec::run(BackendKind::Fault).lower().unwrap() {
+            BackendConfig::Fault(cfg) => {
+                assert_eq!(cfg.iterations, 300);
+                assert_eq!(cfg.seed, 7);
+                assert_eq!(cfg.mtbf, SimDuration::MAX);
+                assert_eq!(cfg.executor.fill_fraction, 0.68);
+            }
+            other => panic!("wrong backend: {other:?}"),
+        }
+        match ScenarioSpec::run(BackendKind::Fleet).lower().unwrap() {
+            BackendConfig::Fleet(cfg) => {
+                assert_eq!(cfg.jobs.len(), 8);
+                assert_eq!(cfg.policy, PolicyKind::Fifo);
+                assert_eq!(cfg.mtbf, SimDuration::from_secs(1800));
+            }
+            other => panic!("wrong backend: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inapplicable_fields() {
+        let err = ScenarioSpec::run(BackendKind::Coarse)
+            .with_fill_fraction(0.9)
+            .validate()
+            .unwrap_err();
+        assert!(
+            err.contains("does not apply to the coarse backend"),
+            "{err}"
+        );
+        let err = ScenarioSpec::run(BackendKind::Physical)
+            .with_load(2.0)
+            .validate()
+            .unwrap_err();
+        assert!(
+            err.contains("does not apply to the physical backend"),
+            "{err}"
+        );
+        let err = ScenarioSpec::run(BackendKind::Fault)
+            .with_jobs(4)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("does not apply to the fault backend"), "{err}");
+        let err = ScenarioSpec::run(BackendKind::Fleet)
+            .with_fill_fraction(0.5)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("does not apply to the fleet backend"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_mode_confusion_and_bad_fleets() {
+        let mut both = ScenarioSpec::run(BackendKind::Coarse);
+        both.experiment = Some("table1".into());
+        assert!(both.validate().unwrap_err().contains("not both"));
+
+        let neither = ScenarioSpec::default();
+        assert!(neither.validate().unwrap_err().contains("backend"));
+
+        let err = ScenarioSpec::experiment("nonesuch").validate().unwrap_err();
+        assert!(err.contains("unknown experiment"), "{err}");
+
+        let err = ScenarioSpec::experiment("table1")
+            .with_jobs(4)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("does not apply to experiment"), "{err}");
+
+        // Overriding an axis the experiment does not sweep is rejected
+        // (it would silently no-op), and degenerate grids are rejected
+        // like the CLI flags reject them.
+        let err = ScenarioSpec::experiment("table1")
+            .with_iterations(50)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("does not sweep"), "{err}");
+        let err = ScenarioSpec::experiment("fig5_fill_fraction")
+            .with_iterations(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("iterations must be at least 1"), "{err}");
+        let err = ScenarioSpec::experiment("fig6_agreement")
+            .with_seeds(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("seeds must be at least 1"), "{err}");
+        // Multi-experiment spellings validate (no axis overrides).
+        ScenarioSpec::experiment("fig10").validate().unwrap();
+        let err = ScenarioSpec::run(BackendKind::Fleet)
+            .with_iterations(0)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("at least 1 for a fleet"), "{err}");
+
+        let err = ScenarioSpec::run(BackendKind::Fleet)
+            .with_jobs(4)
+            .with_gpus(16)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("under 8 GPUs per job"), "{err}");
+    }
+
+    #[test]
+    fn set_parses_and_rejects_like_the_cli() {
+        let mut spec = ScenarioSpec::run(BackendKind::Fault);
+        spec.set("mtbf_secs", "600").unwrap();
+        assert_eq!(spec.mtbf_secs, Some(600.0));
+        spec.set("mtbf_secs", "none").unwrap();
+        assert_eq!(spec.mtbf_secs, Some(f64::INFINITY));
+        for bad in ["inf", "infinity", "Infinity", "1e999", "-inf", "NaN", "0"] {
+            let err = spec.set("mtbf_secs", bad).unwrap_err();
+            assert!(
+                err.contains("finite positive") || err.contains("'none'"),
+                "{bad}: {err}"
+            );
+        }
+        assert!(spec.set("checkpoint_secs", "-1").is_err());
+        assert!(spec.set("checkpoint_secs", "inf").is_err());
+        assert!(spec.set("load", "0").is_err());
+        assert!(spec.set("fill_fraction", "1.5").is_err());
+        assert!(spec.set("bogus_key", "1").is_err());
+        assert!(spec.set("schedule", "2f2b").is_err());
+        spec.set("schedule", "interleaved:4").unwrap();
+        assert_eq!(spec.schedule, Some(ScheduleKind::Interleaved { chunks: 4 }));
+    }
+
+    #[test]
+    fn experiment_grid_applies_overrides() {
+        let spec = ScenarioSpec::experiment("fig5_fill_fraction")
+            .with_iterations(40)
+            .with_seed(9);
+        let grid = spec.grid().unwrap();
+        assert_eq!(grid.iterations, 40);
+        assert_eq!(grid.seed, 9);
+        // Unset axes keep the experiment's full-scale defaults.
+        let default_grid = ScenarioSpec::experiment("fig5_fill_fraction")
+            .grid()
+            .unwrap();
+        assert_eq!(default_grid.iterations, 300);
+        assert!(ScenarioSpec::run(BackendKind::Coarse).grid().is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the scenario API: `render → parse` is identity
+//! over arbitrary valid specs, and a scenario that went through text
+//! produces byte-identical `BackendMetrics` to its builder-constructed
+//! twin across seeds.
+
+use proptest::prelude::*;
+
+use pipefill_core::{BackendConfig, BackendKind, PolicyKind};
+use pipefill_pipeline::ScheduleKind;
+use pipefill_scenario::{toml, ScenarioSpec};
+
+/// An arbitrary schedule from the canonical family.
+fn schedule_for(pick: u8) -> ScheduleKind {
+    match pick % 5 {
+        0 => ScheduleKind::GPipe,
+        1 => ScheduleKind::OneFOneB,
+        2 => ScheduleKind::ZbH1,
+        3 => ScheduleKind::Interleaved { chunks: 2 },
+        _ => ScheduleKind::Interleaved { chunks: 4 },
+    }
+}
+
+fn policy_for(pick: u8) -> PolicyKind {
+    match pick % 4 {
+        0 => PolicyKind::Fifo,
+        1 => PolicyKind::Sjf,
+        2 => PolicyKind::MakespanMin,
+        _ => PolicyKind::DeadlineThenSjf,
+    }
+}
+
+/// Builds a *valid* spec for the chosen backend, setting each applicable
+/// field only when its mask bit is on — so the round trip is exercised
+/// over every subset of explicitly-set keys, not just full specs.
+fn spec_for(backend_pick: u8, mask: u16, seed: u64, pick: u8) -> ScenarioSpec {
+    let backend = match backend_pick % 4 {
+        0 => BackendKind::Coarse,
+        1 => BackendKind::Physical,
+        2 => BackendKind::Fault,
+        _ => BackendKind::Fleet,
+    };
+    let mut spec = ScenarioSpec::run(backend);
+    let on = |bit: u16| mask & (1 << bit) != 0;
+    if on(0) {
+        spec = spec.with_name("prop scenario #1");
+    }
+    if on(1) {
+        spec = spec.with_schedule(schedule_for(pick));
+    }
+    if on(2) {
+        spec = spec.with_seed(seed);
+    }
+    match backend {
+        BackendKind::Coarse => {
+            if on(3) {
+                spec = spec.with_horizon_secs(300 + seed % 600);
+            }
+            if on(4) {
+                spec = spec.with_load(0.5 + (seed % 8) as f64 * 0.37);
+            }
+            if on(5) {
+                spec = spec.with_policy(policy_for(pick));
+            }
+        }
+        BackendKind::Physical | BackendKind::Fault => {
+            if on(3) {
+                spec = spec.with_iterations(10 + (seed % 40) as usize);
+            }
+            if on(4) {
+                spec = spec.with_fill_fraction((seed % 101) as f64 / 100.0);
+            }
+            if backend == BackendKind::Fault {
+                if on(5) {
+                    spec = spec.with_mtbf_secs(if seed.is_multiple_of(3) {
+                        f64::INFINITY
+                    } else {
+                        30.0 + (seed % 1000) as f64 * 1.7
+                    });
+                }
+                if on(6) {
+                    spec = spec.with_checkpoint_secs((seed % 80) as f64 / 10.0);
+                }
+            }
+        }
+        BackendKind::Fleet => {
+            let jobs = 1 + (seed % 3) as usize;
+            if on(3) {
+                spec = spec.with_jobs(jobs);
+            }
+            if on(4) {
+                spec = spec.with_gpus(jobs.max(1) * (128 + (seed % 4) as usize * 32));
+            }
+            if on(5) {
+                spec = spec.with_iterations(10 + (seed % 30) as usize);
+            }
+            if on(6) {
+                spec = spec.with_mtbf_secs(600.0 + (seed % 100) as f64 * 13.0);
+            }
+            if on(7) {
+                spec = spec.with_policy(policy_for(pick));
+            }
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(render(spec)) == spec`, including which fields are
+    /// explicitly set, for every backend and every subset of applicable
+    /// keys.
+    #[test]
+    fn render_parse_round_trip_is_identity(
+        backend_pick in 0u8..4,
+        mask in 0u16..256,
+        seed in 0u64..1_000_000,
+        pick in 0u8..20,
+    ) {
+        let spec = spec_for(backend_pick, mask, seed, pick);
+        prop_assert!(spec.validate().is_ok(), "generated spec must be valid");
+        let text = toml::render(&spec);
+        let parsed = toml::parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&parsed, &spec, "round trip drifted for:\n{}", text);
+        // Idempotent: rendering the reparse reproduces the document.
+        prop_assert_eq!(toml::render(&parsed), text);
+    }
+
+    /// Experiment-mode specs round-trip too (grid-override keys only).
+    #[test]
+    fn experiment_specs_round_trip(iterations in 1usize..500, seed in 0u64..1000, set_iters in 0u8..2) {
+        let mut spec = ScenarioSpec::experiment("fig5_fill_fraction").with_seed(seed);
+        if set_iters == 1 {
+            spec = spec.with_iterations(iterations);
+        }
+        let text = toml::render(&spec);
+        prop_assert_eq!(toml::parse(&text).expect("reparse"), spec);
+    }
+}
+
+/// Runs a lowered spec to completion and returns the metrics.
+fn metrics_of(config: BackendConfig) -> pipefill_core::BackendMetrics {
+    config.run().metrics
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The full pipeline is faithful: a spec that went through
+    /// render → parse lowers to a run producing **byte-identical**
+    /// metrics to its builder-constructed twin, across seeds and
+    /// backends. (Cheap grids: short horizons, few iterations.)
+    #[test]
+    fn parsed_scenario_matches_builder_twin_bitwise(
+        backend_pick in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let spec = match backend_pick % 3 {
+            0 => ScenarioSpec::run(BackendKind::Coarse)
+                .with_seed(seed)
+                .with_horizon_secs(300),
+            1 => ScenarioSpec::run(BackendKind::Physical)
+                .with_seed(seed)
+                .with_iterations(15),
+            _ => ScenarioSpec::run(BackendKind::Fault)
+                .with_seed(seed)
+                .with_iterations(15)
+                .with_mtbf_secs(120.0),
+        };
+        let twin = toml::parse(&toml::render(&spec)).expect("reparse");
+        prop_assert_eq!(&twin, &spec);
+        let built = metrics_of(spec.lower().expect("valid spec lowers"));
+        let parsed = metrics_of(twin.lower().expect("valid twin lowers"));
+        prop_assert_eq!(built, parsed, "seed {}: metrics diverged after text round trip", seed);
+    }
+}

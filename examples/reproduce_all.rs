@@ -1,71 +1,28 @@
 //! Regenerates every table and figure of the paper's evaluation and
-//! writes CSVs under `target/experiments/`. This is the full artifact
+//! writes CSVs under `target/experiments/` — by iterating the experiment
+//! registry rather than naming drivers one by one, so a newly registered
+//! experiment is reproduced automatically. This is the full artifact
 //! run; expect a few minutes in release mode.
 //!
 //! ```sh
 //! cargo run --release --example reproduce_all
 //! ```
 
-use pipefill::core::experiments::*;
-use pipefill::executor::ExecutorConfig;
-use pipefill::sim::SimDuration;
+use pipefill::scenario::{Scale, REGISTRY};
 
 fn main() -> std::io::Result<()> {
-    let exec = ExecutorConfig::default();
     let dir = "target/experiments";
     std::fs::create_dir_all(dir)?;
 
-    println!("== Table 1: fill-job categories ==");
-    let t1 = table1();
-    table1::print_table1(&t1);
-    table1::save_table1(&t1, &format!("{dir}/table1.csv"))?;
+    for &exp in REGISTRY {
+        println!("== {} — {} ==", exp.name(), exp.description());
+        let table = exp.run(&exp.grid(Scale::Full));
+        table.print();
+        let path = format!("{dir}/{}.csv", exp.name());
+        table.save(&path)?;
+        println!("CSV written to {path}\n");
+    }
 
-    println!("\n== Figs. 1 & 4: scaling the 40B main job ==");
-    let scaling = fig4_scaling();
-    scaling::print_scaling(&scaling);
-    scaling::save_scaling(&scaling, &format!("{dir}/fig4_scaling.csv"))?;
-
-    println!("\n== Fig. 5: fill-fraction sweep (physical 5B cluster) ==");
-    let f5 = fig5_fill_fraction(300, 7);
-    fill_fraction::print_fill_fraction(&f5);
-    fill_fraction::save_fill_fraction(&f5, &format!("{dir}/fig5_fill_fraction.csv"))?;
-
-    println!("\n== Fig. 6: simulator validation (XLM ↔ EfficientNet mix) ==");
-    let f6 = fig6_validation(300, 7);
-    validation::print_validation(&f6);
-    validation::save_validation(&f6, &format!("{dir}/fig6_validation.csv"))?;
-
-    println!("\n== Fig. 7: fill-job characterization ==");
-    let f7 = fig7_characterization(&characterization::fig7_default_main(), &exec);
-    characterization::print_characterization(&f7);
-    characterization::save_characterization(&f7, &format!("{dir}/fig7_characterization.csv"))?;
-
-    println!("\n== Fig. 8: GPipe vs 1F1B ==");
-    let f8 = fig8_schedules(&exec);
-    schedules::print_schedules(&f8);
-    schedules::save_schedules(&f8, &format!("{dir}/fig8_schedules.csv"))?;
-
-    println!("\n== Fig. 9: scheduling policies ==");
-    let f9 = fig9_policies(11, SimDuration::from_secs(3600));
-    policies::print_policies(&f9);
-    policies::save_policies(&f9, &format!("{dir}/fig9_policies.csv"))?;
-
-    println!("\n== Fig. 10: bubble-size and free-memory sensitivity ==");
-    let f10a = fig10a_bubble_size(&exec);
-    let f10b = fig10b_free_memory(&exec);
-    sensitivity::print_sensitivity(&f10a, &f10b);
-    sensitivity::save_sensitivity(
-        &f10a,
-        &f10b,
-        &format!("{dir}/fig10a_bubble_size.csv"),
-        &format!("{dir}/fig10b_free_memory.csv"),
-    )?;
-
-    println!("\n== What-if: offload bandwidth on newer hardware (§6.2 hypothesis) ==");
-    let wi = whatif_offload_bandwidth();
-    whatif::print_whatif(&wi);
-    whatif::save_whatif(&wi, &format!("{dir}/whatif_offload_bandwidth.csv"))?;
-
-    println!("\nCSV written under {dir}/");
+    println!("CSV written under {dir}/ ({} experiments)", REGISTRY.len());
     Ok(())
 }

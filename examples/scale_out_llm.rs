@@ -6,36 +6,37 @@
 //! cargo run --release --example scale_out_llm
 //! ```
 
-use pipefill::core::experiments::scaling::{fig4_scaling, print_scaling};
+use pipefill::scenario::{find, Scale};
 
 fn main() {
-    let rows = fig4_scaling();
     println!("Scaling the 40B LLM (GPipe, minibatch fixed at 1024 sequences):\n");
-    print_scaling(&rows);
+    let exp = find("fig4_scaling").expect("registered experiment");
+    let table = exp.run(&exp.grid(Scale::Full));
+    table.print();
 
-    let low = &rows[0];
-    let high = &rows[rows.len() - 1];
+    let first = |col: &str| table.f64_column(col)[0];
+    let last = |col: &str| *table.f64_column(col).last().expect("non-empty sweep");
     println!(
         "\nScaling {}→{} GPUs cuts training {:.0}→{:.0} days but drops \
          traditional utilization {:.1}→{:.1} TFLOPS/GPU.",
-        low.gpus,
-        high.gpus,
-        low.days_to_train,
-        high.days_to_train,
-        low.traditional_tflops,
-        high.traditional_tflops
+        first("gpus"),
+        last("gpus"),
+        first("days_to_train"),
+        last("days_to_train"),
+        first("traditional_tflops"),
+        last("traditional_tflops")
     );
     println!(
         "PipeFill lifts the {}-GPU point back to {:.1} TFLOPS/GPU (+{:.0}%) with the trace mix,",
-        high.gpus,
-        high.pipefill_trace_mix_tflops,
-        100.0 * (high.pipefill_trace_mix_tflops / high.traditional_tflops - 1.0)
+        last("gpus"),
+        last("pipefill_trace_mix_tflops"),
+        100.0 * (last("pipefill_trace_mix_tflops") / last("traditional_tflops") - 1.0)
     );
     println!(
         "and {:.1} TFLOPS/GPU (+{:.0}%) with bubble-friendly BERT inference — \
          ≈{:.0} GPUs' worth of extra work.",
-        high.pipefill_bert_inf_tflops,
-        100.0 * (high.pipefill_bert_inf_tflops / high.traditional_tflops - 1.0),
-        high.gpus_saved_best
+        last("pipefill_bert_inf_tflops"),
+        100.0 * (last("pipefill_bert_inf_tflops") / last("traditional_tflops") - 1.0),
+        last("gpus_saved_best")
     );
 }

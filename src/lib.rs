@@ -26,7 +26,11 @@
 //! * [`core`] — the integrated system: coarse cluster simulator,
 //!   fine-grained "physical" simulator, the heterogeneous +
 //!   fault-injecting simulator, metrics, and one experiment driver per
-//!   figure of the paper.
+//!   figure of the paper;
+//! * [`scenario`] — the declarative layer: `ScenarioSpec` (TOML-subset
+//!   scenario files lowering to backend configurations) and the
+//!   `Experiment` trait/registry wrapping every driver behind one
+//!   schema-carrying table interface.
 //!
 //! # Quickstart
 //!
@@ -94,4 +98,10 @@ pub mod trace {
 /// ([`pipefill_core`]).
 pub mod core {
     pub use pipefill_core::*;
+}
+
+/// Declarative scenarios and the experiment registry
+/// ([`pipefill_scenario`]).
+pub mod scenario {
+    pub use pipefill_scenario::*;
 }

@@ -291,7 +291,7 @@ fn fleet_single_job_reproduces_physical_bit_for_bit() {
             .physical()
             .expect("physical detail");
         let run = BackendConfig::Fleet(fleet_cfg).run();
-        let fleet = run.clone().fleet().expect("fleet detail");
+        let fleet = run.as_fleet().expect("fleet detail");
 
         assert_eq!(fleet.jobs.len(), 1);
         let job = &fleet.jobs[0];

@@ -1,7 +1,10 @@
-//! Golden-snapshot tests for the experiment drivers: regenerate the
-//! paper artifacts on a small grid and diff the CSV byte-for-byte against
-//! the references committed under `tests/golden/`. Refactors that
-//! silently shift paper numbers fail here, not in a reviewer's plot.
+//! Registry-driven golden-snapshot tests: every experiment in the
+//! registry regenerates its table on the reduced golden grid and diffs
+//! the CSV byte-for-byte against the reference committed under
+//! `tests/golden/<name>.csv`. Refactors that silently shift paper
+//! numbers fail here, not in a reviewer's plot — and a newly registered
+//! experiment is pinned automatically (its first run under
+//! `UPDATE_GOLDEN=1` creates the snapshot).
 //!
 //! To refresh the snapshots after an *intentional* model change:
 //!
@@ -12,130 +15,122 @@
 //! and commit the diff — review then documents exactly which numbers
 //! moved.
 
-use pipefill::core::experiments::{
-    fig4_scaling, fig5_fill_fraction, fig8_schedules, fig9_policies, fill_fraction, fleet,
-    fleet_scale_with, policies, scaling, schedule_depth_sweep, schedules, table1,
-};
-use pipefill::executor::ExecutorConfig;
-use pipefill::sim::SimDuration;
+use pipefill::scenario::{Experiment, Scale, REGISTRY};
 
-/// Renders a driver's CSV into a temp file and returns its bytes.
-fn csv_bytes(name: &str, write: impl FnOnce(&str) -> std::io::Result<()>) -> String {
-    let dir = std::env::temp_dir().join(format!("pipefill-golden-{}", std::process::id()));
-    let path = dir.join(name);
-    write(path.to_str().expect("temp path is utf-8")).expect("writing CSV");
-    let bytes = std::fs::read_to_string(&path).expect("reading CSV back");
-    std::fs::remove_file(&path).ok();
-    bytes
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
-/// Byte-for-byte comparison against the committed snapshot, or a refresh
-/// when `UPDATE_GOLDEN` is set.
-fn golden_check(name: &str, fresh: &str, committed: &str) {
+/// Byte-for-byte comparison against the committed snapshot, or a
+/// refresh when `UPDATE_GOLDEN` is set.
+fn golden_check(name: &str, fresh: &str) {
+    let path = golden_dir().join(format!("{name}.csv"));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("tests/golden")
-            .join(name);
         std::fs::write(&path, fresh).expect("updating golden snapshot");
         return;
     }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}; every registered experiment is \
+             golden-pinned — create it with UPDATE_GOLDEN=1 and commit",
+            path.display()
+        )
+    });
     assert_eq!(
         fresh, committed,
-        "tests/golden/{name} drifted; if the change is intentional, refresh \
+        "tests/golden/{name}.csv drifted; if the change is intentional, refresh \
          with UPDATE_GOLDEN=1 and commit the diff"
     );
 }
 
-#[test]
-fn table1_matches_golden_snapshot() {
-    let rows = table1::table1();
-    let fresh = csv_bytes("table1.csv", |p| table1::save_table1(&rows, p));
-    golden_check("table1.csv", &fresh, include_str!("golden/table1.csv"));
-}
-
-#[test]
-fn fig4_scaling_matches_golden_snapshot() {
-    let rows = fig4_scaling();
-    let fresh = csv_bytes("fig4_scaling.csv", |p| scaling::save_scaling(&rows, p));
-    golden_check(
-        "fig4_scaling.csv",
-        &fresh,
-        include_str!("golden/fig4_scaling.csv"),
+/// Regenerates one experiment on its golden grid and checks the pin
+/// plus the schema invariants the registry guarantees.
+fn check_experiment(exp: &dyn Experiment) {
+    let table = exp.run(&exp.grid(Scale::Golden));
+    assert!(!table.is_empty(), "{} produced no rows", exp.name());
+    assert_eq!(
+        table.columns(),
+        exp.columns(),
+        "{}: table schema drifted from the declared columns",
+        exp.name()
     );
+    golden_check(exp.name(), &table.to_csv_string());
 }
 
+/// The analysis-only experiments (no simulation backend): cheap enough
+/// to pin on every local `cargo test`.
 #[test]
-fn fig8_schedules_matches_golden_snapshot() {
-    let rows = fig8_schedules(&ExecutorConfig::default());
-    let fresh = csv_bytes("fig8_schedules.csv", |p| {
-        schedules::save_schedules(&rows, p)
-    });
-    golden_check(
-        "fig8_schedules.csv",
-        &fresh,
-        include_str!("golden/fig8_schedules.csv"),
-    );
+fn analysis_experiments_match_golden_snapshots() {
+    for exp in REGISTRY.iter().filter(|e| !e.simulation_backed()) {
+        check_experiment(*exp);
+    }
 }
 
-/// The 4-schedule × depth geometry sweep: pins the per-schedule bubble
-/// geometry — GPipe, 1F1B, interleaved 1F1B, ZB-H1 — the engine derives,
-/// byte for byte. A schedule-emission or engine change that moves any
-/// bubble window shows up here first.
-#[test]
-fn schedule_depth_matches_golden_snapshot() {
-    let rows = schedule_depth_sweep();
-    let fresh = csv_bytes("schedule_depth.csv", |p| {
-        schedules::save_depth_sweep(&rows, p)
-    });
-    golden_check(
-        "schedule_depth.csv",
-        &fresh,
-        include_str!("golden/schedule_depth.csv"),
-    );
-}
-
-/// The simulation-backed snapshot: Fig. 5 on the reduced 40-iteration
-/// grid (seed 7). Heavier than the analysis drivers, so it rides the
-/// `--include-ignored` CI gate rather than every local `cargo test`.
+/// The simulation-backed experiments on their reduced golden grids.
+/// Heavier, so they ride the `--include-ignored` CI gate rather than
+/// every local `cargo test`.
 #[test]
 #[ignore = "simulation-backed; run via cargo test -- --include-ignored (CI does)"]
-fn fig5_fill_fraction_matches_golden_snapshot() {
-    let rows = fig5_fill_fraction(40, 7);
-    let fresh = csv_bytes("fig5_fill_fraction.csv", |p| {
-        fill_fraction::save_fill_fraction(&rows, p)
-    });
-    golden_check(
-        "fig5_fill_fraction.csv",
-        &fresh,
-        include_str!("golden/fig5_fill_fraction.csv"),
-    );
+fn simulation_experiments_match_golden_snapshots() {
+    for exp in REGISTRY.iter().filter(|e| e.simulation_backed()) {
+        check_experiment(*exp);
+    }
 }
 
-/// Fig. 9 on a shortened trace horizon (seed 11): pins the coarse
-/// backend + scheduler-policy pipeline end to end.
+/// Every file under `tests/golden/` must belong to a registered
+/// experiment: a golden whose driver was deleted or renamed is an
+/// orphan that would otherwise pin nothing forever.
 #[test]
-#[ignore = "simulation-backed; run via cargo test -- --include-ignored (CI does)"]
-fn fig9_policies_matches_golden_snapshot() {
-    let rows = fig9_policies(11, SimDuration::from_secs(1200));
-    let fresh = csv_bytes("fig9_policies.csv", |p| policies::save_policies(&rows, p));
-    golden_check(
-        "fig9_policies.csv",
-        &fresh,
-        include_str!("golden/fig9_policies.csv"),
-    );
+fn no_orphan_goldens() {
+    let entries = std::fs::read_dir(golden_dir()).expect("tests/golden exists");
+    for entry in entries {
+        let name = entry.expect("readable dir entry").file_name();
+        let name = name.to_string_lossy();
+        let stem = name
+            .strip_suffix(".csv")
+            .unwrap_or_else(|| panic!("non-CSV file in tests/golden: {name}"));
+        assert!(
+            REGISTRY.iter().any(|e| e.name() == stem),
+            "orphan golden tests/golden/{name}: no registered experiment produces it \
+             (delete it or register the experiment)"
+        );
+    }
 }
 
-/// The fleet sweep on a reduced grid (1/2/4 jobs, 150 iterations, seed
-/// 7): pins the multi-job backend, the fleet workload generator, and the
-/// global fill queue end to end — byte-stable at any thread count.
+/// The registry pins the full evaluation surface: all 12+ experiments
+/// are present, every one has a golden file committed, and names are
+/// CSV-stem-safe.
 #[test]
-#[ignore = "simulation-backed; run via cargo test -- --include-ignored (CI does)"]
-fn fleet_scale_matches_golden_snapshot() {
-    let rows = fleet_scale_with(&[1, 2, 4], 150, 7);
-    let fresh = csv_bytes("fleet_scale.csv", |p| fleet::save_fleet(&rows, p));
-    golden_check(
-        "fleet_scale.csv",
-        &fresh,
-        include_str!("golden/fleet_scale.csv"),
+fn every_registered_experiment_has_a_committed_golden() {
+    assert!(
+        REGISTRY.len() >= 12,
+        "registry shrank to {}",
+        REGISTRY.len()
     );
+    for exp in REGISTRY {
+        assert!(
+            exp.name()
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "{}: experiment names double as file stems",
+            exp.name()
+        );
+        let path = golden_dir().join(format!("{}.csv", exp.name()));
+        assert!(
+            path.exists(),
+            "{} has no golden snapshot; create it with UPDATE_GOLDEN=1 cargo test \
+             --test golden_experiments -- --include-ignored",
+            exp.name()
+        );
+        // The committed header must match the declared schema even
+        // without rerunning the (possibly simulation-backed) sweep.
+        let committed = std::fs::read_to_string(&path).expect("readable golden");
+        let header = committed.lines().next().unwrap_or("");
+        assert_eq!(
+            header,
+            exp.columns().join(","),
+            "{}: golden header drifted from the declared schema",
+            exp.name()
+        );
+    }
 }

@@ -17,6 +17,8 @@
 
 use std::path::PathBuf;
 
+pub mod snapshot;
+
 /// Path of an experiment CSV inside the shared workspace target
 /// directory (benches run with the package directory as cwd).
 pub fn experiment_csv(name: &str) -> String {

@@ -1,0 +1,510 @@
+//! The perf-snapshot format: a checked-in JSON record of wall-clock
+//! timings pinning the simulator's performance trajectory.
+//!
+//! The workspace's dependency policy has no JSON crate, so the writer
+//! and the reader are hand-rolled for exactly this document shape — one
+//! flat object with a list of flat entry objects, no escapes, no
+//! nesting beyond that. A snapshot that fails [`Snapshot::validate`]
+//! (wrong schema, non-finite numbers, an entry whose fast-forward never
+//! fired) is rejected loudly by the `perf_snapshot --check` CI gate.
+//!
+//! Wall-clock numbers are only comparable on the same machine class, so
+//! every snapshot carries a `runner_class` tag (the `PERF_RUNNER_CLASS`
+//! environment variable at generation time); the regression gate
+//! compares a fresh run against a recorded entry only when the classes
+//! match, and otherwise falls back to schema + speedup-floor checks.
+
+/// Schema tag every snapshot must carry.
+pub const SCHEMA: &str = "pipefill-perf-snapshot/v1";
+
+/// The speedup floor `--check` enforces on every entry that measured
+/// both modes: fast-forward must pay for itself by at least this factor.
+pub const SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Allowed wall-clock regression before `--check` fails, as a fraction
+/// of the recorded time (same runner class only).
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Absolute slack added on top of [`REGRESSION_TOLERANCE`]: a fraction
+/// of a sub-100ms measurement is timer noise, not a regression signal.
+pub const NOISE_FLOOR_SECS: f64 = 0.1;
+
+/// One checked-in perf-snapshot document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Must equal [`SCHEMA`].
+    pub schema: String,
+    /// Machine class the wall-clock numbers were measured on.
+    pub runner_class: String,
+    /// The measurements.
+    pub entries: Vec<Entry>,
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Stable name the regression gate matches entries by.
+    pub name: String,
+    /// Which profile produced it (`ci` runs in the gate, `full` is the
+    /// headline generated at snapshot-refresh time).
+    pub profile: String,
+    /// Concurrent main jobs simulated.
+    pub jobs: u64,
+    /// Total GPUs the simulated fleet represents.
+    pub gpus: u64,
+    /// Simulated span in seconds.
+    pub simulated_secs: f64,
+    /// Iterations the fast-forward skipped in the `on` run (must be
+    /// positive — a snapshot whose skip never fired measures nothing).
+    pub iterations_fast_forwarded: u64,
+    /// Wall seconds with fast-forward on.
+    pub wall_secs_ff_on: f64,
+    /// Wall seconds with fast-forward off; 0 when the event-fidelity
+    /// baseline was not measured for this entry.
+    pub wall_secs_ff_off: f64,
+    /// `wall_secs_ff_off / wall_secs_ff_on`; 0 when off was unmeasured.
+    pub speedup: f64,
+}
+
+impl Snapshot {
+    /// Renders the document; `parse(to_json(s)) == s`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", self.schema));
+        out.push_str(&format!("  \"runner_class\": \"{}\",\n", self.runner_class));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", e.name));
+            out.push_str(&format!("      \"profile\": \"{}\",\n", e.profile));
+            out.push_str(&format!("      \"jobs\": {},\n", e.jobs));
+            out.push_str(&format!("      \"gpus\": {},\n", e.gpus));
+            out.push_str(&format!(
+                "      \"simulated_secs\": {:?},\n",
+                e.simulated_secs
+            ));
+            out.push_str(&format!(
+                "      \"iterations_fast_forwarded\": {},\n",
+                e.iterations_fast_forwarded
+            ));
+            out.push_str(&format!(
+                "      \"wall_secs_ff_on\": {:?},\n",
+                e.wall_secs_ff_on
+            ));
+            out.push_str(&format!(
+                "      \"wall_secs_ff_off\": {:?},\n",
+                e.wall_secs_ff_off
+            ));
+            out.push_str(&format!("      \"speedup\": {:?}\n", e.speedup));
+            out.push_str(if i + 1 == self.entries.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a snapshot document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON (within the subset the
+    /// writer emits), missing or mistyped fields, and unknown keys.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("document")?;
+        let mut snapshot = Snapshot {
+            schema: String::new(),
+            runner_class: String::new(),
+            entries: Vec::new(),
+        };
+        for (key, v) in obj {
+            match key.as_str() {
+                "schema" => snapshot.schema = v.as_string("schema")?,
+                "runner_class" => snapshot.runner_class = v.as_string("runner_class")?,
+                "entries" => {
+                    for (i, item) in v.as_array("entries")?.iter().enumerate() {
+                        snapshot.entries.push(parse_entry(item, i)?);
+                    }
+                }
+                other => return Err(format!("unknown snapshot key '{other}'")),
+            }
+        }
+        if snapshot.schema.is_empty() {
+            return Err("snapshot is missing 'schema'".into());
+        }
+        Ok(snapshot)
+    }
+
+    /// Structural sanity: schema tag, finite positive timings, fired
+    /// fast-forward, unique names, and the speedup identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending entry and field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!(
+                "schema mismatch: expected '{SCHEMA}', got '{}'",
+                self.schema
+            ));
+        }
+        if self.runner_class.is_empty() {
+            return Err("runner_class must be non-empty".into());
+        }
+        if self.entries.is_empty() {
+            return Err("a snapshot needs at least one entry".into());
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            let ctx = |field: &str| format!("entry '{}': {field}", e.name);
+            if e.name.is_empty() {
+                return Err("an entry has an empty name".into());
+            }
+            if names.contains(&e.name.as_str()) {
+                return Err(format!("duplicate entry name '{}'", e.name));
+            }
+            names.push(&e.name);
+            if !matches!(e.profile.as_str(), "ci" | "full") {
+                return Err(ctx(&format!("unknown profile '{}'", e.profile)));
+            }
+            if e.jobs == 0 || e.gpus == 0 {
+                return Err(ctx("jobs and gpus must be positive"));
+            }
+            if !(e.simulated_secs > 0.0 && e.simulated_secs.is_finite()) {
+                return Err(ctx("simulated_secs must be finite and positive"));
+            }
+            if e.iterations_fast_forwarded == 0 {
+                return Err(ctx("fast-forward never fired; the entry measures nothing"));
+            }
+            if !(e.wall_secs_ff_on > 0.0 && e.wall_secs_ff_on.is_finite()) {
+                return Err(ctx("wall_secs_ff_on must be finite and positive"));
+            }
+            if !(e.wall_secs_ff_off >= 0.0 && e.wall_secs_ff_off.is_finite()) {
+                return Err(ctx("wall_secs_ff_off must be finite and non-negative"));
+            }
+            if !(e.speedup >= 0.0 && e.speedup.is_finite()) {
+                return Err(ctx("speedup must be finite and non-negative"));
+            }
+            if (e.wall_secs_ff_off > 0.0) != (e.speedup > 0.0) {
+                return Err(ctx("speedup and wall_secs_ff_off must be set together"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_entry(value: &json::Value, index: usize) -> Result<Entry, String> {
+    let obj = value.as_object(&format!("entries[{index}]"))?;
+    let mut e = Entry {
+        name: String::new(),
+        profile: String::new(),
+        jobs: 0,
+        gpus: 0,
+        simulated_secs: 0.0,
+        iterations_fast_forwarded: 0,
+        wall_secs_ff_on: 0.0,
+        wall_secs_ff_off: 0.0,
+        speedup: 0.0,
+    };
+    for (key, v) in obj {
+        match key.as_str() {
+            "name" => e.name = v.as_string(key)?,
+            "profile" => e.profile = v.as_string(key)?,
+            "jobs" => e.jobs = v.as_u64(key)?,
+            "gpus" => e.gpus = v.as_u64(key)?,
+            "simulated_secs" => e.simulated_secs = v.as_f64(key)?,
+            "iterations_fast_forwarded" => e.iterations_fast_forwarded = v.as_u64(key)?,
+            "wall_secs_ff_on" => e.wall_secs_ff_on = v.as_f64(key)?,
+            "wall_secs_ff_off" => e.wall_secs_ff_off = v.as_f64(key)?,
+            "speedup" => e.speedup = v.as_f64(key)?,
+            other => return Err(format!("entries[{index}]: unknown key '{other}'")),
+        }
+    }
+    if e.name.is_empty() {
+        return Err(format!("entries[{index}] is missing 'name'"));
+    }
+    Ok(e)
+}
+
+/// The minimal JSON reader backing [`Snapshot::parse`]: objects, arrays,
+/// escape-free strings, numbers. Exactly the subset the writer emits —
+/// a snapshot hand-edited beyond it fails loudly rather than silently.
+mod json {
+    /// A parsed JSON value (the supported subset).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Escape-free string.
+        String(String),
+        /// Any JSON number.
+        Number(f64),
+        /// `{...}` with string keys, insertion order kept.
+        Object(Vec<(String, Value)>),
+        /// `[...]`.
+        Array(Vec<Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Object(pairs) => Ok(pairs),
+                other => Err(format!("{what}: expected an object, got {other:?}")),
+            }
+        }
+
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Array(items) => Ok(items),
+                other => Err(format!("{what}: expected an array, got {other:?}")),
+            }
+        }
+
+        pub fn as_string(&self, what: &str) -> Result<String, String> {
+            match self {
+                Value::String(s) => Ok(s.clone()),
+                other => Err(format!("{what}: expected a string, got {other:?}")),
+            }
+        }
+
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                other => Err(format!("{what}: expected a number, got {other:?}")),
+            }
+        }
+
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            let n = self.as_f64(what)?;
+            if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+                return Err(format!("{what}: expected a non-negative integer, got {n}"));
+            }
+            Ok(n as u64)
+        }
+    }
+
+    /// Parses one document; trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+            _ => Err(format!("unexpected content at byte {pos}")),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut pairs = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            pairs.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected a string at byte {pos}"));
+        }
+        let start = *pos + 1;
+        let mut end = start;
+        while let Some(&c) = bytes.get(end) {
+            match c {
+                b'"' => {
+                    *pos = end + 1;
+                    return String::from_utf8(bytes[start..end].to_vec())
+                        .map_err(|_| "invalid UTF-8 in string".to_string());
+                }
+                b'\\' => return Err(format!("escape sequences unsupported (byte {end})")),
+                _ => end += 1,
+            }
+        }
+        Err(format!("unterminated string starting at byte {start}"))
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        let mut end = *pos;
+        while let Some(&c) = bytes.get(end) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..end]).expect("ascii number bytes");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("malformed number '{text}' at byte {start}"))?;
+        *pos = end;
+        Ok(Value::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            schema: SCHEMA.to_string(),
+            runner_class: "test-runner".to_string(),
+            entries: vec![
+                Entry {
+                    name: "fleet_headline".into(),
+                    profile: "full".into(),
+                    jobs: 1000,
+                    gpus: 112_000,
+                    simulated_secs: 604_800.0,
+                    iterations_fast_forwarded: 274_000_000,
+                    wall_secs_ff_on: 5.25,
+                    wall_secs_ff_off: 320.5,
+                    speedup: 61.0476,
+                },
+                Entry {
+                    name: "fleet_speedup".into(),
+                    profile: "ci".into(),
+                    jobs: 64,
+                    gpus: 7168,
+                    simulated_secs: 14_400.0,
+                    iterations_fast_forwarded: 400_000,
+                    wall_secs_ff_on: 0.02,
+                    wall_secs_ff_off: 0.51,
+                    speedup: 25.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let snap = sample();
+        let text = snap.to_json();
+        assert_eq!(Snapshot::parse(&text).unwrap(), snap);
+        snap.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_snapshots() {
+        let mut s = sample();
+        s.schema = "perf/v0".into();
+        assert!(s.validate().unwrap_err().contains("schema mismatch"));
+
+        let mut s = sample();
+        s.runner_class.clear();
+        assert!(s.validate().unwrap_err().contains("runner_class"));
+
+        let mut s = sample();
+        s.entries.clear();
+        assert!(s.validate().unwrap_err().contains("at least one entry"));
+
+        let mut s = sample();
+        s.entries[1].name = s.entries[0].name.clone();
+        assert!(s.validate().unwrap_err().contains("duplicate entry"));
+
+        let mut s = sample();
+        s.entries[0].iterations_fast_forwarded = 0;
+        assert!(s.validate().unwrap_err().contains("never fired"));
+
+        let mut s = sample();
+        s.entries[0].wall_secs_ff_on = 0.0;
+        assert!(s.validate().unwrap_err().contains("wall_secs_ff_on"));
+
+        let mut s = sample();
+        s.entries[0].speedup = f64::NAN;
+        assert!(s.validate().unwrap_err().contains("speedup"));
+
+        // Off and speedup must agree on whether the baseline ran.
+        let mut s = sample();
+        s.entries[0].wall_secs_ff_off = 0.0;
+        assert!(s.validate().unwrap_err().contains("set together"));
+
+        let mut s = sample();
+        s.entries[0].profile = "nightly".into();
+        assert!(s.validate().unwrap_err().contains("unknown profile"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Snapshot::parse("").is_err());
+        assert!(Snapshot::parse("{").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"x\"} trailing").is_err());
+        assert!(Snapshot::parse("{\"bogus\": 1}").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"x\", \"entries\": [{\"warp\": 1}]}").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"x\", \"entries\": [{\"jobs\": -3}]}").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"x\", \"entries\": [{\"jobs\": 1.5}]}").is_err());
+        // Escapes are outside the supported subset.
+        assert!(Snapshot::parse("{\"schema\": \"a\\\"b\"}").is_err());
+        // An entries list of non-objects is mistyped.
+        assert!(Snapshot::parse("{\"entries\": [3]}").is_err());
+    }
+}

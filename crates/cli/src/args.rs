@@ -31,10 +31,12 @@ single simulations:
          [--horizon-secs N] [--load X] [--fill-fraction F]
          [--mtbf-secs X|none] [--checkpoint-secs C]
          [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
+         [--fast-forward on|off]
                                   one simulation at a chosen fidelity
   fleet  [--jobs N] [--gpus N] [--iterations N] [--seed S]
          [--mtbf-secs X|none] [--policy fifo|sjf|makespan-min|edf]
          [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
+         [--fast-forward on|off]
                                   multi-job fleet on one global fill queue
 
 inspection:
@@ -92,6 +94,9 @@ pub enum Command {
         policy: PolicyKind,
         /// Pipeline schedule every main job runs.
         schedule: ScheduleKind,
+        /// Steady-state fast-forward (results are bit-for-bit identical
+        /// either way; `off` forces full event fidelity).
+        fast_forward: bool,
     },
     /// Everything, with CSV output.
     All {
@@ -120,6 +125,9 @@ pub enum Command {
         checkpoint_secs: f64,
         /// Pipeline schedule the main job runs (all backends).
         schedule: ScheduleKind,
+        /// Steady-state fast-forward (physical and fault backends;
+        /// results are bit-for-bit identical either way).
+        fast_forward: bool,
     },
     /// ASCII schedule rendering.
     Timeline {
@@ -297,6 +305,7 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 schedule: flags
                     .take_string("schedule", "gpipe")?
                     .parse::<ScheduleKind>()?,
+                fast_forward: take_on_off(&mut flags, "fast-forward", true)?,
             }
         }
         "all" => Command::All {
@@ -319,6 +328,7 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                     "fill-fraction",
                     "mtbf-secs",
                     "checkpoint-secs",
+                    "fast-forward",
                 ],
                 BackendKind::Physical => &["horizon-secs", "load", "mtbf-secs", "checkpoint-secs"],
                 BackendKind::Fault => &["horizon-secs", "load"],
@@ -351,6 +361,7 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
                 schedule: flags
                     .take_string("schedule", "gpipe")?
                     .parse::<ScheduleKind>()?,
+                fast_forward: take_on_off(&mut flags, "fast-forward", true)?,
             }
         }
         "timeline" => Command::Timeline {
@@ -525,6 +536,18 @@ fn take_duration_secs(
         });
     }
     Ok(secs)
+}
+
+/// Parses an on/off-valued flag (`on`/`off`, also `true`/`false`).
+fn take_on_off(flags: &mut FlagSet, name: &str, default: bool) -> Result<bool, String> {
+    match flags.take(name) {
+        None => Ok(default),
+        Some(v) => match v.as_str() {
+            "on" | "true" => Ok(true),
+            "off" | "false" => Ok(false),
+            _ => Err(format!("--{name} expects on|off, got '{v}'")),
+        },
+    }
 }
 
 fn parse_model(name: &str) -> Result<ModelId, String> {
@@ -771,6 +794,7 @@ mod tests {
                 mtbf_secs: f64::INFINITY,
                 checkpoint_secs: 2.0,
                 schedule: ScheduleKind::GPipe,
+                fast_forward: true,
             }
         );
         assert_eq!(
@@ -785,6 +809,7 @@ mod tests {
                 mtbf_secs: f64::INFINITY,
                 checkpoint_secs: 2.0,
                 schedule: ScheduleKind::GPipe,
+                fast_forward: true,
             }
         );
         assert!(parse(&argv("sim --backend quantum")).is_err());
@@ -816,6 +841,7 @@ mod tests {
                 mtbf_secs: 600.0,
                 checkpoint_secs: 4.0,
                 schedule: ScheduleKind::GPipe,
+                fast_forward: true,
             }
         );
         // 'none' spelled out disables injection.
@@ -995,6 +1021,7 @@ mod tests {
                 mtbf_secs: 1800.0,
                 policy: PolicyKind::Fifo,
                 schedule: ScheduleKind::GPipe,
+                fast_forward: true,
             }
         );
         assert_eq!(
@@ -1008,6 +1035,7 @@ mod tests {
                 mtbf_secs: 600.0,
                 policy: PolicyKind::Sjf,
                 schedule: ScheduleKind::OneFOneB,
+                fast_forward: true,
             }
         );
         // The GPU budget defaults to 128 per job.
@@ -1052,6 +1080,42 @@ mod tests {
         // The fleet backend has its own subcommand; `sim` points there.
         let err = parse(&argv("sim --backend fleet")).unwrap_err();
         assert!(err.contains("use the 'fleet' subcommand"), "{err}");
+    }
+
+    #[test]
+    fn parses_fast_forward_flag() {
+        // Applies to the iteration-loop backends and the fleet; default on.
+        assert!(matches!(
+            cmd("sim --backend physical --fast-forward off"),
+            Command::Sim {
+                fast_forward: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            cmd("sim --backend fault --fast-forward on"),
+            Command::Sim {
+                fast_forward: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            cmd("fleet --fast-forward off"),
+            Command::Fleet {
+                fast_forward: false,
+                ..
+            }
+        ));
+        // The coarse backend has no iteration loop to skip.
+        let err = parse(&argv("sim --backend coarse --fast-forward off")).unwrap_err();
+        assert!(
+            err.contains("does not apply to the coarse backend"),
+            "{err}"
+        );
+        let err = parse(&argv("sim --backend fault --fast-forward maybe")).unwrap_err();
+        assert!(err.contains("expects on|off"), "{err}");
+        let err = parse(&argv("timeline --fast-forward off")).unwrap_err();
+        assert!(err.contains("unknown flag --fast-forward"), "{err}");
     }
 
     #[test]

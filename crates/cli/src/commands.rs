@@ -172,6 +172,7 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             mtbf_secs,
             policy,
             schedule,
+            fast_forward,
         } => {
             let spec = ScenarioSpec::run(BackendKind::Fleet)
                 .with_jobs(jobs)
@@ -180,7 +181,8 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
                 .with_seed(seed)
                 .with_mtbf_secs(mtbf_secs)
                 .with_policy(policy)
-                .with_schedule(schedule);
+                .with_schedule(schedule)
+                .with_fast_forward(fast_forward);
             let run = spec.lower()?.run();
             let metrics = run.metrics();
             let detail = run.as_fleet().expect("fleet scenario yields fleet detail");
@@ -209,6 +211,7 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             mtbf_secs,
             checkpoint_secs,
             schedule,
+            fast_forward,
         } => {
             // Only the backend's own knobs are set on the spec: the
             // parser already rejected inapplicable flags, and the spec's
@@ -220,12 +223,14 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
                 BackendKind::Coarse => base.with_horizon_secs(horizon_secs).with_load(load),
                 BackendKind::Physical => base
                     .with_iterations(iterations)
-                    .with_fill_fraction(fill_fraction),
+                    .with_fill_fraction(fill_fraction)
+                    .with_fast_forward(fast_forward),
                 BackendKind::Fault => base
                     .with_iterations(iterations)
                     .with_fill_fraction(fill_fraction)
                     .with_mtbf_secs(mtbf_secs)
-                    .with_checkpoint_secs(checkpoint_secs),
+                    .with_checkpoint_secs(checkpoint_secs)
+                    .with_fast_forward(fast_forward),
                 // The parser routes the fleet backend to its own
                 // subcommand (it simulates many main jobs, not one).
                 BackendKind::Fleet => unreachable!("rejected by the argument parser"),

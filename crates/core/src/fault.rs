@@ -43,6 +43,7 @@
 //! event ordering goes through the kernel queue.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pipefill_device::DeviceSpec;
 use pipefill_executor::{
@@ -58,7 +59,10 @@ use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{BackendDriver, BackendKind, BackendMetrics, ClusterEvent, SimBackend};
-use crate::physical::{critical_path_delay, MixRotation};
+use crate::ff::{SteadyCounters, SteadyDetector};
+use crate::physical::{
+    critical_path_delay, sig_executor, sig_rotation, MixRotation, STEADY_HISTORY,
+};
 
 /// Heterogeneous + fault-injecting simulation parameters.
 #[derive(Debug, Clone)]
@@ -98,6 +102,15 @@ pub struct FaultSimConfig {
     /// A job checkpoints automatically after this many executed bubble
     /// partitions; work since the last checkpoint is lost on eviction.
     pub checkpoint_every_bubbles: usize,
+    /// Steady-state fast-forward (see
+    /// [`PhysicalSimConfig::fast_forward`](crate::PhysicalSimConfig)).
+    /// Only armed when fault injection is off (`mtbf == MAX`): failure
+    /// events are external transitions that void any cycle hypothesis.
+    pub fast_forward: bool,
+    /// Signature matches required before the first fast-forward skip;
+    /// `u32::MAX` pins fast-forward off (see
+    /// [`PhysicalSimConfig::steady_confirm`](crate::PhysicalSimConfig)).
+    pub steady_confirm: u32,
 }
 
 impl FaultSimConfig {
@@ -120,6 +133,8 @@ impl FaultSimConfig {
             mean_recovery: SimDuration::from_secs(120),
             checkpoint_cost: SimDuration::from_secs(2),
             checkpoint_every_bubbles: 8,
+            fast_forward: true,
+            steady_confirm: 1,
         }
     }
 
@@ -197,6 +212,9 @@ pub struct FaultSimResult {
     pub downtime: SimDuration,
     /// `fill_flops / (fill_flops + lost_fill_flops)`; 1 when nothing ran.
     pub goodput_fraction: f64,
+    /// Iterations skipped analytically by steady-state fast-forward
+    /// (always zero while fault injection is on).
+    pub iterations_fast_forwarded: u64,
 }
 
 impl FaultSimResult {
@@ -254,7 +272,7 @@ pub struct FaultBackend {
     rng: DeterministicRng,
     /// Per-stage failure processes, independent of the workload stream.
     fail_rngs: Vec<DeterministicRng>,
-    plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
+    plan_cache: HashMap<(ModelId, JobKind, usize), Option<Arc<ExecutionPlan>>>,
     /// Exclusive throughput per (model, kind, device class).
     tput_cache: HashMap<(ModelId, JobKind, usize), Option<f64>>,
     rotation: Option<MixRotation>,
@@ -279,6 +297,8 @@ pub struct FaultBackend {
     failures: u64,
     evictions: u64,
     bubbles_lost: u64,
+    detector: SteadyDetector,
+    fast_forwarded: u64,
     result: Option<FaultSimResult>,
 }
 
@@ -373,6 +393,15 @@ impl FaultBackend {
         let mut fail_root = DeterministicRng::seed_from(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
         let fail_rngs: Vec<DeterministicRng> = (0..p).map(|_| fail_root.fork()).collect();
         let rotation = cfg.deterministic_mix.then(|| MixRotation::new(&cfg.mix));
+        // Failure events are external transitions that would invalidate
+        // any detected cycle, so fast-forward only arms with faults off —
+        // the configuration where this backend is a (possibly
+        // heterogeneous) pure iteration loop like the physical one.
+        let detector = SteadyDetector::new(
+            cfg.fast_forward && cfg.mtbf == SimDuration::MAX,
+            cfg.steady_confirm,
+            STEADY_HISTORY,
+        );
 
         FaultBackend {
             period,
@@ -404,6 +433,8 @@ impl FaultBackend {
             failures: 0,
             evictions: 0,
             bubbles_lost: 0,
+            detector,
+            fast_forwarded: 0,
             result: None,
             cfg,
         }
@@ -448,8 +479,11 @@ impl FaultBackend {
                         return None;
                     }
                     let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
-                    plan_best(&probe, slots, &device, &cfg.executor).ok()
+                    plan_best(&probe, slots, &device, &cfg.executor)
+                        .ok()
+                        .map(Arc::new)
                 })
+                // Refcount bump, not a deep plan copy (hot path).
                 .clone();
             let Some(plan) = plan else { continue };
             let class = self.stage_class[stage];
@@ -517,6 +551,30 @@ impl FaultBackend {
         critical_path_delay(&self.stage_delays)
     }
 
+    /// Full behavioral state at an iteration boundary (see
+    /// `PhysicalBackend::steady_sig` for the contract). On top of the
+    /// shared rotation + executor state this fidelity adds its fault
+    /// layer: device up flags, checkpoint-window progress and restart
+    /// debt — everything that could make two boundaries diverge later.
+    fn steady_sig(&self) -> Vec<u64> {
+        let mut sig = Vec::with_capacity(3 + 11 * self.stages());
+        sig_rotation(&self.rotation, &mut sig);
+        sig.push(self.evicted.len() as u64);
+        for (s, job) in self.stage_jobs.iter().enumerate() {
+            sig.push(self.up[s] as u64);
+            match job {
+                None => sig_executor(None, &mut sig),
+                Some(j) => {
+                    sig_executor(Some(&j.exec), &mut sig);
+                    sig.push(j.unsaved_flops.to_bits());
+                    sig.push(j.runs_since_ckpt as u64);
+                    sig.push(j.restart_debt.as_nanos());
+                }
+            }
+        }
+        sig
+    }
+
     /// The detailed result. Only valid after the driver has run.
     ///
     /// # Panics
@@ -546,12 +604,63 @@ impl EventHandler for FaultBackend {
                 }
             }
             ClusterEvent::IterationEnd => {
-                self.total_delay += self.aggregate_delay();
+                let delay = self.aggregate_delay();
+                self.total_delay += delay;
                 self.stage_delays.clear();
                 self.iterations_done += 1;
                 if self.iterations_done < self.cfg.iterations {
+                    // Steady-state fast-forward, exactly as in the
+                    // physical backend — only armed with faults off, so
+                    // the completed-id stream is the one extra accumulator
+                    // to replay (ids advance by `draws` per cycle).
+                    let mut next_at = now;
+                    if self.detector.enabled() {
+                        let counters = SteadyCounters {
+                            completions: self.jobs_completed as u64,
+                            draws: self.next_job_id,
+                            aux: self.bubbles_lost,
+                        };
+                        if self
+                            .detector
+                            .observe(self.rng.state_fingerprint(), counters)
+                        {
+                            let sig = self.steady_sig();
+                            let remaining = (self.cfg.iterations - self.iterations_done) as u64;
+                            if let Some(skip) = self.detector.end_iteration(sig, delay, remaining) {
+                                let stride = skip.counters.draws;
+                                for m in 1..=skip.cycles {
+                                    for rec in &skip.records {
+                                        for &f in &rec.flops {
+                                            self.executed_flops += f;
+                                        }
+                                        for &id in &rec.completed {
+                                            self.completed_ids.push(JobId(id + m * stride));
+                                        }
+                                    }
+                                }
+                                self.total_delay += skip.delay_sum * skip.cycles;
+                                self.iterations_done += skip.iterations() as usize;
+                                self.jobs_completed +=
+                                    (skip.counters.completions * skip.cycles) as usize;
+                                self.next_job_id += skip.counters.draws * skip.cycles;
+                                self.bubbles_lost += skip.counters.aux * skip.cycles;
+                                // In-flight jobs were drawn a fixed number
+                                // of cycles before they complete; their
+                                // ids advance with the skipped draws so
+                                // post-skip completions continue the
+                                // event-fidelity id stream exactly.
+                                for job in self.stage_jobs.iter_mut().flatten() {
+                                    job.exec.advance_job_id(stride * skip.cycles);
+                                }
+                                self.fast_forwarded += skip.iterations();
+                                queue.credit(skip.iterations() * (self.stages() as u64 + 1));
+                                next_at =
+                                    now + (self.period * skip.len + skip.delay_sum) * skip.cycles;
+                            }
+                        }
+                    }
                     for stage in 0..self.stages() {
-                        queue.push(now, ClusterEvent::StageBubbles { stage });
+                        queue.push(next_at, ClusterEvent::StageBubbles { stage });
                     }
                 }
             }
@@ -563,6 +672,10 @@ impl EventHandler for FaultBackend {
                     return;
                 }
                 debug_assert!(self.up[device], "failure on an already-down device");
+                // Defensive: faults gate the detector off at construction,
+                // but a failure is exactly the external transition that
+                // voids a cycle hypothesis, so say so explicitly too.
+                self.detector.reset();
                 self.failures += 1;
                 self.up[device] = false;
                 self.evict(device);
@@ -657,6 +770,7 @@ impl SimBackend for FaultBackend {
             job.runs_since_ckpt = 0;
         }
         self.executed_flops += run.flops;
+        self.detector.record_flops(run.flops);
         // Jittered reality, identical to the physical backend: bubble and
         // partition both deviate from their profiled durations.
         let actual_window = window.duration.mul_f64(self.rng.jitter(cfg_jitter));
@@ -673,6 +787,7 @@ impl SimBackend for FaultBackend {
         if finished {
             self.jobs_completed += 1;
             self.completed_ids.push(finished_id);
+            self.detector.record_completion(finished_id.0);
             self.stage_jobs[stage] = None;
         }
     }
@@ -722,6 +837,7 @@ impl SimBackend for FaultBackend {
             bubbles_lost: self.bubbles_lost,
             downtime: self.downtime,
             goodput_fraction: BackendMetrics::goodput_of(surviving, self.lost_flops),
+            iterations_fast_forwarded: self.fast_forwarded,
         });
     }
 
@@ -927,6 +1043,71 @@ mod tests {
         assert_eq!(r.main_slowdown, 0.0);
         assert_eq!(r.recovered_tflops_per_gpu, 0.0);
         assert_eq!(r.failures, 0, "failure chain must not outlive filling");
+    }
+
+    #[test]
+    fn fast_forward_matches_event_fidelity_bit_for_bit() {
+        // Quiescent config (no jitter draws, deterministic mix, small
+        // jobs so the executor cycle recurs quickly): fast-forward must
+        // fire, and the results must match the event-by-event run down
+        // to the last bit — including the completed-id stream, whose
+        // replay shifts ids by the per-cycle draw stride.
+        let mut on = config(0.68);
+        on.jitter_cv = 0.0;
+        on.deterministic_mix = true;
+        on.mix = ModelMix::single(pipefill_model_zoo::ModelId::EfficientNet);
+        on.backlog_job_gpu_hours = 0.002;
+        on.iterations = 400;
+        let mut off = on.clone();
+        off.fast_forward = false;
+        let mut r_on = FaultSim::new(on).run();
+        let r_off = FaultSim::new(off).run();
+        assert!(
+            r_on.iterations_fast_forwarded > 0,
+            "steady state never detected"
+        );
+        assert_eq!(r_off.iterations_fast_forwarded, 0);
+        assert_eq!(r_on.fill_flops.to_bits(), r_off.fill_flops.to_bits());
+        r_on.iterations_fast_forwarded = 0;
+        assert_eq!(r_on, r_off);
+    }
+
+    #[test]
+    fn heterogeneous_quiescent_runs_fast_forward_too() {
+        // Heterogeneity reshapes bubble geometry but consumes no extra
+        // randomness, so a quiescent heterogeneous pipeline cycles and
+        // fast-forwards just like a homogeneous one.
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let p = main.engine_timeline().stages.len();
+        let mut devices = vec![main.device.clone(); p];
+        for d in devices.iter_mut().take(p / 2) {
+            *d = DeviceSpec::a100_40g();
+        }
+        let mut cfg = FaultSimConfig::heterogeneous(main, devices).with_fill_fraction(0.68);
+        cfg.jitter_cv = 0.0;
+        cfg.deterministic_mix = true;
+        cfg.mix = ModelMix::single(pipefill_model_zoo::ModelId::EfficientNet);
+        cfg.backlog_job_gpu_hours = 0.001;
+        cfg.iterations = 800;
+        let mut off = cfg.clone();
+        off.fast_forward = false;
+        let mut r_on = FaultSim::new(cfg).run();
+        let r_off = FaultSim::new(off).run();
+        assert!(r_on.iterations_fast_forwarded > 0);
+        r_on.iterations_fast_forwarded = 0;
+        assert_eq!(r_on, r_off);
+    }
+
+    #[test]
+    fn faulty_runs_never_fast_forward() {
+        let mut cfg = config(0.68).with_mtbf(SimDuration::from_secs(300));
+        cfg.jitter_cv = 0.0;
+        cfg.deterministic_mix = true;
+        let r = FaultSim::new(cfg).run();
+        assert_eq!(
+            r.iterations_fast_forwarded, 0,
+            "fault injection must gate fast-forward off"
+        );
     }
 
     #[test]

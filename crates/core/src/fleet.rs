@@ -39,6 +39,7 @@
 //! through per-job seeded streams.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pipefill_device::DeviceSpec;
 use pipefill_executor::{
@@ -56,7 +57,17 @@ use serde::{Deserialize, Serialize};
 use crate::backend::{BackendDriver, BackendKind, BackendMetrics, ClusterEvent, SimBackend};
 use crate::cluster::PolicyKind;
 use crate::experiments::sweep;
-use crate::physical::{critical_path_delay, MixRotation, PhysicalSimConfig};
+use crate::ff::{SteadyCounters, SteadyDetector};
+use crate::physical::{
+    critical_path_delay, sig_executor, sig_rotation, MixRotation, PhysicalSimConfig,
+};
+
+/// Per-job signature history cap. Smaller than the single-job backends'
+/// [`STEADY_HISTORY`](crate::physical::STEADY_HISTORY): a fleet carries
+/// one detector per main job, and observed steady cycles are short (a few
+/// iterations), so a modest window keeps thousand-job fleets cheap while
+/// still detecting every cycle the other backends do.
+const FLEET_STEADY_HISTORY: usize = 64;
 
 /// One main job of the fleet.
 #[derive(Debug, Clone)]
@@ -153,6 +164,16 @@ pub struct FleetSimConfig {
     pub checkpoint_cost: SimDuration,
     /// A fill job checkpoints after this many executed bubble partitions.
     pub checkpoint_every_bubbles: usize,
+    /// Steady-state fast-forward (see
+    /// [`PhysicalSimConfig::fast_forward`]). Per job: each main job owns
+    /// a detector over its private iteration stream. Only armed when
+    /// fault injection is off (`mtbf == MAX`), the configuration in which
+    /// jobs are provably independent and the global queue stays empty.
+    pub fast_forward: bool,
+    /// Signature matches required before the first fast-forward skip;
+    /// `u32::MAX` pins fast-forward off (see
+    /// [`PhysicalSimConfig::steady_confirm`]).
+    pub steady_confirm: u32,
 }
 
 impl FleetSimConfig {
@@ -177,6 +198,8 @@ impl FleetSimConfig {
             mean_recovery: SimDuration::from_secs(120),
             checkpoint_cost: SimDuration::from_secs(2),
             checkpoint_every_bubbles: 8,
+            fast_forward: true,
+            steady_confirm: 1,
         }
     }
 
@@ -208,6 +231,8 @@ impl FleetSimConfig {
         cfg.backlog_job_gpu_hours = phys.backlog_job_gpu_hours;
         cfg.deterministic_mix = phys.deterministic_mix;
         cfg.seed = phys.seed;
+        cfg.fast_forward = phys.fast_forward;
+        cfg.steady_confirm = phys.steady_confirm;
         cfg
     }
 
@@ -345,6 +370,9 @@ pub struct FleetSimResult {
     pub left_in_queue: usize,
     /// `fill_flops / (fill_flops + lost_fill_flops)`; 1 when nothing ran.
     pub goodput_fraction: f64,
+    /// Iterations skipped analytically by steady-state fast-forward,
+    /// summed across jobs (always zero while fault injection is on).
+    pub iterations_fast_forwarded: u64,
 }
 
 impl FleetSimResult {
@@ -437,7 +465,14 @@ struct JobState {
     failures: u64,
     evictions: u64,
     bubbles_lost: u64,
+    /// Steady-state detector over this job's private iteration stream.
+    detector: SteadyDetector,
+    fast_forwarded: u64,
 }
+
+/// Per-class profiled-plan cache: model × kind × stage count to the
+/// shared plan (`None` caches "does not fit").
+type PlanCache = HashMap<(ModelId, JobKind, usize), Option<Arc<ExecutionPlan>>>;
 
 /// The fleet backend: many physical-model pipelines on one kernel, one
 /// global fill queue. See the module docs for the model.
@@ -446,7 +481,7 @@ pub struct FleetBackend {
     /// Shape class per job; geometry/caches are indexed by class.
     class_of: Vec<usize>,
     geometry: Vec<JobGeometry>,
-    plan_cache: Vec<HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>>,
+    plan_cache: Vec<PlanCache>,
     tput_cache: Vec<HashMap<(ModelId, JobKind), Option<f64>>>,
     /// First flat device of each job.
     base: Vec<usize>,
@@ -532,6 +567,15 @@ impl FleetBackend {
                     failures: 0,
                     evictions: 0,
                     bubbles_lost: 0,
+                    // Faults feed the global queue, entangling the jobs;
+                    // fast-forward only arms while each job's iteration
+                    // stream is provably private (mtbf == MAX).
+                    detector: SteadyDetector::new(
+                        cfg.fast_forward && cfg.mtbf == SimDuration::MAX,
+                        cfg.steady_confirm,
+                        FLEET_STEADY_HISTORY,
+                    ),
+                    fast_forwarded: 0,
                 }
             })
             .collect();
@@ -608,8 +652,11 @@ impl FleetBackend {
                             return None;
                         }
                         let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
-                        plan_best(&probe, slots, &device, &exec_cfg).ok()
+                        plan_best(&probe, slots, &device, &exec_cfg)
+                            .ok()
+                            .map(Arc::new)
                     })
+                    // Refcount bump, not a deep plan copy (hot path).
                     .clone()
             };
             let Some(plan) = plan else { continue };
@@ -719,14 +766,80 @@ impl EventHandler for FleetBackend {
             }
             ClusterEvent::JobIterationEnd { job: j } => {
                 let delay = critical_path_delay(&self.jobs_state[j].stage_delays);
+                let p = self.stages_of(j);
+                let period = self.geometry[self.class_of[j]].period;
+                let iterations = self.cfg.jobs[j].iterations;
                 let js = &mut self.jobs_state[j];
                 js.total_delay += delay;
                 js.stage_delays.clear();
                 js.iterations_done += 1;
-                if js.iterations_done < self.cfg.jobs[j].iterations {
-                    for s in 0..self.stages_of(j) {
+                if js.iterations_done < iterations {
+                    // Steady-state fast-forward, per job: each main job
+                    // is an independent iteration stream while faults are
+                    // off (the detector's arming gate), so a job can skip
+                    // its own cycles regardless of what the rest of the
+                    // fleet is doing. Mechanics as in the physical
+                    // backend; the fill-id stream is replayed with the
+                    // per-cycle draw stride like the fault backend's.
+                    let mut next_at = now;
+                    if js.detector.enabled() {
+                        let counters = SteadyCounters {
+                            completions: js.fills_completed as u64,
+                            draws: js.next_fill_id,
+                            aux: js.bubbles_lost,
+                        };
+                        if js.detector.observe(js.rng.state_fingerprint(), counters) {
+                            let mut sig = Vec::with_capacity(2 + 10 * p);
+                            sig_rotation(&js.rotation, &mut sig);
+                            for (s, lease) in js.running.iter().enumerate() {
+                                sig.push(js.up[s] as u64);
+                                match lease {
+                                    None => sig_executor(None, &mut sig),
+                                    Some(l) => {
+                                        sig_executor(Some(&l.exec), &mut sig);
+                                        sig.push(l.unsaved_flops.to_bits());
+                                        sig.push(l.runs_since_ckpt as u64);
+                                        sig.push(l.restart_debt.as_nanos());
+                                    }
+                                }
+                            }
+                            let remaining = (iterations - js.iterations_done) as u64;
+                            if let Some(skip) = js.detector.end_iteration(sig, delay, remaining) {
+                                let stride = skip.counters.draws;
+                                for m in 1..=skip.cycles {
+                                    for rec in &skip.records {
+                                        for &f in &rec.flops {
+                                            js.executed_flops += f;
+                                        }
+                                        for &id in &rec.completed {
+                                            self.completed_ids.push(JobId(id + m * stride));
+                                        }
+                                    }
+                                }
+                                js.total_delay += skip.delay_sum * skip.cycles;
+                                js.iterations_done += skip.iterations() as usize;
+                                js.fills_completed +=
+                                    (skip.counters.completions * skip.cycles) as usize;
+                                js.next_fill_id += skip.counters.draws * skip.cycles;
+                                js.bubbles_lost += skip.counters.aux * skip.cycles;
+                                js.fast_forwarded += skip.iterations();
+                                // In-flight fill jobs advance with the
+                                // skipped draws so post-skip completions
+                                // continue the event-fidelity id stream.
+                                for lease in js.running.iter_mut().flatten() {
+                                    lease.exec.advance_job_id(stride * skip.cycles);
+                                }
+                                // Each skipped iteration would have fired
+                                // one StageBubbles per stage of this job
+                                // plus its JobIterationEnd.
+                                queue.credit(skip.iterations() * (p as u64 + 1));
+                                next_at = now + (period * skip.len + skip.delay_sum) * skip.cycles;
+                            }
+                        }
+                    }
+                    for s in 0..p {
                         queue.push(
-                            now,
+                            next_at,
                             ClusterEvent::StageBubbles {
                                 stage: self.base[j] + s,
                             },
@@ -746,6 +859,10 @@ impl EventHandler for FleetBackend {
                     self.jobs_state[j].up[s],
                     "failure on an already-down device"
                 );
+                // Defensive: faults gate the detector off at construction,
+                // but a failure is exactly the external transition that
+                // voids a cycle hypothesis, so say so explicitly too.
+                self.jobs_state[j].detector.reset();
                 self.jobs_state[j].failures += 1;
                 self.jobs_state[j].up[s] = false;
                 self.evict(j, s);
@@ -853,6 +970,7 @@ impl SimBackend for FleetBackend {
             lease.runs_since_ckpt = 0;
         }
         js.executed_flops += run.flops;
+        js.detector.record_flops(run.flops);
         // Jittered reality, identical to the physical backend: bubble
         // and partition both deviate from their profiled durations.
         let actual_window = window.duration.mul_f64(js.rng.jitter(jitter_cv));
@@ -865,6 +983,7 @@ impl SimBackend for FleetBackend {
         *js.stage_delays.last_mut().expect("just ensured non-empty") += delay;
         if finished {
             js.fills_completed += 1;
+            js.detector.record_completion(finished_id.0);
             js.running[s] = None;
             self.completed_ids.push(finished_id);
         }
@@ -883,6 +1002,7 @@ impl SimBackend for FleetBackend {
         let mut fills_completed = 0usize;
         let mut failures = 0u64;
         let mut evictions = 0u64;
+        let mut fast_forwarded = 0u64;
 
         for (j, job_cfg) in self.cfg.jobs.iter().enumerate() {
             let class = self.class_of[j];
@@ -918,6 +1038,7 @@ impl SimBackend for FleetBackend {
             fills_completed += js.fills_completed;
             failures += js.failures;
             evictions += js.evictions;
+            fast_forwarded += js.fast_forwarded;
 
             jobs.push(FleetJobResult {
                 job: j,
@@ -987,6 +1108,7 @@ impl SimBackend for FleetBackend {
             peak_queue_depth: self.queue.peak_depth(),
             left_in_queue: self.queue.queue_len(),
             goodput_fraction: BackendMetrics::goodput_of(total_surviving, total_lost),
+            iterations_fast_forwarded: fast_forwarded,
             jobs,
         });
     }
@@ -1226,6 +1348,73 @@ mod tests {
         assert_eq!(r.mean_slowdown, 0.0);
     }
 
+    fn quiescent_fleet(jobs: usize, iterations: usize) -> FleetSimConfig {
+        // No jitter, deterministic single-model mix, small fill jobs:
+        // every job's iteration stream cycles quickly, so fast-forward
+        // fires (each job still owns a distinct seed, which only matters
+        // for sampled mixes — kept distinct to mirror real fleets).
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let jobs = (0..jobs)
+            .map(|j| {
+                let mut job = FleetJobConfig::new(main.clone());
+                job.iterations = iterations;
+                job.seed = 7 + j as u64;
+                job
+            })
+            .collect();
+        let mut cfg = FleetSimConfig::new(jobs);
+        cfg.jitter_cv = 0.0;
+        cfg.deterministic_mix = true;
+        cfg.mix = ModelMix::single(pipefill_model_zoo::ModelId::EfficientNet);
+        cfg.backlog_job_gpu_hours = 0.002;
+        cfg
+    }
+
+    #[test]
+    fn fast_forward_matches_event_fidelity_bit_for_bit() {
+        let cfg = quiescent_fleet(1, 400);
+        let mut off = cfg.clone();
+        off.fast_forward = false;
+        let mut r_on = FleetSim::new(cfg).run();
+        let r_off = FleetSim::new(off).run();
+        assert!(
+            r_on.iterations_fast_forwarded > 0,
+            "steady state never detected"
+        );
+        assert_eq!(r_off.iterations_fast_forwarded, 0);
+        assert_eq!(r_on.fill_flops.to_bits(), r_off.fill_flops.to_bits());
+        r_on.iterations_fast_forwarded = 0;
+        assert_eq!(r_on, r_off);
+    }
+
+    #[test]
+    fn multi_job_fast_forward_matches_per_job_results_bit_for_bit() {
+        // Each job skips its own cycles independently. The per-job
+        // results (and the completed-id *set*) are bit-identical either
+        // way; only the global completion interleaving may differ, since
+        // a skipping job appends a cycle's completions at once.
+        let cfg = quiescent_fleet(3, 400);
+        let mut off = cfg.clone();
+        off.fast_forward = false;
+        let r_on = FleetSim::new(cfg).run();
+        let r_off = FleetSim::new(off).run();
+        assert!(r_on.iterations_fast_forwarded > 0);
+        assert_eq!(r_on.jobs, r_off.jobs);
+        assert_eq!(r_on.fill_flops.to_bits(), r_off.fill_flops.to_bits());
+        assert_eq!(r_on.fill_jobs_completed, r_off.fill_jobs_completed);
+        let mut on_ids = r_on.completed_fill_ids.clone();
+        let mut off_ids = r_off.completed_fill_ids.clone();
+        on_ids.sort_unstable();
+        off_ids.sort_unstable();
+        assert_eq!(on_ids, off_ids);
+    }
+
+    #[test]
+    fn jittered_fleets_never_fast_forward() {
+        let r = FleetSim::new(twin_fleet(11)).run();
+        assert_eq!(r.iterations_fast_forwarded, 0);
+    }
+
     #[test]
     #[should_panic(expected = "at least one main job")]
     fn empty_fleet_rejected() {
@@ -1242,6 +1431,8 @@ mod tests {
             mean_recovery: SimDuration::from_secs(120),
             checkpoint_cost: SimDuration::from_secs(2),
             checkpoint_every_bubbles: 8,
+            fast_forward: true,
+            steady_confirm: 1,
         });
     }
 }

@@ -48,6 +48,7 @@ mod cluster;
 mod convert;
 mod csv;
 mod fault;
+mod ff;
 mod fleet;
 mod metrics;
 mod physical;

@@ -25,6 +25,7 @@
 //! [`PhysicalSim`] remains the convenience entry point.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pipefill_executor::{
     exclusive_throughput, plan_best, ExecutionPlan, ExecutorConfig, FillJobExecutor, FillJobSpec,
@@ -37,6 +38,13 @@ use pipefill_trace::ModelMix;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{BackendDriver, BackendKind, BackendMetrics, ClusterEvent, SimBackend};
+use crate::ff::{SteadyCounters, SteadyDetector};
+
+/// Signature-history depth for the single-job fine-grained backends: long
+/// enough for the realistic fill-cycle periods (plan cursor × rotation ×
+/// job-completion interleavings), small enough that an undetectable
+/// workload just falls back to event fidelity.
+pub(crate) const STEADY_HISTORY: usize = 512;
 
 /// Fine-grained simulation parameters.
 #[derive(Debug, Clone)]
@@ -72,6 +80,18 @@ pub struct PhysicalSimConfig {
     /// OOM isolated to the Executor (§4.3) and the bubble goes idle —
     /// the main job is never affected.
     pub memory_jitter_cv: f64,
+    /// Steady-state fast-forward: when the simulation provably enters a
+    /// repeating iteration cycle (identical full-state signature at two
+    /// iteration boundaries with no randomness consumed in between), skip
+    /// whole cycles analytically instead of simulating their events.
+    /// Results are bit-for-bit identical either way; this only trades
+    /// wall-clock time. Default on.
+    pub fast_forward: bool,
+    /// Signature matches required before the first fast-forward skip
+    /// (the "k consecutive identical iterations" knob). `u32::MAX` pins
+    /// fast-forward off even when `fast_forward` is true — the degenerate
+    /// k=∞ setting used by regression tests.
+    pub steady_confirm: u32,
 }
 
 impl PhysicalSimConfig {
@@ -89,6 +109,8 @@ impl PhysicalSimConfig {
             backlog_job_gpu_hours: 0.02,
             deterministic_mix: false,
             memory_jitter_cv: 0.0,
+            fast_forward: true,
+            steady_confirm: 1,
         }
     }
 
@@ -131,6 +153,11 @@ pub struct PhysicalSimResult {
     /// Fill-job OOMs isolated by the memory cap (only non-zero under
     /// memory-jitter failure injection).
     pub isolated_ooms: u64,
+    /// Iterations skipped analytically by steady-state fast-forward
+    /// (zero when the run never reached a provable cycle). Skipped
+    /// iterations are counted in `iterations` as usual — this only
+    /// reports how many of them cost O(1) instead of events.
+    pub iterations_fast_forwarded: u64,
 }
 
 impl PhysicalSimResult {
@@ -153,7 +180,7 @@ pub struct PhysicalBackend {
     /// The same windows as `(duration, free_memory)` planner slots.
     stage_slots: Vec<Vec<(SimDuration, pipefill_device::Bytes)>>,
     rng: DeterministicRng,
-    plan_cache: HashMap<(ModelId, JobKind, usize), Option<ExecutionPlan>>,
+    plan_cache: HashMap<(ModelId, JobKind, usize), Option<Arc<ExecutionPlan>>>,
     tput_cache: HashMap<(ModelId, JobKind), Option<f64>>,
     executors: Vec<Option<FillJobExecutor>>,
     rotation: Option<MixRotation>,
@@ -165,6 +192,8 @@ pub struct PhysicalBackend {
     fill_flops: f64,
     jobs_completed: usize,
     isolated_ooms: u64,
+    detector: SteadyDetector,
+    fast_forwarded: u64,
     result: Option<PhysicalSimResult>,
 }
 
@@ -187,6 +216,7 @@ impl PhysicalBackend {
         let rng = DeterministicRng::seed_from(cfg.seed);
         let rotation = cfg.deterministic_mix.then(|| MixRotation::new(&cfg.mix));
         let bubble_ratio = timeline.bubble_ratio();
+        let detector = SteadyDetector::new(cfg.fast_forward, cfg.steady_confirm, STEADY_HISTORY);
         PhysicalBackend {
             period,
             main_nominal,
@@ -205,6 +235,8 @@ impl PhysicalBackend {
             fill_flops: 0.0,
             jobs_completed: 0,
             isolated_ooms: 0,
+            detector,
+            fast_forwarded: 0,
             result: None,
             cfg,
         }
@@ -230,6 +262,9 @@ impl PhysicalBackend {
                     (model, cfg.mix.sample_kind(model, &mut self.rng))
                 }
             };
+            // The cache holds `Arc`s, so handing a plan to an executor is
+            // a refcount bump — profiled plans are shared, never
+            // deep-copied in the per-draw hot path.
             let plan = self
                 .plan_cache
                 .entry((model, kind, stage))
@@ -239,7 +274,9 @@ impl PhysicalBackend {
                         return None;
                     }
                     let probe = FillJobSpec::new(u64::MAX, model, kind, u64::MAX / 2);
-                    plan_best(&probe, slots, device, &cfg.executor).ok()
+                    plan_best(&probe, slots, device, &cfg.executor)
+                        .ok()
+                        .map(Arc::new)
                 })
                 .clone();
             let Some(plan) = plan else { continue };
@@ -263,6 +300,22 @@ impl PhysicalBackend {
     /// Critical-path aggregation of the in-flight iteration's stalls.
     fn aggregate_delay(&self) -> SimDuration {
         critical_path_delay(&self.stage_delays)
+    }
+
+    /// Full behavioral state at an iteration boundary, as exact bit
+    /// patterns. Two boundaries with equal signatures (and no randomness
+    /// consumed in between — enforced separately by the RNG fingerprint)
+    /// evolve identically, which is what licenses a fast-forward skip.
+    /// Job ids are deliberately excluded: they are the one monotone,
+    /// behavior-neutral component, and the skip advances them in closed
+    /// form instead.
+    fn steady_sig(&self) -> Vec<u64> {
+        let mut sig = Vec::with_capacity(2 + 6 * self.executors.len());
+        sig_rotation(&self.rotation, &mut sig);
+        for ex in &self.executors {
+            sig_executor(ex.as_ref(), &mut sig);
+        }
+        sig
     }
 
     /// The detailed result. Only valid after the driver has run.
@@ -298,12 +351,64 @@ impl EventHandler for PhysicalBackend {
                 }
             }
             ClusterEvent::IterationEnd => {
-                self.total_delay += self.aggregate_delay();
+                let delay = self.aggregate_delay();
+                self.total_delay += delay;
                 self.stage_delays.clear();
                 self.iterations_done += 1;
                 if self.iterations_done < self.cfg.iterations {
+                    // Steady-state fast-forward: if this boundary's full
+                    // state matches an earlier one (with the RNG frozen in
+                    // between), the iterations separating them form a
+                    // cycle that would repeat verbatim. Replay the cycle's
+                    // recorded effects M times instead of simulating
+                    // M × cycle events, and resume event fidelity at the
+                    // advanced clock. Bit-for-bit identical by
+                    // construction.
+                    let mut next_at = now;
+                    if self.detector.enabled() {
+                        let counters = SteadyCounters {
+                            completions: self.jobs_completed as u64,
+                            draws: self.next_job_id,
+                            aux: self.isolated_ooms,
+                        };
+                        if self
+                            .detector
+                            .observe(self.rng.state_fingerprint(), counters)
+                        {
+                            let sig = self.steady_sig();
+                            let remaining = (self.cfg.iterations - self.iterations_done) as u64;
+                            if let Some(skip) = self.detector.end_iteration(sig, delay, remaining) {
+                                for _ in 0..skip.cycles {
+                                    for rec in &skip.records {
+                                        for &f in &rec.flops {
+                                            self.fill_flops += f;
+                                        }
+                                    }
+                                }
+                                self.total_delay += skip.delay_sum * skip.cycles;
+                                self.iterations_done += skip.iterations() as usize;
+                                self.jobs_completed +=
+                                    (skip.counters.completions * skip.cycles) as usize;
+                                self.next_job_id += skip.counters.draws * skip.cycles;
+                                self.isolated_ooms += skip.counters.aux * skip.cycles;
+                                // In-flight jobs advance with the skipped
+                                // draws so their eventual completion ids
+                                // continue the event-fidelity stream.
+                                for ex in self.executors.iter_mut().flatten() {
+                                    ex.advance_job_id(skip.counters.draws * skip.cycles);
+                                }
+                                self.fast_forwarded += skip.iterations();
+                                // Each skipped iteration would have fired
+                                // one StageBubbles per stage plus one
+                                // IterationEnd.
+                                queue.credit(skip.iterations() * (self.stages() as u64 + 1));
+                                next_at =
+                                    now + (self.period * skip.len + skip.delay_sum) * skip.cycles;
+                            }
+                        }
+                    }
                     for stage in 0..self.stages() {
-                        queue.push(now, ClusterEvent::StageBubbles { stage });
+                        queue.push(next_at, ClusterEvent::StageBubbles { stage });
                     }
                 }
             }
@@ -370,6 +475,7 @@ impl SimBackend for PhysicalBackend {
             return;
         }
         self.fill_flops += run.flops;
+        self.detector.record_flops(run.flops);
         // Jittered reality: the bubble and the partition both deviate from
         // their profiled durations.
         let actual_window = window.duration.mul_f64(self.rng.jitter(cfg_jitter));
@@ -427,6 +533,7 @@ impl SimBackend for PhysicalBackend {
             main_tflops_per_gpu: self.main_nominal / (1.0 + slowdown),
             jobs_completed: self.jobs_completed,
             isolated_ooms: self.isolated_ooms,
+            iterations_fast_forwarded: self.fast_forwarded,
         });
     }
 
@@ -502,28 +609,59 @@ pub(crate) struct MixRotation {
 }
 
 impl MixRotation {
-    pub(crate) fn new(mix: &ModelMix) -> Self {
-        let total: f64 = mix.weights().iter().map(|&(_, w)| w).sum();
-        let weights: Vec<(ModelId, f64)> =
-            mix.weights().iter().map(|&(m, w)| (m, w / total)).collect();
-        MixRotation {
+    /// Validates the mix and builds the rotation. Non-finite, negative or
+    /// all-zero weights are reported as an error instead of deferring a
+    /// panic into the per-draw selection loop.
+    pub(crate) fn try_new(mix: &ModelMix) -> Result<Self, String> {
+        Self::try_from_weights(mix.weights())
+    }
+
+    pub(crate) fn try_from_weights(raw: &[(ModelId, f64)]) -> Result<Self, String> {
+        if raw.is_empty() {
+            return Err("model mix has no entries".to_string());
+        }
+        for &(m, w) in raw {
+            if !w.is_finite() || w < 0.0 {
+                return Err(format!("model mix weight for {m:?} is not usable: {w}"));
+            }
+        }
+        let total: f64 = raw.iter().map(|&(_, w)| w).sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(format!("model mix weights sum to {total}, need > 0"));
+        }
+        let weights: Vec<(ModelId, f64)> = raw.iter().map(|&(m, w)| (m, w / total)).collect();
+        Ok(MixRotation {
             acc: vec![0.0; weights.len()],
             weights,
             kind_flip: HashMap::new(),
-        }
+        })
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the mix fails [`Self::try_new`] validation. Every
+    /// in-tree [`ModelMix`] constructor produces valid weights.
+    pub(crate) fn new(mix: &ModelMix) -> Self {
+        Self::try_new(mix).expect("invalid model mix")
     }
 
     pub(crate) fn next(&mut self) -> (ModelId, JobKind) {
         for (i, &(_, w)) in self.weights.iter().enumerate() {
             self.acc[i] += w;
         }
-        let best = self
-            .acc
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
-            .map(|(i, _)| i)
-            .expect("mix is non-empty");
+        // Manual total-order scan with a fixed index-order tie rule:
+        // `>=` keeps the *highest* maximal index, so exact ties (e.g. a
+        // 50/50 blend) resolve identically on every run and platform.
+        // This replaces `max_by(partial_cmp(..).expect(..))`, which
+        // panicked on NaN; the tie direction deliberately matches
+        // `max_by`'s last-maximum rule so realized sequences (and the
+        // golden experiment outputs derived from them) are unchanged.
+        let mut best = 0;
+        for i in 1..self.acc.len() {
+            if self.acc[i] >= self.acc[best] {
+                best = i;
+            }
+        }
         self.acc[best] -= 1.0;
         let model = self.weights[best].0;
         let kind = if model.trainable_as_fill_job() {
@@ -538,6 +676,47 @@ impl MixRotation {
             JobKind::BatchInference
         };
         (model, kind)
+    }
+
+    /// Appends the rotation's full state (accumulators and
+    /// training/inference flips) to a steady-state signature, iterating
+    /// in stable weight order — never over the `HashMap`.
+    pub(crate) fn sig_into(&self, out: &mut Vec<u64>) {
+        for (i, &(m, _)) in self.weights.iter().enumerate() {
+            out.push(self.acc[i].to_bits());
+            out.push(self.kind_flip.get(&m).copied().unwrap_or(false) as u64);
+        }
+    }
+}
+
+/// Appends an optional [`MixRotation`]'s state to a signature.
+pub(crate) fn sig_rotation(rotation: &Option<MixRotation>, out: &mut Vec<u64>) {
+    match rotation {
+        None => out.push(0),
+        Some(r) => {
+            out.push(1);
+            r.sig_into(out);
+        }
+    }
+}
+
+/// Appends one device slot's executor state to a signature. The plan's
+/// `Arc` pointer stands in for (model, kind, stage, plan) identity: plan
+/// cache entries live for the whole run, so equal pointers mean the same
+/// profiled plan. Job ids are excluded on purpose (see the backends'
+/// `steady_sig`).
+pub(crate) fn sig_executor(ex: Option<&FillJobExecutor>, out: &mut Vec<u64>) {
+    match ex {
+        None => out.push(0),
+        Some(ex) => {
+            out.push(1);
+            out.push(Arc::as_ptr(ex.plan_handle()) as usize as u64);
+            out.push(ex.cursor() as u64);
+            out.push(ex.samples_done());
+            out.push(ex.flops_done().to_bits());
+            out.push(ex.bubble_time_used().as_nanos());
+            out.push(ex.job().samples);
+        }
     }
 }
 
@@ -625,6 +804,75 @@ mod tests {
             "isolation violated: slowdown {}",
             with_faults.main_slowdown
         );
+    }
+
+    #[test]
+    fn rotation_ties_resolve_by_index_deterministically() {
+        // A 50/50 blend produces exact accumulator ties every other draw;
+        // the fixed index-order rule (last maximal index wins, matching
+        // the historical `max_by` behavior) must alternate
+        // deterministically instead of depending on float comparison
+        // quirks.
+        let mix = ModelMix::blend(ModelId::XlmRobertaXl, ModelId::EfficientNet, 0.5);
+        let mut r = MixRotation::new(&mix);
+        let seq: Vec<ModelId> = (0..8).map(|_| r.next().0).collect();
+        let expect: Vec<ModelId> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ModelId::EfficientNet
+                } else {
+                    ModelId::XlmRobertaXl
+                }
+            })
+            .collect();
+        assert_eq!(seq, expect);
+    }
+
+    #[test]
+    fn rotation_rejects_unusable_weights() {
+        // Regression: non-finite weights used to panic inside the
+        // per-draw `max_by(partial_cmp)` selection; they now surface as a
+        // constructor error.
+        assert!(MixRotation::try_from_weights(&[]).is_err());
+        assert!(MixRotation::try_from_weights(&[(ModelId::BertBase, f64::NAN)]).is_err());
+        assert!(MixRotation::try_from_weights(&[(ModelId::BertBase, f64::INFINITY)]).is_err());
+        assert!(MixRotation::try_from_weights(&[(ModelId::BertBase, -1.0)]).is_err());
+        assert!(MixRotation::try_from_weights(&[(ModelId::BertBase, 0.0)]).is_err());
+        assert!(MixRotation::try_new(&ModelMix::paper_mix()).is_ok());
+    }
+
+    #[test]
+    fn fast_forward_matches_event_fidelity_bit_for_bit() {
+        // A jitter-free deterministic run reaches steady state; the
+        // fast-forwarded result must be indistinguishable except for the
+        // skip counter.
+        let mut on = config(0.68).with_mix(ModelMix::single(ModelId::EfficientNet));
+        on.jitter_cv = 0.0;
+        on.deterministic_mix = true;
+        on.backlog_job_gpu_hours = 0.002;
+        on.iterations = 400;
+        let mut off = on.clone();
+        off.fast_forward = false;
+        let r_on = PhysicalSim::new(on).run();
+        let r_off = PhysicalSim::new(off).run();
+        assert!(
+            r_on.iterations_fast_forwarded > 0,
+            "steady state never detected"
+        );
+        assert_eq!(r_off.iterations_fast_forwarded, 0);
+        let mut r_on = r_on;
+        r_on.iterations_fast_forwarded = 0;
+        assert_eq!(r_on, r_off);
+        assert_eq!(r_on.fill_flops.to_bits(), r_off.fill_flops.to_bits());
+    }
+
+    #[test]
+    fn jittered_runs_never_fast_forward() {
+        // The default fidelity consumes randomness every iteration; the
+        // detector must stay disarmed and results must equal the
+        // pre-fast-forward behavior exactly.
+        let r = PhysicalSim::new(config(0.68)).run();
+        assert_eq!(r.iterations_fast_forwarded, 0);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Property tests for steady-state fast-forward: skipping is a pure
+//! wall-clock optimization, so with identical configuration the skipped
+//! and event-by-event runs must agree on every [`BackendMetrics`] field
+//! *bit for bit* — across every simulation backend, every pipeline
+//! schedule and arbitrary seeds. A jittered run consumes RNG every
+//! iteration, so the quiescence pre-filter must keep the detector
+//! disarmed; an infinite confirmation threshold must never skip.
+
+use proptest::prelude::*;
+
+use pipefill_core::{
+    BackendConfig, BackendMetrics, BackendRun, FaultSimConfig, FleetJobConfig, FleetSimConfig,
+    PhysicalSimConfig,
+};
+use pipefill_model_zoo::ModelId;
+use pipefill_pipeline::{MainJobSpec, ScheduleKind};
+use pipefill_trace::ModelMix;
+
+const SCHEDULES: [ScheduleKind; 4] = [
+    ScheduleKind::GPipe,
+    ScheduleKind::OneFOneB,
+    ScheduleKind::Interleaved { chunks: 2 },
+    ScheduleKind::ZbH1,
+];
+
+/// Iterations per run: detection needs ~150 boundaries in the quiescent
+/// regime, leaving a long skippable tail.
+const ITERS: usize = 400;
+
+/// A quiescent physical config: no jitter draws, deterministic
+/// single-model mix, small fill jobs — the regime in which the detector
+/// can prove a repeating iteration cycle. The tiny backlog keeps the
+/// executor cycle short on every schedule's bubble geometry (1F1B's
+/// smaller windows need smaller jobs to recur within the run).
+fn quiet_physical(seed: u64, schedule: ScheduleKind) -> PhysicalSimConfig {
+    let main = MainJobSpec::physical_5b(8, schedule);
+    let mut cfg = PhysicalSimConfig::new(main).with_fill_fraction(0.68);
+    cfg.iterations = ITERS;
+    cfg.seed = seed;
+    cfg.jitter_cv = 0.0;
+    cfg.deterministic_mix = true;
+    cfg.mix = ModelMix::single(ModelId::EfficientNet);
+    cfg.backlog_job_gpu_hours = 0.0005;
+    cfg
+}
+
+/// The fault backend in the same quiescent regime (injection disabled —
+/// the gate under which its detector arms).
+fn quiet_fault(seed: u64, schedule: ScheduleKind) -> FaultSimConfig {
+    let main = MainJobSpec::physical_5b(8, schedule);
+    let mut cfg = FaultSimConfig::new(main).with_fill_fraction(0.68);
+    cfg.iterations = ITERS;
+    cfg.seed = seed;
+    cfg.jitter_cv = 0.0;
+    cfg.deterministic_mix = true;
+    cfg.mix = ModelMix::single(ModelId::EfficientNet);
+    cfg.backlog_job_gpu_hours = 0.0005;
+    cfg
+}
+
+/// A quiescent two-job fleet: per-job detectors, distinct per-job seeds.
+fn quiet_fleet(seed: u64, schedule: ScheduleKind) -> FleetSimConfig {
+    let main = MainJobSpec::physical_5b(8, schedule);
+    let jobs = (0..2)
+        .map(|j| {
+            let mut job = FleetJobConfig::new(main.clone());
+            job.iterations = ITERS;
+            job.seed = seed + j as u64;
+            job
+        })
+        .collect();
+    let mut cfg = FleetSimConfig::new(jobs);
+    cfg.jitter_cv = 0.0;
+    cfg.deterministic_mix = true;
+    cfg.mix = ModelMix::single(ModelId::EfficientNet);
+    cfg.backlog_job_gpu_hours = 0.0005;
+    cfg
+}
+
+fn set_fast_forward(cfg: &mut BackendConfig, on: bool) {
+    match cfg {
+        BackendConfig::Physical(c) => c.fast_forward = on,
+        BackendConfig::Fault(c) => c.fast_forward = on,
+        BackendConfig::Fleet(c) => c.fast_forward = on,
+        BackendConfig::Coarse(_) => unreachable!("coarse has no iteration loop"),
+    }
+}
+
+fn set_steady_confirm(cfg: &mut BackendConfig, confirm: u32) {
+    match cfg {
+        BackendConfig::Physical(c) => c.steady_confirm = confirm,
+        BackendConfig::Fault(c) => c.steady_confirm = confirm,
+        BackendConfig::Fleet(c) => c.steady_confirm = confirm,
+        BackendConfig::Coarse(_) => unreachable!("coarse has no iteration loop"),
+    }
+}
+
+/// Iterations the run skipped, from whichever detail it produced.
+fn fast_forwarded(run: &BackendRun) -> u64 {
+    run.as_physical()
+        .map(|r| r.iterations_fast_forwarded)
+        .or_else(|| run.as_fault().map(|r| r.iterations_fast_forwarded))
+        .or_else(|| run.as_fleet().map(|r| r.iterations_fast_forwarded))
+        .expect("simulation backends report the skip counter")
+}
+
+/// Every shared-metrics field with floats as raw bits: the invariant is
+/// bit-for-bit equality, not closeness.
+fn metric_bits(m: &BackendMetrics) -> [u64; 12] {
+    [
+        m.num_devices as u64,
+        m.elapsed.as_nanos(),
+        m.events_dispatched,
+        m.fill_flops.to_bits(),
+        m.recovered_tflops_per_gpu.to_bits(),
+        m.main_tflops_per_gpu.to_bits(),
+        m.main_slowdown.to_bits(),
+        m.bubble_ratio.to_bits(),
+        m.jobs_completed as u64,
+        m.evictions,
+        m.lost_fill_flops.to_bits(),
+        m.goodput_fraction.to_bits(),
+    ]
+}
+
+/// Runs one config with the knob on and off; returns (on, off).
+fn on_off(cfg: BackendConfig) -> (BackendRun, BackendRun) {
+    let mut on = cfg.clone();
+    set_fast_forward(&mut on, true);
+    let mut off = cfg;
+    set_fast_forward(&mut off, false);
+    (on.run(), off.run())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Quiescent runs: fast-forward fires on every backend × schedule at
+    /// an arbitrary seed, and the metrics agree down to the last bit.
+    #[test]
+    fn fast_forward_is_bitwise_invisible(seed in 0u64..1_000, sched in 0usize..SCHEDULES.len()) {
+        let schedule = SCHEDULES[sched];
+        let configs = [
+            BackendConfig::Physical(quiet_physical(seed, schedule)),
+            BackendConfig::Fault(quiet_fault(seed, schedule)),
+            BackendConfig::Fleet(quiet_fleet(seed, schedule)),
+        ];
+        for cfg in configs {
+            let kind = cfg.kind();
+            let (r_on, r_off) = on_off(cfg);
+            prop_assert!(
+                fast_forwarded(&r_on) > 0,
+                "{kind}/{schedule} seed {seed}: steady state never detected"
+            );
+            prop_assert_eq!(
+                fast_forwarded(&r_off), 0,
+                "{}/{} seed {}: the off run must not skip", kind, schedule, seed
+            );
+            prop_assert_eq!(
+                metric_bits(r_on.metrics()),
+                metric_bits(r_off.metrics()),
+                "{}/{} seed {}: fast-forward changed the metrics", kind, schedule, seed
+            );
+        }
+    }
+
+    /// Default-jitter runs draw RNG every iteration: the quiescence
+    /// pre-filter keeps the detector disarmed and the knob is a no-op.
+    #[test]
+    fn jittered_runs_never_fast_forward(seed in 0u64..1_000) {
+        let main = MainJobSpec::physical_5b(8, ScheduleKind::GPipe);
+        let mut phys = PhysicalSimConfig::new(main.clone()).with_fill_fraction(0.68);
+        phys.iterations = 60;
+        phys.seed = seed;
+        let mut fault = FaultSimConfig::new(main).with_fill_fraction(0.68);
+        fault.iterations = 60;
+        fault.seed = seed;
+        for cfg in [BackendConfig::Physical(phys), BackendConfig::Fault(fault)] {
+            let kind = cfg.kind();
+            let (r_on, r_off) = on_off(cfg);
+            prop_assert_eq!(
+                fast_forwarded(&r_on), 0,
+                "{} seed {}: jittered run fast-forwarded", kind, seed
+            );
+            prop_assert_eq!(
+                metric_bits(r_on.metrics()),
+                metric_bits(r_off.metrics())
+            );
+        }
+    }
+}
+
+/// Degenerate pin: `steady_confirm = u32::MAX` can never accumulate
+/// enough confirmations, so the detector observes but never skips and
+/// the run is exactly the event-fidelity run.
+#[test]
+fn infinite_confirm_threshold_never_skips() {
+    for make in [
+        |s, sch| BackendConfig::Physical(quiet_physical(s, sch)),
+        |s, sch| BackendConfig::Fault(quiet_fault(s, sch)),
+        |s, sch| BackendConfig::Fleet(quiet_fleet(s, sch)),
+    ] {
+        let mut pinned = make(7, ScheduleKind::GPipe);
+        set_fast_forward(&mut pinned, true);
+        set_steady_confirm(&mut pinned, u32::MAX);
+        let mut off = make(7, ScheduleKind::GPipe);
+        set_fast_forward(&mut off, false);
+        let kind = pinned.kind();
+        let r_pinned = pinned.run();
+        let r_off = off.run();
+        assert_eq!(
+            fast_forwarded(&r_pinned),
+            0,
+            "{kind}: an unreachable confirmation threshold still skipped"
+        );
+        assert_eq!(
+            metric_bits(r_pinned.metrics()),
+            metric_bits(r_off.metrics()),
+            "{kind}: observing without skipping perturbed the run"
+        );
+    }
+}

@@ -7,6 +7,8 @@
 //! queries the Scheduler needs ("the Scheduler knows how long the
 //! currently executing fill-jobs will take to complete", §4.4).
 
+use std::sync::Arc;
+
 use pipefill_sim_core::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -54,10 +56,14 @@ pub struct ExecutorCheckpoint {
 }
 
 /// Executes one fill job against one device's bubble cycle.
+///
+/// The plan is held behind an [`Arc`] so that the many executors a cluster
+/// simulation spawns for the same (model, kind, stage) shape share one
+/// profiled plan instead of deep-copying it per drawn job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FillJobExecutor {
     job: FillJobSpec,
-    plan: ExecutionPlan,
+    plan: Arc<ExecutionPlan>,
     cursor: usize,
     samples_done: u64,
     flops_done: f64,
@@ -65,11 +71,12 @@ pub struct FillJobExecutor {
 }
 
 impl FillJobExecutor {
-    /// Binds a job to its chosen plan.
-    pub fn new(job: FillJobSpec, plan: ExecutionPlan) -> Self {
+    /// Binds a job to its chosen plan. Accepts either a bare
+    /// [`ExecutionPlan`] or an already-shared `Arc<ExecutionPlan>`.
+    pub fn new(job: FillJobSpec, plan: impl Into<Arc<ExecutionPlan>>) -> Self {
         FillJobExecutor {
             job,
-            plan,
+            plan: plan.into(),
             cursor: 0,
             samples_done: 0,
             flops_done: 0.0,
@@ -85,6 +92,28 @@ impl FillJobExecutor {
     /// The plan being followed.
     pub fn plan(&self) -> &ExecutionPlan {
         &self.plan
+    }
+
+    /// The shared handle to the plan being followed. Two executors whose
+    /// handles are [`Arc::ptr_eq`] are provably running the same profiled
+    /// plan — steady-state detection uses the pointer as a cheap plan
+    /// identity.
+    pub fn plan_handle(&self) -> &Arc<ExecutionPlan> {
+        &self.plan
+    }
+
+    /// Shifts the job's id forward. Steady-state fast-forward advances
+    /// ids in closed form when it skips whole cycles: the executor's
+    /// behavior never depends on the id, but the id this job eventually
+    /// completes under must reflect the draws the skip accounted for.
+    pub fn advance_job_id(&mut self, delta: u64) {
+        self.job.id.0 += delta;
+    }
+
+    /// Position in the plan's partition sequence (total partitions
+    /// executed so far; the pending partition is `cursor % partitions`).
+    pub fn cursor(&self) -> usize {
+        self.cursor
     }
 
     /// Samples completed so far (clamped to the job's target).

@@ -57,6 +57,11 @@ pub struct ScenarioSpec {
     /// Checkpoint-restart cost per eviction in seconds (fault backend).
     /// Default: 2.0.
     pub checkpoint_secs: Option<f64>,
+    /// Steady-state fast-forward (physical/fault/fleet backends):
+    /// analytically skip provably-repeating iterations. Results are
+    /// bit-for-bit identical either way; `"off"` forces full event
+    /// fidelity (debugging, timing the baseline). Default: on.
+    pub fast_forward: Option<bool>,
     /// Fill-queue policy (coarse and fleet backends). Defaults: SJF
     /// (coarse), FIFO (fleet).
     pub policy: Option<PolicyKind>,
@@ -78,6 +83,7 @@ fn inapplicable(backend: BackendKind) -> &'static [&'static str] {
             "fill_fraction",
             "mtbf_secs",
             "checkpoint_secs",
+            "fast_forward",
             "jobs",
             "gpus",
             "seeds",
@@ -174,6 +180,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Enables or disables steady-state fast-forward.
+    pub fn with_fast_forward(mut self, fast_forward: bool) -> Self {
+        self.fast_forward = Some(fast_forward);
+        self
+    }
+
     /// Sets the fill-queue policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = Some(policy);
@@ -239,6 +251,7 @@ impl ScenarioSpec {
                 }
                 self.checkpoint_secs = Some(c);
             }
+            "fast_forward" => self.fast_forward = Some(parse_on_off(key, value)?),
             "policy" => self.policy = Some(value.parse::<PolicyKind>()?),
             "jobs" => self.jobs = Some(parse_int(key, value)? as usize),
             "gpus" => self.gpus = Some(parse_int(key, value)? as usize),
@@ -287,6 +300,7 @@ impl ScenarioSpec {
                     ("fill_fraction", self.fill_fraction.is_some()),
                     ("mtbf_secs", self.mtbf_secs.is_some()),
                     ("checkpoint_secs", self.checkpoint_secs.is_some()),
+                    ("fast_forward", self.fast_forward.is_some()),
                     ("policy", self.policy.is_some()),
                     ("jobs", self.jobs.is_some()),
                     ("gpus", self.gpus.is_some()),
@@ -333,6 +347,7 @@ impl ScenarioSpec {
                         "fill_fraction" => self.fill_fraction.is_some(),
                         "mtbf_secs" => self.mtbf_secs.is_some(),
                         "checkpoint_secs" => self.checkpoint_secs.is_some(),
+                        "fast_forward" => self.fast_forward.is_some(),
                         "policy" => self.policy.is_some(),
                         "jobs" => self.jobs.is_some(),
                         "gpus" => self.gpus.is_some(),
@@ -432,6 +447,7 @@ impl ScenarioSpec {
                     .with_fill_fraction(self.fill_fraction.unwrap_or(0.68));
                 cfg.iterations = self.iterations.unwrap_or(300);
                 cfg.seed = seed;
+                cfg.fast_forward = self.fast_forward.unwrap_or(true);
                 BackendConfig::Physical(cfg)
             }
             BackendKind::Fault => {
@@ -444,6 +460,7 @@ impl ScenarioSpec {
                     ));
                 cfg.iterations = self.iterations.unwrap_or(300);
                 cfg.seed = seed;
+                cfg.fast_forward = self.fast_forward.unwrap_or(true);
                 BackendConfig::Fault(cfg)
             }
             BackendKind::Fleet => {
@@ -451,9 +468,10 @@ impl ScenarioSpec {
                 let gpus = self.gpus.unwrap_or(jobs * 128);
                 let mut workload = FleetWorkloadConfig::new(jobs, gpus, seed);
                 workload.iterations = self.iterations.unwrap_or(150);
-                let cfg = FleetSimConfig::from_workload_scheduled(&workload, schedule)
+                let mut cfg = FleetSimConfig::from_workload_scheduled(&workload, schedule)
                     .with_mtbf(mtbf_duration(self.mtbf_secs.unwrap_or(1800.0)))
                     .with_policy(self.policy.unwrap_or(PolicyKind::Fifo));
+                cfg.fast_forward = self.fast_forward.unwrap_or(true);
                 BackendConfig::Fleet(cfg)
             }
         })
@@ -494,6 +512,15 @@ pub fn parse_mtbf_secs(value: &str) -> Result<f64, String> {
         ));
     }
     Ok(secs)
+}
+
+/// Parses an on/off switch spelling (`on`/`off`, also `true`/`false`).
+fn parse_on_off(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "on" | "true" => Ok(true),
+        "off" | "false" => Ok(false),
+        _ => Err(format!("{key} expects on|off, got '{value}'")),
+    }
 }
 
 fn parse_int(key: &str, value: &str) -> Result<u64, String> {
@@ -538,6 +565,49 @@ mod tests {
             }
             other => panic!("wrong backend: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fast_forward_lowers_to_every_simulation_backend() {
+        // Default on; an explicit "off" reaches the backend config.
+        for backend in [
+            BackendKind::Physical,
+            BackendKind::Fault,
+            BackendKind::Fleet,
+        ] {
+            let on = match ScenarioSpec::run(backend).lower().unwrap() {
+                BackendConfig::Physical(cfg) => cfg.fast_forward,
+                BackendConfig::Fault(cfg) => cfg.fast_forward,
+                BackendConfig::Fleet(cfg) => cfg.fast_forward,
+                other => panic!("wrong backend: {other:?}"),
+            };
+            assert!(on, "{backend}: fast_forward defaults on");
+            let off = match ScenarioSpec::run(backend)
+                .with_fast_forward(false)
+                .lower()
+                .unwrap()
+            {
+                BackendConfig::Physical(cfg) => cfg.fast_forward,
+                BackendConfig::Fault(cfg) => cfg.fast_forward,
+                BackendConfig::Fleet(cfg) => cfg.fast_forward,
+                other => panic!("wrong backend: {other:?}"),
+            };
+            assert!(!off, "{backend}: fast_forward = off is honoured");
+        }
+        // The coarse backend has no iteration loop to skip.
+        let err = ScenarioSpec::run(BackendKind::Coarse)
+            .with_fast_forward(false)
+            .validate()
+            .unwrap_err();
+        assert!(
+            err.contains("does not apply to the coarse backend"),
+            "{err}"
+        );
+        let err = ScenarioSpec::experiment("table1")
+            .with_fast_forward(false)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("does not apply to experiment"), "{err}");
     }
 
     #[test]
@@ -665,6 +735,12 @@ mod tests {
         assert!(spec.set("fill_fraction", "1.5").is_err());
         assert!(spec.set("bogus_key", "1").is_err());
         assert!(spec.set("schedule", "2f2b").is_err());
+        spec.set("fast_forward", "off").unwrap();
+        assert_eq!(spec.fast_forward, Some(false));
+        spec.set("fast_forward", "on").unwrap();
+        assert_eq!(spec.fast_forward, Some(true));
+        let err = spec.set("fast_forward", "maybe").unwrap_err();
+        assert!(err.contains("expects on|off"), "{err}");
         spec.set("schedule", "interleaved:4").unwrap();
         assert_eq!(spec.schedule, Some(ScheduleKind::Interleaved { chunks: 4 }));
     }

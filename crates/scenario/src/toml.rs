@@ -127,6 +127,9 @@ pub fn render(spec: &ScenarioSpec) -> String {
     if let Some(v) = spec.checkpoint_secs {
         kv("checkpoint_secs", v.to_string());
     }
+    if let Some(v) = spec.fast_forward {
+        kv("fast_forward", quote(if v { "on" } else { "off" }));
+    }
     if let Some(v) = spec.policy {
         kv("policy", quote(policy_str(v)));
     }
@@ -250,10 +253,12 @@ checkpoint_secs = 2.5
             .with_iterations(40)
             .with_schedule(ScheduleKind::Interleaved { chunks: 3 })
             .with_policy(PolicyKind::MakespanMin)
-            .with_mtbf_secs(f64::INFINITY);
+            .with_mtbf_secs(f64::INFINITY)
+            .with_fast_forward(false);
         let text = render(&spec);
         assert_eq!(parse(&text).unwrap(), spec);
         assert!(text.contains("mtbf_secs = \"none\""), "{text}");
+        assert!(text.contains("fast_forward = \"off\""), "{text}");
         assert!(text.contains("schedule = \"interleaved:3\""), "{text}");
         assert!(text.contains("policy = \"makespan-min\""), "{text}");
     }

@@ -58,6 +58,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    credited: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -66,6 +67,17 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            credited: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            credited: 0,
         }
     }
 
@@ -100,6 +112,22 @@ impl<E> EventQueue<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Credits `n` events as dispatched without running them through the
+    /// queue. A handler that analytically skips a stretch of simulation
+    /// (e.g. steady-state fast-forward) calls this with the number of
+    /// events the skipped stretch would have fired, so that
+    /// [`crate::Simulation::dispatched`] stays identical whether the
+    /// stretch was simulated event-by-event or replayed in closed form.
+    pub fn credit(&mut self, n: u64) {
+        self.credited += n;
+    }
+
+    /// Takes (and resets) the credit accumulated since the last call.
+    /// The simulation driver drains this after every dispatched event.
+    pub fn take_credit(&mut self) -> u64 {
+        std::mem::take(&mut self.credited)
     }
 }
 

@@ -215,9 +215,35 @@ impl DeterministicRng {
 
     /// Multiplicative jitter `max(0, N(1, cv))`, used to perturb profiled
     /// durations in the fine-grained "physical" simulator. `cv` is the
-    /// coefficient of variation.
+    /// coefficient of variation. A `cv` of exactly zero is deterministic
+    /// and consumes no randomness (mirroring the
+    /// [`exponential_duration`](Self::exponential_duration) `MAX`-mean
+    /// convention), so jitter-free fidelity sweeps leave unrelated streams
+    /// untouched — and a jitter-free run is recognizably quiescent for
+    /// steady-state fast-forward.
     pub fn jitter(&mut self, cv: f64) -> f64 {
+        if cv == 0.0 {
+            return 1.0;
+        }
         self.normal(1.0, cv).max(0.0)
+    }
+
+    /// An opaque fingerprint of the generator's full state (xoshiro256++
+    /// words plus the cached Box–Muller spare). Two generators with equal
+    /// fingerprints produce identical future streams; a fingerprint that
+    /// changed between two observation points proves randomness was
+    /// consumed in between. Steady-state detection uses this to recognize
+    /// stochastically quiescent stretches of a simulation.
+    pub fn state_fingerprint(&self) -> [u64; 6] {
+        let spare = self.spare_normal;
+        [
+            self.inner.s[0],
+            self.inner.s[1],
+            self.inner.s[2],
+            self.inner.s[3],
+            spare.is_some() as u64,
+            spare.unwrap_or(0.0).to_bits(),
+        ]
     }
 
     /// Exponential waiting time with the given `mean` duration — the
@@ -372,6 +398,35 @@ mod tests {
         for _ in 0..10_000 {
             assert!(rng.jitter(0.5) >= 0.0);
         }
+    }
+
+    #[test]
+    fn zero_cv_jitter_is_deterministic_and_consumes_nothing() {
+        let mut a = DeterministicRng::seed_from(8);
+        let mut b = DeterministicRng::seed_from(8);
+        assert_eq!(a.jitter(0.0), 1.0);
+        // The cv=0 path consumes no randomness: both streams stay aligned.
+        assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn state_fingerprint_tracks_consumption() {
+        let mut a = DeterministicRng::seed_from(21);
+        let b = DeterministicRng::seed_from(21);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        let fp = a.state_fingerprint();
+        let _ = a.jitter(0.0); // no consumption
+        assert_eq!(a.state_fingerprint(), fp);
+        let _ = a.uniform(0.0, 1.0);
+        assert_ne!(a.state_fingerprint(), fp);
+        // The Box–Muller spare is part of the state: the first normal
+        // changes it, the second consumes it.
+        let fp = a.state_fingerprint();
+        let _ = a.normal(0.0, 1.0);
+        let after_first = a.state_fingerprint();
+        assert_ne!(after_first, fp);
+        let _ = a.normal(0.0, 1.0);
+        assert_ne!(a.state_fingerprint(), after_first);
     }
 
     #[test]

@@ -130,13 +130,15 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes a sample. Returns `None` for an empty slice.
+    /// Summarizes a sample. NaN observations are skipped — one failed or
+    /// undefined metric must not abort a whole sweep. Returns `None` when
+    /// the slice is empty or contains only NaNs.
     pub fn from_slice(values: &[f64]) -> Option<Summary> {
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary input contained NaN"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
@@ -273,6 +275,18 @@ mod tests {
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.median, 5.0);
         assert_eq!(s.p99, 5.0);
+    }
+
+    #[test]
+    fn summary_skips_nan_observations() {
+        // Regression: a single NaN used to panic via partial_cmp().expect,
+        // aborting an entire sweep over one bad metric.
+        let s = Summary::from_slice(&[3.0, f64::NAN, 1.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::from_slice(&[f64::NAN, f64::NAN]).is_none());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!   `runner_class` matches `PERF_RUNNER_CLASS` (default `local-dev`) —
 //!   a wall-clock regression beyond the tolerance. Wall numbers from a
 //!   different machine class are reported but not compared.
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 

@@ -27,6 +27,7 @@
 //!
 //! Every command accepts `--threads N` to bound the parallel sweep pool.
 //! ```
+#![forbid(unsafe_code)]
 
 mod args;
 mod commands;

@@ -1,0 +1,345 @@
+//! A hand-rolled line-oriented Rust lexer.
+//!
+//! The rule engine works on *lines*, but raw source lines are unsafe to
+//! pattern-match: a `.keys()` inside a string literal or a code example
+//! inside a comment must not trigger a rule, and a suppression
+//! annotation lives in comment text that must be recovered exactly. The
+//! lexer walks each file once and produces, per physical line:
+//!
+//! * `code` — the line with comments removed and every string/char
+//!   literal collapsed to an empty literal, so rules match only real
+//!   code tokens;
+//! * `comments` — the text of each comment (without delimiters) that
+//!   starts on or spans the line, for suppression parsing;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item, so
+//!   the policy can relax rules for test-only code.
+//!
+//! The lexer understands line comments, nested block comments, string
+//! literals with escapes (including multi-line), raw strings with any
+//! hash count, byte strings, and the char-literal/lifetime ambiguity
+//! (`'a'` vs `<'a>`). It does not need to be a full Rust lexer — only
+//! to never misclassify the token class a rule or suppression reads.
+
+/// One physical source line, classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Code content: comments stripped, literal bodies blanked.
+    pub code: String,
+    /// Text of comments that begin on this line (delimiters removed,
+    /// leading doc-comment markers kept out).
+    pub comments: Vec<String>,
+    /// True when the line is part of a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `/* */`, with nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string (escapes respected).
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `source` into classified [`Line`]s.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in source.lines() {
+        let mut code = String::new();
+        let mut comments = Vec::new();
+        // Block-comment text is collected per line: a multi-line block
+        // contributes each line's fragment to that line only, so a
+        // suppression annotation attaches to exactly one line.
+        let mut block_fragment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Code;
+                            comments.push(block_fragment.trim().to_string());
+                            block_fragment.clear();
+                        } else {
+                            mode = Mode::Block(depth - 1);
+                            block_fragment.push_str("*/");
+                        }
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                        block_fragment.push_str("/*");
+                    } else {
+                        block_fragment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if chars[i] == '\\' {
+                        i += 2; // skip the escaped char (may run off the line: \ at EOL)
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: strip doc markers, keep the text.
+                        let mut j = i + 2;
+                        while j < chars.len() && (chars[j] == '/' || chars[j] == '!') {
+                            j += 1;
+                        }
+                        let text: String = chars[j..].iter().collect();
+                        comments.push(text.trim().to_string());
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                        // Skip doc markers `/**` / `/*!`.
+                        while i < chars.len() && (chars[i] == '*' || chars[i] == '!') {
+                            // A `*/` right here would close an empty comment.
+                            if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                                break;
+                            }
+                            i += 1;
+                        }
+                    } else if let Some(hashes) = raw_string_at(&chars, i) {
+                        // r"…", r#"…"#, br#"…"# …
+                        code.push('"');
+                        // Advance past prefix, hashes and opening quote.
+                        while chars[i] != '"' {
+                            i += 1;
+                        }
+                        i += 1;
+                        mode = Mode::RawStr(hashes);
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if c == '\'' {
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            code.push_str("' '");
+                            i = end;
+                        } else {
+                            // Lifetime marker — code as-is.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if matches!(mode, Mode::Block(_)) && !block_fragment.trim().is_empty() {
+            // Line ends inside a block comment: expose this line's text
+            // for the suppression scan.
+            comments.push(block_fragment.trim().to_string());
+        }
+        lines.push(Line {
+            code,
+            comments,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// True when `chars[at..]` holds `hashes` consecutive `#`s (the closer
+/// of a raw string).
+fn closes_raw(chars: &[char], at: usize, hashes: u32) -> bool {
+    let h = hashes as usize;
+    chars.len() >= at + h && chars[at..at + h].iter().all(|&c| c == '#')
+}
+
+/// Detects a raw-string opener (`r"`, `r#"`, `br##"` …) at `i`,
+/// returning its hash count.
+fn raw_string_at(chars: &[char], i: usize) -> Option<u32> {
+    // Must not be the tail of an identifier (e.g. `for r` vs `var`).
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns the index
+/// just past its closing quote; `None` means this is a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let next = *chars.get(i + 1)?;
+    if next == '\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        if chars.get(j) == Some(&'u') {
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+        } else {
+            j += 1;
+        }
+        (chars.get(j) == Some(&'\'')).then_some(j + 1)
+    } else if chars.get(i + 2) == Some(&'\'') && next != '\'' {
+        // Plain 'x'. (`'a` with no closing quote is a lifetime.)
+        Some(i + 3)
+    } else {
+        None
+    }
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// State machine marking lines inside `#[cfg(test)]` items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TestState {
+    Out,
+    /// Saw the attribute; waiting for the item it decorates.
+    Pending,
+    /// Inside the braced item; region ends when depth returns to this.
+    InBlock(i64),
+}
+
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut state = TestState::Out;
+    for line in lines.iter_mut() {
+        let started_in = state != TestState::Out;
+        let mut entered = false;
+        if state == TestState::Out && line.code.contains("#[cfg(test)]") {
+            state = TestState::Pending;
+            entered = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if state == TestState::Pending {
+                        state = TestState::InBlock(depth);
+                        entered = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let TestState::InBlock(end) = state {
+                        if depth <= end {
+                            state = TestState::Out;
+                        }
+                    }
+                }
+                // `#[cfg(test)] use …;` — a single braceless item.
+                ';' if state == TestState::Pending => {
+                    state = TestState::Out;
+                    entered = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = started_in || entered || state != TestState::Out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let code = code_of("let x = \"map.keys()\";");
+        assert_eq!(code, vec!["let x = \"\";"]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_across_lines() {
+        let code = code_of("let x = r#\"a\nb.keys()\nc\"#; x.keys()");
+        assert_eq!(code, vec!["let x = \"", "", "\"#; x.keys()"]);
+    }
+
+    #[test]
+    fn line_comments_are_captured() {
+        let lines = lex("foo(); // detlint note\n/// doc text\n");
+        assert_eq!(lines[0].code, "foo(); ");
+        assert_eq!(lines[0].comments, vec!["detlint note"]);
+        assert_eq!(lines[1].code, "");
+        assert_eq!(lines[1].comments, vec!["doc text"]);
+    }
+
+    #[test]
+    fn block_comments_strip_code() {
+        let lines = lex("a(); /* x.keys() */ b();");
+        assert_eq!(lines[0].code, "a();  b();");
+        assert_eq!(lines[0].comments, vec!["x.keys()"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("/* outer /* inner */ still */ code()");
+        assert_eq!(lines[0].code, " code()");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let code = code_of("let c = '\"'; fn f<'a>(x: &'a str) {}");
+        assert_eq!(code, vec!["let c = ' '; fn f<'a>(x: &'a str) {}"]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lines = lex(src);
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let flags: Vec<bool> = lex(src).iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+
+    #[test]
+    fn multiline_string_hides_content() {
+        let src = "let s = \"first\nsecond.keys()\nthird\";\nx.f();\n";
+        let code = code_of(src);
+        assert_eq!(code, vec!["let s = \"", "", "\";", "x.f();"]);
+    }
+}

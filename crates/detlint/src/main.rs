@@ -1,0 +1,117 @@
+//! The `detlint` bin: lints the workspace, prints `human` or `json`,
+//! exits nonzero on violations or a stale checked-in report.
+//!
+//! ```text
+//! detlint [--root DIR] [--policy FILE] [--format human|json]
+//!         [--check-report FILE] [--write-report FILE]
+//! ```
+//!
+//! * `--root` — workspace root (default `.`; must contain `crates/`).
+//! * `--policy` — policy file (default `<root>/detlint.toml`).
+//! * `--format json` — print the machine-readable report to stdout.
+//! * `--check-report` — additionally fail (exit 1) when the given
+//!   checked-in report does not byte-match the fresh one, so a
+//!   suppression cannot be added or dropped without updating the report.
+//! * `--write-report` — write the fresh report to the given path.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pipefill_detlint::{analyze_workspace, policy, report};
+
+struct Args {
+    root: PathBuf,
+    policy: Option<PathBuf>,
+    format: Format,
+    check_report: Option<PathBuf>,
+    write_report: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        policy: None,
+        format: Format::Human,
+        check_report: None,
+        write_report: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value()?),
+            "--policy" => args.policy = Some(PathBuf::from(value()?)),
+            "--format" => {
+                args.format = match value()?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format '{other}' (human|json)")),
+                }
+            }
+            "--check-report" => args.check_report = Some(PathBuf::from(value()?)),
+            "--write-report" => args.write_report = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(argv: &[String]) -> Result<bool, String> {
+    let args = parse_args(argv)?;
+    let policy_path = args
+        .policy
+        .clone()
+        .unwrap_or_else(|| args.root.join("detlint.toml"));
+    let policy_text = std::fs::read_to_string(&policy_path)
+        .map_err(|e| format!("{}: {e}", policy_path.display()))?;
+    let policy = policy::parse(&policy_text).map_err(|e| format!("detlint.toml: {e}"))?;
+    let analysis = analyze_workspace(&args.root, &policy)?;
+    let json = report::to_json(&analysis);
+    match args.format {
+        Format::Human => print!("{}", report::to_human(&analysis)),
+        Format::Json => print!("{json}"),
+    }
+    if let Some(path) = &args.write_report {
+        std::fs::write(path, &json).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let mut ok = analysis.violations.is_empty();
+    if let Some(path) = &args.check_report {
+        let recorded =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if recorded != json {
+            eprintln!(
+                "detlint: {} is stale — the live suppression/violation set changed; \
+                 regenerate it with `detlint --format json --write-report {}` and review \
+                 the diff",
+                path.display(),
+                path.display()
+            );
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("detlint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

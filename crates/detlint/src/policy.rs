@@ -1,0 +1,328 @@
+//! The checked-in `detlint.toml` policy: crate tiers and per-rule
+//! applicability.
+//!
+//! The policy is deliberately *total*: every crate directory under
+//! `crates/` (plus the root `pipefill` facade package) must be assigned
+//! a tier, and every known rule must be configured — a new crate or a
+//! new rule cannot slip in un-audited. The file is a TOML subset in the
+//! same spirit as the scenario reader (`crates/scenario/src/toml.rs`):
+//! `[section]` headers, `key = value` lines, `#` comments, and — because
+//! silent last-write-wins is itself a reproducibility hazard — duplicate
+//! keys are rejected with the line of the first occurrence.
+
+use std::collections::BTreeMap;
+
+use crate::rules::RULE_IDS;
+
+/// How strictly a crate is held to the determinism discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Simulation/state crates: results must be byte-identical across
+    /// thread counts, runs and hosts. All rules apply.
+    Deterministic,
+    /// Entry-point crates (CLI, bench harness): may read clocks, env
+    /// and argv, but still must not introduce ordering hazards.
+    Driver,
+    /// Walked but not linted (reserved; no crate uses it today).
+    Exempt,
+}
+
+impl Tier {
+    fn parse(s: &str) -> Result<Tier, String> {
+        match s {
+            "deterministic" => Ok(Tier::Deterministic),
+            "driver" => Ok(Tier::Driver),
+            "exempt" => Ok(Tier::Exempt),
+            other => Err(format!(
+                "unknown tier '{other}' (expected deterministic|driver|exempt)"
+            )),
+        }
+    }
+
+    /// The policy-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Deterministic => "deterministic",
+            Tier::Driver => "driver",
+            Tier::Exempt => "exempt",
+        }
+    }
+}
+
+/// Per-rule applicability, from a `[rules.<id>]` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Tiers the rule fires in.
+    pub tiers: Vec<Tier>,
+    /// Whether the rule also fires inside `#[cfg(test)]` code.
+    pub in_tests: bool,
+    /// When non-empty, the rule only fires in files whose name matches
+    /// one of these (exact file-name match, e.g. `metrics.rs`).
+    pub files: Vec<String>,
+}
+
+/// The parsed policy document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// Crate directory name (or `pipefill` for the root package) → tier.
+    pub tiers: BTreeMap<String, Tier>,
+    /// Rule id → applicability.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Policy {
+    /// Looks up a crate's tier.
+    pub fn tier_of(&self, crate_name: &str) -> Option<Tier> {
+        self.tiers.get(crate_name).copied()
+    }
+
+    /// Whether `rule` applies in `tier` for a file named `file_name`,
+    /// on a line that is (`in_test`) or is not test code.
+    pub fn applies(&self, rule: &str, tier: Tier, file_name: &str, in_test: bool) -> bool {
+        let Some(cfg) = self.rules.get(rule) else {
+            return false;
+        };
+        if tier == Tier::Exempt || !cfg.tiers.contains(&tier) {
+            return false;
+        }
+        if in_test && !cfg.in_tests {
+            return false;
+        }
+        cfg.files.is_empty() || cfg.files.iter().any(|f| f == file_name)
+    }
+}
+
+/// Parses `detlint.toml`.
+///
+/// # Errors
+///
+/// `line N: message` for syntax errors; unknown sections, unknown or
+/// unconfigured rules, duplicate keys and bad tier names are all errors.
+pub fn parse(text: &str) -> Result<Policy, String> {
+    let mut tiers: BTreeMap<String, Tier> = BTreeMap::new();
+    let mut rules: BTreeMap<String, RuleConfig> = BTreeMap::new();
+    // (section, key) → first-occurrence line, for duplicate reporting.
+    let mut seen: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut section: Option<String> = None;
+    let mut tiers_section_seen = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let at = |msg: String| format!("line {lineno}: {msg}");
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(at(format!("unterminated section header '{line}'")));
+            };
+            let name = name.trim();
+            if name == "tiers" && !tiers_section_seen {
+                tiers_section_seen = true;
+            } else if name == "tiers" {
+                return Err(at("duplicate section '[tiers]'".into()));
+            }
+            if name != "tiers" && !name.starts_with("rules.") {
+                return Err(at(format!(
+                    "unknown section '[{name}]' (expected [tiers] or [rules.<id>])"
+                )));
+            }
+            if let Some(rule) = name.strip_prefix("rules.") {
+                if !RULE_IDS.contains(&rule) {
+                    return Err(at(format!(
+                        "unknown rule '{rule}' (known: {})",
+                        RULE_IDS.join(", ")
+                    )));
+                }
+                if rules.contains_key(rule) {
+                    return Err(at(format!("duplicate section '[rules.{rule}]'")));
+                }
+                rules.insert(
+                    rule.to_string(),
+                    RuleConfig {
+                        tiers: Vec::new(),
+                        in_tests: true,
+                        files: Vec::new(),
+                    },
+                );
+            }
+            section = Some(name.to_string());
+            continue;
+        }
+        let Some(current) = section.clone() else {
+            return Err(at("keys must follow a section header".into()));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(at(format!("expected 'key = value', got '{line}'")));
+        };
+        let key = key.trim().to_string();
+        let value = value.trim();
+        if let Some(&first) = seen.get(&(current.clone(), key.clone())) {
+            return Err(at(format!(
+                "duplicate key '{key}' in [{current}] (first set at line {first})"
+            )));
+        }
+        seen.insert((current.clone(), key.clone()), lineno);
+        if current == "tiers" {
+            let tier = Tier::parse(&parse_string(value).map_err(&at)?).map_err(&at)?;
+            tiers.insert(key, tier);
+        } else {
+            let rule = current.strip_prefix("rules.").expect("checked above");
+            let cfg = rules.get_mut(rule).expect("inserted with the section");
+            match key.as_str() {
+                "tiers" => {
+                    let names = parse_string_array(value).map_err(&at)?;
+                    cfg.tiers = names
+                        .iter()
+                        .map(|n| Tier::parse(n))
+                        .collect::<Result<_, _>>()
+                        .map_err(&at)?;
+                }
+                "in_tests" => cfg.in_tests = parse_bool(value).map_err(&at)?,
+                "files" => cfg.files = parse_string_array(value).map_err(&at)?,
+                other => {
+                    return Err(at(format!(
+                        "unknown rule key '{other}' (expected tiers, in_tests or files)"
+                    )))
+                }
+            }
+        }
+    }
+    for rule in RULE_IDS {
+        let Some(cfg) = rules.get(*rule) else {
+            return Err(format!(
+                "rule '{rule}' is not configured — every known rule needs a [rules.{rule}] section"
+            ));
+        };
+        if cfg.tiers.is_empty() {
+            return Err(format!("rule '{rule}' lists no tiers"));
+        }
+    }
+    if tiers.is_empty() {
+        return Err("policy has no [tiers] section".into());
+    }
+    Ok(Policy { tiers, rules })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got '{value}'"))?;
+    if inner.contains('"') {
+        return Err(format!("embedded quote in string {value}"));
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected true or false, got '{other}'")),
+    }
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array like [\"a\", \"b\"], got '{value}'"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(|e| parse_string(e.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+# tiers
+[tiers]
+core = "deterministic"
+cli = "driver"
+
+[rules.hash-iter]
+tiers = ["deterministic", "driver"]
+
+[rules.wall-clock]
+tiers = ["deterministic"]
+
+[rules.ambient-env]
+tiers = ["deterministic"]
+in_tests = false
+
+[rules.rand-crate]
+tiers = ["deterministic", "driver"]
+
+[rules.float-sort]
+tiers = ["deterministic", "driver"]
+
+[rules.metrics-cast]
+tiers = ["deterministic"]
+files = ["metrics.rs"]
+"#;
+
+    #[test]
+    fn parses_a_full_policy() {
+        let p = parse(MINI).unwrap();
+        assert_eq!(p.tier_of("core"), Some(Tier::Deterministic));
+        assert_eq!(p.tier_of("cli"), Some(Tier::Driver));
+        assert!(p.applies("hash-iter", Tier::Deterministic, "fleet.rs", false));
+        assert!(p.applies("hash-iter", Tier::Driver, "main.rs", false));
+        assert!(!p.applies("wall-clock", Tier::Driver, "main.rs", false));
+        assert!(!p.applies("ambient-env", Tier::Deterministic, "csv.rs", true));
+        assert!(p.applies("metrics-cast", Tier::Deterministic, "metrics.rs", false));
+        assert!(!p.applies("metrics-cast", Tier::Deterministic, "fleet.rs", false));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_first_line() {
+        let doc = format!("{MINI}\n[tiers]\n");
+        let err = parse(&doc).unwrap_err();
+        assert!(
+            err.contains("duplicate") || err.contains("unknown"),
+            "{err}"
+        );
+        let dup = MINI.replace(
+            "core = \"deterministic\"",
+            "core = \"deterministic\"\ncore = \"driver\"",
+        );
+        let err = parse(&dup).unwrap_err();
+        assert!(err.contains("duplicate key 'core'"), "{err}");
+        assert!(err.contains("first set at line"), "{err}");
+    }
+
+    #[test]
+    fn missing_rule_config_is_an_error() {
+        let truncated = MINI.replace("[rules.metrics-cast]", "[rules.float-sort]");
+        let err = parse(&truncated).unwrap_err();
+        assert!(
+            err.contains("duplicate section") || err.contains("metrics-cast"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_and_bad_tier_are_errors() {
+        let err = parse("[rules.made-up]\ntiers = [\"deterministic\"]\n").unwrap_err();
+        assert!(err.contains("unknown rule 'made-up'"), "{err}");
+        let err = parse("[tiers]\ncore = \"golden\"\n").unwrap_err();
+        assert!(err.contains("unknown tier 'golden'"), "{err}");
+    }
+}

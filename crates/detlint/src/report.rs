@@ -1,0 +1,173 @@
+//! Report rendering: `human` for terminals, `json` for CI and the
+//! checked-in `detlint-report.json`.
+//!
+//! The JSON writer is hand-rolled (same stance as the perf-snapshot
+//! writer in `crates/bench`): the dependency policy has no serde_json,
+//! and the document is small. Output is fully deterministic — findings
+//! and suppressions are sorted by (file, line, rule) — so the checked-in
+//! report can be compared byte-for-byte.
+
+use crate::rules::{Finding, Suppression};
+
+/// A whole-workspace lint result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted.
+    pub violations: Vec<Finding>,
+    /// Accepted suppressions, sorted.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Schema version stamped into the JSON document.
+pub const SCHEMA: u32 = 1;
+
+/// Renders the machine-readable report (trailing newline included).
+pub fn to_json(analysis: &Analysis) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA},\n"));
+    out.push_str(&format!(
+        "  \"violation_count\": {},\n",
+        analysis.violations.len()
+    ));
+    out.push_str(&format!(
+        "  \"suppression_count\": {},\n",
+        analysis.suppressions.len()
+    ));
+    out.push_str("  \"violations\": [");
+    for (i, v) in analysis.violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(&v.rule),
+            json_str(&v.message)
+        ));
+    }
+    out.push_str(if analysis.violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"suppressions\": [");
+    for (i, s) in analysis.suppressions.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+            json_str(&s.file),
+            s.line,
+            json_str(&s.rule),
+            json_str(&s.reason)
+        ));
+    }
+    out.push_str(if analysis.suppressions.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the terminal report.
+pub fn to_human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for v in &analysis.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            v.file, v.line, v.rule, v.message
+        ));
+    }
+    if !analysis.suppressions.is_empty() {
+        out.push_str(&format!(
+            "{} audited suppression(s):\n",
+            analysis.suppressions.len()
+        ));
+        for s in &analysis.suppressions {
+            out.push_str(&format!(
+                "  {}:{}: allow({}) — {}\n",
+                s.file, s.line, s.rule, s.reason
+            ));
+        }
+    }
+    if analysis.violations.is_empty() {
+        out.push_str(&format!(
+            "detlint: clean ({} suppression(s) on record)\n",
+            analysis.suppressions.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "detlint: {} violation(s)\n",
+            analysis.violations.len()
+        ));
+    }
+    out
+}
+
+/// JSON string escaping (control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Analysis {
+        Analysis {
+            violations: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "hash-iter".into(),
+                message: "`m.keys` iterates \"hash\"".into(),
+            }],
+            suppressions: vec![Suppression {
+                file: "crates/y/src/lib.rs".into(),
+                line: 9,
+                rule: "wall-clock".into(),
+                reason: "display only".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let doc = to_json(&sample());
+        assert!(doc.contains("\"violation_count\": 1"), "{doc}");
+        assert!(doc.contains("\\\"hash\\\""), "{doc}");
+        assert!(doc.ends_with("}\n"), "{doc}");
+        assert_eq!(doc, to_json(&sample()), "rendering must be deterministic");
+    }
+
+    #[test]
+    fn empty_analysis_renders_empty_arrays() {
+        let doc = to_json(&Analysis::default());
+        assert!(doc.contains("\"violations\": []"), "{doc}");
+        assert!(doc.contains("\"suppressions\": []"), "{doc}");
+    }
+
+    #[test]
+    fn human_mode_reports_both_sections() {
+        let text = to_human(&sample());
+        assert!(
+            text.contains("crates/x/src/lib.rs:3: [hash-iter]"),
+            "{text}"
+        );
+        assert!(text.contains("allow(wall-clock) — display only"), "{text}");
+        assert!(text.contains("1 violation(s)"), "{text}");
+    }
+}

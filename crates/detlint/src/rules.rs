@@ -1,0 +1,663 @@
+//! The determinism rules and the line-level engine that applies them.
+//!
+//! Each rule is syntactic but token-aware: it runs over lexed lines
+//! ([`crate::lexer::Line`]), so string literals and comments can never
+//! trigger it. The engine also resolves suppression annotations (see
+//! [`crate::suppress`]) and emits `allow-audit` findings for annotations
+//! that are malformed, name an unknown rule, or no longer cover a real
+//! finding — a suppression cannot rot silently.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{is_ident_char, Line};
+use crate::policy::{Policy, Tier};
+use crate::suppress::{parse_annotations, Annotation};
+
+/// Every content rule the engine knows, in report order.
+///
+/// * `hash-iter` — iteration over a `HashMap`/`HashSet` (`for … in`,
+///   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()` …):
+///   visit order is seeded per-process, so any observable effect breaks
+///   byte-identical replay.
+/// * `wall-clock` — `std::time::Instant`/`SystemTime` reads or
+///   `std::thread::current()`: real time and thread identity must never
+///   reach simulation state.
+/// * `ambient-env` — `std::env::*` / `std::process::id()`: environment
+///   lookups make a run depend on the host.
+/// * `rand-crate` — the `rand` crate: all randomness must flow through
+///   the in-tree seeded `DeterministicRng`.
+/// * `float-sort` — `partial_cmp(..).unwrap()/expect()` comparators: a
+///   NaN panics mid-run; comparators must use `total_cmp` (or a
+///   validated total order).
+/// * `metrics-cast` — `as <integer>` casts in accounting paths
+///   (policy-scoped to `metrics.rs`): silent truncation corrupts the
+///   numbers every golden pins.
+pub const RULE_IDS: &[&str] = &[
+    "hash-iter",
+    "wall-clock",
+    "ambient-env",
+    "rand-crate",
+    "float-sort",
+    "metrics-cast",
+];
+
+/// The meta-rule auditing the suppression annotations themselves.
+pub const ALLOW_AUDIT: &str = "allow-audit";
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of [`RULE_IDS`] or [`ALLOW_AUDIT`]).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One accepted suppression: a finding explicitly allowed in source.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Suppression {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line of the *suppressed code* (not the annotation).
+    pub line: usize,
+    /// Rule id being allowed.
+    pub rule: String,
+    /// The reviewer-facing justification from the annotation.
+    pub reason: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileAnalysis {
+    /// Violations (unsuppressed findings + annotation-audit failures).
+    pub violations: Vec<Finding>,
+    /// Findings covered by a valid annotation.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lints one file's lexed lines under `policy`, for a crate in `tier`.
+///
+/// `file` is the repo-relative path used in reports; its final
+/// component also drives per-file rule scoping (`metrics-cast`).
+pub fn check_file(file: &str, tier: Tier, policy: &Policy, lines: &[Line]) -> FileAnalysis {
+    let file_name = file.rsplit('/').next().unwrap_or(file);
+    let hash_idents = collect_hash_idents(lines);
+    let mut raw: Vec<Finding> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut fire = |rule: &str, message: String| {
+            if policy.applies(rule, tier, file_name, line.in_test) {
+                raw.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: rule.to_string(),
+                    message,
+                });
+            }
+        };
+        check_hash_iter(lines, idx, &hash_idents, &mut fire);
+        check_wall_clock(&line.code, &mut fire);
+        check_ambient_env(&line.code, &mut fire);
+        check_rand_crate(&line.code, &mut fire);
+        check_float_sort(lines, idx, &mut fire);
+        check_metrics_cast(&line.code, &mut fire);
+    }
+    resolve_suppressions(file, tier, lines, raw)
+}
+
+/// Applies annotations to raw findings, auditing the annotations
+/// themselves.
+fn resolve_suppressions(file: &str, tier: Tier, lines: &[Line], raw: Vec<Finding>) -> FileAnalysis {
+    let annotations = parse_annotations(lines);
+    let mut analysis = FileAnalysis::default();
+    let mut used: BTreeSet<usize> = BTreeSet::new(); // indices into `annotations`
+    for finding in raw {
+        let slot = annotations.iter().enumerate().find(|(_, a)| {
+            a.covers == finding.line && a.rule.as_deref() == Some(finding.rule.as_str())
+        });
+        match slot {
+            Some((i, a)) => {
+                used.insert(i);
+                analysis.suppressions.push(Suppression {
+                    file: file.to_string(),
+                    line: finding.line,
+                    rule: finding.rule,
+                    reason: a.reason.clone().unwrap_or_default(),
+                });
+            }
+            None => analysis.violations.push(finding),
+        }
+    }
+    // Exempt crates get no annotation audit either.
+    if tier != Tier::Exempt {
+        for (i, a) in annotations.iter().enumerate() {
+            audit_annotation(file, a, used.contains(&i), &mut analysis.violations);
+        }
+    }
+    analysis.violations.sort();
+    analysis.suppressions.sort();
+    analysis
+}
+
+/// Emits `allow-audit` violations for a bad or unused annotation.
+fn audit_annotation(file: &str, a: &Annotation, used: bool, out: &mut Vec<Finding>) {
+    let mut fail = |message: String| {
+        out.push(Finding {
+            file: file.to_string(),
+            line: a.line,
+            rule: ALLOW_AUDIT.to_string(),
+            message,
+        });
+    };
+    let Some(rule) = a.rule.as_deref() else {
+        fail("malformed allow annotation: could not read a rule id".to_string());
+        return;
+    };
+    if !RULE_IDS.contains(&rule) {
+        fail(format!(
+            "allow annotation names unknown rule '{rule}' (known: {})",
+            RULE_IDS.join(", ")
+        ));
+        return;
+    }
+    if a.reason.as_deref().is_none_or(str::is_empty) {
+        fail(format!(
+            "allow({rule}) annotation is missing its reason — write \
+             `detlint: allow({rule}) — <why this is deterministic>`"
+        ));
+        return;
+    }
+    if !used {
+        // An annotation that suppresses nothing: either the code was
+        // fixed (delete the annotation) or the rule no longer fires
+        // there (the policy changed). Either way it must not linger.
+        fail(format!(
+            "unused allow({rule}) annotation: no {rule} finding on the line it covers"
+        ));
+    }
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` values in this
+/// file: struct fields, `let` bindings, params (`name: HashMap<…>`) and
+/// direct constructions (`let name = HashMap::new()`), plus identifiers
+/// typed with a local alias (`type PlanCache = HashMap<…>;`).
+fn collect_hash_idents(lines: &[Line]) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    let mut aliases: BTreeSet<String> = BTreeSet::new();
+    // Pass 1: type aliases whose right-hand side is a hash collection.
+    for line in lines {
+        let code = &line.code;
+        if let Some(rest) = token_tail(code, "type") {
+            if let Some((alias, rhs)) = rest.split_once('=') {
+                let alias = alias.trim();
+                let alias = alias.split('<').next().unwrap_or(alias).trim();
+                if rhs_is_hash(rhs.trim()) && !alias.is_empty() {
+                    aliases.insert(alias.to_string());
+                }
+            }
+        }
+    }
+    // Pass 2: bindings.
+    for line in lines {
+        let code = &line.code;
+        // `name: HashMap<…>` / `name: &mut HashSet<…>` / `name: Alias`
+        for (pos, _) in code.match_indices(':') {
+            // Skip `::` path separators.
+            let bytes = code.as_bytes();
+            if pos + 1 < bytes.len() && bytes[pos + 1] == b':' {
+                continue;
+            }
+            if pos > 0 && bytes[pos - 1] == b':' {
+                continue;
+            }
+            let Some(name) = ident_before(code, pos) else {
+                continue;
+            };
+            let ty = code[pos + 1..].trim_start();
+            if rhs_is_hash(ty) || aliases.iter().any(|a| type_starts_with(ty, a)) {
+                idents.insert(name);
+            }
+        }
+        // `let name = HashMap::new()` and friends — every `let` on the
+        // line, each scoped to its own statement.
+        for rest in token_tails(code, "let") {
+            let rest = rest.split(';').next().unwrap_or(rest).trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            if let Some((name, rhs)) = rest.split_once('=') {
+                let name = name.trim();
+                let name = name.split(':').next().unwrap_or(name).trim();
+                let rhs = rhs.trim_start();
+                if name.chars().all(is_ident_char)
+                    && !name.is_empty()
+                    && (rhs_is_hash(rhs) || aliases.iter().any(|a| type_starts_with(rhs, a)))
+                {
+                    idents.insert(name.to_string());
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// Whether a type or constructor expression denotes a hash collection
+/// (optionally behind references / a `std::collections::` path).
+fn rhs_is_hash(s: &str) -> bool {
+    let s = s
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start();
+    let s = s.strip_prefix("std::collections::").unwrap_or(s);
+    s.starts_with("HashMap<")
+        || s.starts_with("HashSet<")
+        || s.starts_with("HashMap::")
+        || s.starts_with("HashSet::")
+}
+
+/// Whether type text `ty` begins with alias `a` as a whole token.
+fn type_starts_with(ty: &str, a: &str) -> bool {
+    let ty = ty
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start();
+    ty.starts_with(a)
+        && ty[a.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c))
+}
+
+/// If `code` contains keyword `kw` as a whole token, returns the text
+/// after its first occurrence.
+fn token_tail<'a>(code: &'a str, kw: &str) -> Option<&'a str> {
+    token_tails(code, kw).into_iter().next()
+}
+
+/// The text after every whole-token occurrence of keyword `kw`.
+fn token_tails<'a>(code: &'a str, kw: &str) -> Vec<&'a str> {
+    let mut tails = Vec::new();
+    for (pos, m) in code.match_indices(kw) {
+        let before_ok = code[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let after = &code[pos + m.len()..];
+        let after_ok = after.chars().next().is_some_and(|c| c == ' ');
+        if before_ok && after_ok {
+            tails.push(after);
+        }
+    }
+    tails
+}
+
+/// The identifier ending right before byte offset `pos` (skipping
+/// trailing spaces), if any.
+fn ident_before(code: &str, pos: usize) -> Option<String> {
+    let head = code[..pos].trim_end();
+    let start = head
+        .rfind(|c: char| !is_ident_char(c))
+        .map_or(0, |i| i + c_len(head, i));
+    let name = &head[start..];
+    (!name.is_empty()
+        && name.chars().all(is_ident_char)
+        && !name.starts_with(|c: char| c.is_ascii_digit()))
+    .then(|| name.to_string())
+}
+
+fn c_len(s: &str, i: usize) -> usize {
+    s[i..].chars().next().map_or(1, char::len_utf8)
+}
+
+/// Iteration-shaped method calls whose visit order is the hasher's.
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".retain(",
+    ".into_keys()",
+    ".into_values()",
+];
+
+fn check_hash_iter(
+    lines: &[Line],
+    idx: usize,
+    hash_idents: &BTreeSet<String>,
+    fire: &mut impl FnMut(&str, String),
+) {
+    let code = &lines[idx].code;
+    for method in HASH_ITER_METHODS {
+        for (pos, _) in code.match_indices(method) {
+            // Receiver on this line, or — for a chain split across
+            // lines (`self.allocations\n    .values()`) — the trailing
+            // identifier of the nearest preceding code line.
+            let recv = ident_before(code, pos).or_else(|| {
+                code[..pos].trim().is_empty().then(|| {
+                    lines[..idx]
+                        .iter()
+                        .rev()
+                        .find(|l| !l.code.trim().is_empty())
+                        .and_then(|l| ident_before(&l.code, l.code.len()))
+                })?
+            });
+            if let Some(recv) = recv {
+                if hash_idents.contains(&recv) {
+                    fire(
+                        "hash-iter",
+                        format!(
+                            "`{recv}{}` iterates a hash collection in arbitrary order — \
+                             use a BTreeMap/BTreeSet, a sorted Vec, or an explicit key order",
+                            method.trim_end_matches('(')
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // `for x in &map` / `for x in map` over a known hash binding.
+    if let Some(rest) = token_tail(code, "for") {
+        if let Some((_, iterable)) = rest.split_once(" in ") {
+            let expr = iterable.split('{').next().unwrap_or(iterable).trim();
+            let expr = expr
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim_start();
+            let expr = expr.strip_prefix("self.").unwrap_or(expr);
+            if expr.chars().all(is_ident_char) && hash_idents.contains(expr) {
+                fire(
+                    "hash-iter",
+                    format!(
+                        "`for … in {expr}` iterates a hash collection in arbitrary order — \
+                         use a BTreeMap/BTreeSet, a sorted Vec, or an explicit key order"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Wall-clock / thread-identity reads.
+const WALL_CLOCK_TOKENS: &[&str] = &[
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "time::Instant",
+    "time::SystemTime",
+    "Instant::now",
+    "SystemTime::now",
+    "std::thread::current",
+    "thread::current",
+];
+
+fn check_wall_clock(code: &str, fire: &mut impl FnMut(&str, String)) {
+    for token in WALL_CLOCK_TOKENS {
+        if contains_token(code, token) {
+            fire(
+                "wall-clock",
+                format!(
+                    "`{token}` reads host time or thread identity — simulation state \
+                     must only advance on `SimTime`"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+/// Environment / process-identity reads.
+const AMBIENT_ENV_TOKENS: &[&str] = &[
+    "std::env::",
+    "env::var(",
+    "env::vars(",
+    "env::args(",
+    "env::temp_dir(",
+    "env::current_dir(",
+    "process::id(",
+];
+
+fn check_ambient_env(code: &str, fire: &mut impl FnMut(&str, String)) {
+    for token in AMBIENT_ENV_TOKENS {
+        if contains_token(code, token) {
+            fire(
+                "ambient-env",
+                format!(
+                    "`{token}…` makes the result depend on the host environment — \
+                     plumb the value through a config instead"
+                ),
+            );
+            return;
+        }
+    }
+}
+
+fn check_rand_crate(code: &str, fire: &mut impl FnMut(&str, String)) {
+    if contains_token(code, "rand::")
+        || token_tail(code, "use").is_some_and(|t| {
+            let t = t.trim_start();
+            t == "rand;" || t.starts_with("rand::") || t.starts_with("rand ")
+        })
+    {
+        fire(
+            "rand-crate",
+            "the `rand` crate is unseeded ambient randomness — use the in-tree \
+             `DeterministicRng` (pipefill-sim-core)"
+                .to_string(),
+        );
+    }
+}
+
+/// `partial_cmp` whose `Option` is force-unwrapped inside the same
+/// statement (this line plus up to two continuation lines): NaN input
+/// panics mid-run, and `sort_by` with such a comparator is not a total
+/// order.
+fn check_float_sort(lines: &[Line], idx: usize, fire: &mut impl FnMut(&str, String)) {
+    let code = &lines[idx].code;
+    let Some(pos) = code.find("partial_cmp") else {
+        return;
+    };
+    if contains_token(code, "fn partial_cmp") {
+        return; // a PartialOrd impl, not a comparator call site
+    }
+    let mut window = code[pos..].to_string();
+    for cont in lines.iter().skip(idx + 1).take(2) {
+        if window.contains(';') {
+            break;
+        }
+        window.push_str(&cont.code);
+    }
+    let stmt = window.split(';').next().unwrap_or(&window);
+    if stmt.contains(".unwrap()") || stmt.contains(".expect(") {
+        fire(
+            "float-sort",
+            "`partial_cmp(..).unwrap()/expect(..)` is a partial order that panics on \
+             NaN — use `f64::total_cmp` or validate inputs and order totally"
+                .to_string(),
+        );
+    }
+}
+
+/// Integer target types of a truncating `as` cast.
+const INT_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+fn check_metrics_cast(code: &str, fire: &mut impl FnMut(&str, String)) {
+    for (pos, _) in code.match_indices(" as ") {
+        let tail = &code[pos + 4..];
+        let ty: String = tail.chars().take_while(|&c| is_ident_char(c)).collect();
+        if INT_CAST_TARGETS.contains(&ty.as_str()) {
+            fire(
+                "metrics-cast",
+                format!(
+                    "`as {ty}` in an accounting path truncates silently — use \
+                     `try_from`/`from` or widen the accumulator"
+                ),
+            );
+        }
+    }
+}
+
+/// Substring match requiring a non-identifier char (or line start)
+/// immediately before the match.
+fn contains_token(code: &str, token: &str) -> bool {
+    for (pos, _) in code.match_indices(token) {
+        let ok = pos == 0
+            || code[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !is_ident_char(c));
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::policy;
+
+    fn det_policy() -> Policy {
+        policy::parse(crate::DEFAULT_POLICY_FOR_TESTS).unwrap()
+    }
+
+    fn lint(src: &str) -> FileAnalysis {
+        check_file(
+            "crates/x/src/lib.rs",
+            Tier::Deterministic,
+            &det_policy(),
+            &lex(src),
+        )
+    }
+
+    fn rules_of(a: &FileAnalysis) -> Vec<&str> {
+        a.violations.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn hash_iter_fires_on_declared_maps_only() {
+        let src = "struct S { m: HashMap<u32, u32>, v: Vec<u32> }\n\
+                   fn f(s: &S) { for x in &s.v {} s.v.iter(); }\n\
+                   fn g(s: &S) { s.m.values(); }\n";
+        let a = lint(src);
+        assert_eq!(rules_of(&a), vec!["hash-iter"]);
+        assert_eq!(a.violations[0].line, 3);
+    }
+
+    #[test]
+    fn hash_iter_sees_let_bindings_and_for_loops() {
+        let src = "fn f() { let seen = HashSet::new(); for x in &seen {} }\n";
+        assert_eq!(rules_of(&lint(src)), vec!["hash-iter"]);
+        let src = "fn f() { let mut m = std::collections::HashMap::new(); m.drain(); }\n";
+        assert_eq!(rules_of(&lint(src)), vec!["hash-iter"]);
+    }
+
+    #[test]
+    fn hash_iter_sees_type_aliases() {
+        let src = "type PlanCache = HashMap<u64, u64>;\n\
+                   struct S { plan_cache: PlanCache }\n\
+                   fn f(s: &S) { s.plan_cache.keys(); }\n";
+        let a = lint(src);
+        assert_eq!(rules_of(&a), vec!["hash-iter"]);
+        assert_eq!(a.violations[0].line, 3);
+    }
+
+    #[test]
+    fn lookup_only_hash_use_is_clean() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &mut S) { s.m.insert(1, 2); s.m.get(&1); s.m.remove(&1); s.m.len(); }\n";
+        assert!(lint(src).violations.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_env_and_rand_fire() {
+        let a = lint("fn f() { let t = Instant::now(); }\n");
+        assert_eq!(rules_of(&a), vec!["wall-clock"]);
+        let a = lint("fn f() { let v = std::env::var(\"X\"); }\n");
+        assert_eq!(rules_of(&a), vec!["ambient-env"]);
+        let a = lint("use rand::Rng;\n");
+        assert_eq!(rules_of(&a), vec!["rand-crate"]);
+    }
+
+    #[test]
+    fn ambient_env_relaxed_in_tests_by_policy() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { std::env::temp_dir(); }\n}\n";
+        assert!(lint(src).violations.is_empty());
+    }
+
+    #[test]
+    fn float_sort_fires_across_continuation_lines() {
+        let a = lint("fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n");
+        assert_eq!(rules_of(&a), vec!["float-sort"]);
+        let a = lint("fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b)\n        .expect(\"finite\"));\n}\n");
+        assert_eq!(rules_of(&a), vec!["float-sort"]);
+        // total_cmp and PartialOrd impls are fine.
+        assert!(
+            lint("fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n")
+                .violations
+                .is_empty()
+        );
+        assert!(lint(
+            "fn partial_cmp(&self, o: &Self) -> Option<Ordering> {\n    Some(self.cmp(o))\n}\n"
+        )
+        .violations
+        .is_empty());
+    }
+
+    #[test]
+    fn metrics_cast_scoped_to_metrics_rs() {
+        let src = "fn f(x: f64) -> u64 { x as u64 }\n";
+        let p = det_policy();
+        let in_metrics = check_file(
+            "crates/x/src/metrics.rs",
+            Tier::Deterministic,
+            &p,
+            &lex(src),
+        );
+        assert_eq!(rules_of(&in_metrics), vec!["metrics-cast"]);
+        let elsewhere = check_file("crates/x/src/fleet.rs", Tier::Deterministic, &p, &lex(src));
+        assert!(elsewhere.violations.is_empty());
+        // Widening float casts are not truncation.
+        let widen = check_file(
+            "crates/x/src/metrics.rs",
+            Tier::Deterministic,
+            &p,
+            &lex("fn f(x: usize) -> f64 { x as f64 }\n"),
+        );
+        assert!(widen.violations.is_empty());
+    }
+
+    #[test]
+    fn driver_tier_relaxes_clock_and_env() {
+        let src = "fn f() { Instant::now(); std::env::args(); }\n";
+        let a = check_file(
+            "crates/cli/src/main.rs",
+            Tier::Driver,
+            &det_policy(),
+            &lex(src),
+        );
+        assert!(a.violations.is_empty());
+        // …but not hash iteration.
+        let src = "fn f() { let m = HashMap::new(); for x in &m {} }\n";
+        let a = check_file(
+            "crates/cli/src/main.rs",
+            Tier::Driver,
+            &det_policy(),
+            &lex(src),
+        );
+        assert_eq!(rules_of(&a), vec!["hash-iter"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() { let s = \"Instant::now()\"; }\n// Instant::now() in prose\n";
+        assert!(lint(src).violations.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Suppression annotations: the only sanctioned way to keep code a rule
+//! would otherwise reject.
+//!
+//! The contract (documented in ARCHITECTURE.md):
+//!
+//! ```text
+//! self.audited.keys()  // detlint: allow(hash-iter) — keys copied into a sorted Vec below
+//! ```
+//!
+//! or, on its own line immediately above the offending code:
+//!
+//! ```text
+//! // detlint: allow(hash-iter) — keys copied into a sorted Vec below
+//! self.audited.keys()
+//! ```
+//!
+//! The rule id must be a real rule, the reason (after an `—`/`--`/`-`
+//! separator) is mandatory, and an annotation that stops matching a
+//! finding becomes an `allow-audit` violation itself. Accepted
+//! suppressions are recorded in the machine-readable report, so every
+//! exception stays greppable and reviewed.
+
+use crate::lexer::Line;
+
+/// The marker an annotation must *start* with (after doc markers).
+/// Prose that merely mentions the syntax mid-comment does not count.
+const MARKER: &str = "detlint: allow(";
+
+/// One parsed annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// 1-based line the annotation text sits on.
+    pub line: usize,
+    /// 1-based line of code the annotation covers (same line for a
+    /// trailing comment; the next code-bearing line for a standalone
+    /// one).
+    pub covers: usize,
+    /// The rule id inside `allow(…)`, if it could be read.
+    pub rule: Option<String>,
+    /// The justification after the separator, if present and non-empty.
+    pub reason: Option<String>,
+}
+
+/// Extracts every annotation from a file's lexed lines.
+pub fn parse_annotations(lines: &[Line]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for comment in &line.comments {
+            let Some(rest) = comment.trim().strip_prefix(MARKER) else {
+                continue;
+            };
+            let (rule, reason) = match rest.split_once(')') {
+                None => (None, None),
+                Some((id, tail)) => (Some(id.trim().to_string()), parse_reason(tail)),
+            };
+            let covers = if line.code.trim().is_empty() {
+                next_code_line(lines, idx)
+            } else {
+                idx + 1
+            };
+            out.push(Annotation {
+                line: idx + 1,
+                covers,
+                rule,
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// The reason after `)`: requires a `—`, `--` or `-` separator followed
+/// by non-empty text.
+fn parse_reason(tail: &str) -> Option<String> {
+    let tail = tail.trim_start();
+    let body = tail
+        .strip_prefix('—')
+        .or_else(|| tail.strip_prefix("--"))
+        .or_else(|| tail.strip_prefix('-'))?;
+    let body = body.trim();
+    (!body.is_empty()).then(|| body.to_string())
+}
+
+/// 1-based number of the first code-bearing line after `idx`, or the
+/// annotation's own line when the file ends first (the audit will then
+/// report it unused).
+fn next_code_line(lines: &[Line], idx: usize) -> usize {
+    lines
+        .iter()
+        .enumerate()
+        .skip(idx + 1)
+        .find(|(_, l)| !l.code.trim().is_empty())
+        .map_or(idx + 1, |(i, _)| i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_annotation_covers_its_own_line() {
+        let src = "m.keys(); // detlint: allow(hash-iter) — copied into a sorted Vec\n";
+        let a = parse_annotations(&lex(src));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].covers, 1);
+        assert_eq!(a[0].rule.as_deref(), Some("hash-iter"));
+        assert_eq!(a[0].reason.as_deref(), Some("copied into a sorted Vec"));
+    }
+
+    #[test]
+    fn standalone_annotation_covers_next_code_line() {
+        let src = "// detlint: allow(wall-clock) -- progress display only\n\n    let t = now();\n";
+        let a = parse_annotations(&lex(src));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].line, 1);
+        assert_eq!(a[0].covers, 3);
+        assert_eq!(a[0].reason.as_deref(), Some("progress display only"));
+    }
+
+    #[test]
+    fn missing_reason_or_rule_is_preserved_for_the_audit() {
+        let a = parse_annotations(&lex("x(); // detlint: allow(hash-iter)\n"));
+        assert_eq!(a[0].reason, None);
+        let a = parse_annotations(&lex("x(); // detlint: allow(hash-iter) —   \n"));
+        assert_eq!(a[0].reason, None);
+    }
+
+    #[test]
+    fn prose_mentions_do_not_annotate() {
+        let a = parse_annotations(&lex(
+            "// suppress with detlint: allow(hash-iter) — like so\n",
+        ));
+        assert!(a.is_empty());
+    }
+}

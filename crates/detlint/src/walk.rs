@@ -1,0 +1,107 @@
+//! Workspace discovery: which files get linted, under which tier.
+//!
+//! The walk is policy-driven and *total in both directions*: every
+//! crate directory under `<root>/crates` must appear in the policy's
+//! `[tiers]` table (a new crate cannot dodge the lint), and every tier
+//! entry must correspond to a crate on disk (the policy cannot go
+//! stale). The root facade package is linted as the tier entry
+//! `pipefill` over `<root>/src`. Only `src/` trees are walked —
+//! integration-test and fixture directories host deliberate violations.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::policy::Policy;
+use crate::report::Analysis;
+use crate::rules;
+
+/// Lints every policy-covered source file under `root`.
+///
+/// # Errors
+///
+/// IO failures, a crate directory missing from the policy, or a policy
+/// tier entry with no matching crate on disk.
+pub fn analyze_workspace(root: &Path, policy: &Policy) -> Result<Analysis, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_names: Vec<String> = Vec::new();
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+        if entry.path().is_dir() {
+            crate_names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    crate_names.sort();
+    for name in &crate_names {
+        if policy.tier_of(name).is_none() {
+            return Err(format!(
+                "crate '{name}' has no tier in detlint.toml — every crate must be \
+                 assigned deterministic, driver or exempt"
+            ));
+        }
+    }
+    for name in policy.tiers.keys() {
+        let exists = if name == "pipefill" {
+            root.join("src").is_dir()
+        } else {
+            crates_dir.join(name).is_dir()
+        };
+        if !exists {
+            return Err(format!(
+                "detlint.toml assigns a tier to '{name}' but no such crate exists — \
+                 remove the stale entry"
+            ));
+        }
+    }
+
+    let mut analysis = Analysis::default();
+    for name in &crate_names {
+        let tier = policy.tier_of(name).expect("checked above");
+        let src = crates_dir.join(name).join("src");
+        lint_tree(&src, root, tier, policy, &mut analysis)?;
+    }
+    if let Some(tier) = policy.tier_of("pipefill") {
+        lint_tree(&root.join("src"), root, tier, policy, &mut analysis)?;
+    }
+    analysis.violations.sort();
+    analysis.suppressions.sort();
+    Ok(analysis)
+}
+
+/// Recursively lints every `.rs` file under `dir` (sorted order).
+fn lint_tree(
+    dir: &Path,
+    root: &Path,
+    tier: crate::policy::Tier,
+    policy: &Policy,
+    analysis: &mut Analysis,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            lint_tree(&path, root, tier, policy, analysis)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let source =
+                fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let lines = lexer::lex(&source);
+            let file = rules::check_file(&rel, tier, policy, &lines);
+            analysis.violations.extend(file.violations);
+            analysis.suppressions.extend(file.suppressions);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Fixture coverage for every detlint rule: each rule directory under
+//! `tests/fixtures/` carries a violating, a clean and a suppressed
+//! snippet, and the engine must classify all three exactly. The
+//! `allow-audit` meta rule gets its own pair (its findings cannot be
+//! suppressed — an allow of an unknown rule is itself a finding).
+
+use std::fs;
+use std::path::PathBuf;
+
+use pipefill_detlint::{
+    analyze_source, policy, FileAnalysis, Tier, ALLOW_AUDIT, DEFAULT_POLICY_FOR_TESTS, RULE_IDS,
+};
+
+fn fixture(rule: &str, name: &str) -> String {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "fixtures", rule, name]
+        .iter()
+        .collect();
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The virtual repo path a fixture is linted under: `metrics-cast` is
+/// file-scoped, so its fixtures lint as a `metrics.rs`.
+fn virtual_path(rule: &str) -> &'static str {
+    if rule == "metrics-cast" {
+        "crates/x/src/metrics.rs"
+    } else {
+        "crates/x/src/lib.rs"
+    }
+}
+
+fn lint(rule: &str, name: &str) -> FileAnalysis {
+    let policy = policy::parse(DEFAULT_POLICY_FOR_TESTS).expect("test policy parses");
+    analyze_source(
+        virtual_path(rule),
+        &fixture(rule, name),
+        Tier::Deterministic,
+        &policy,
+    )
+}
+
+#[test]
+fn every_rule_has_a_firing_violating_fixture() {
+    for rule in RULE_IDS {
+        let a = lint(rule, "violating.rs");
+        assert!(
+            a.violations.iter().any(|v| v.rule == *rule),
+            "{rule}/violating.rs produced no {rule} finding: {:?}",
+            a.violations
+        );
+        assert!(
+            a.suppressions.is_empty(),
+            "{rule}/violating.rs must not be suppressed: {:?}",
+            a.suppressions
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_fixture() {
+    for rule in RULE_IDS {
+        let a = lint(rule, "clean.rs");
+        assert!(
+            a.violations.is_empty(),
+            "{rule}/clean.rs must lint clean: {:?}",
+            a.violations
+        );
+        assert!(a.suppressions.is_empty(), "{rule}/clean.rs needs no allows");
+    }
+}
+
+#[test]
+fn every_rule_has_a_suppressed_fixture() {
+    for rule in RULE_IDS {
+        let a = lint(rule, "suppressed.rs");
+        assert!(
+            a.violations.is_empty(),
+            "{rule}/suppressed.rs must be fully suppressed: {:?}",
+            a.violations
+        );
+        assert!(
+            a.suppressions.iter().any(|s| s.rule == *rule),
+            "{rule}/suppressed.rs must record a {rule} suppression"
+        );
+        for s in &a.suppressions {
+            assert!(
+                !s.reason.is_empty(),
+                "recorded suppressions carry their reason"
+            );
+        }
+    }
+}
+
+#[test]
+fn allow_audit_rejects_rotten_annotations() {
+    let a = lint(ALLOW_AUDIT, "violating.rs");
+    let audits: Vec<&str> = a
+        .violations
+        .iter()
+        .filter(|v| v.rule == ALLOW_AUDIT)
+        .map(|v| v.message.as_str())
+        .collect();
+    assert_eq!(
+        audits.len(),
+        3,
+        "unused + unknown rule + missing reason: {audits:?}"
+    );
+    assert!(audits.iter().any(|m| m.contains("unused")), "{audits:?}");
+    assert!(
+        audits
+            .iter()
+            .any(|m| m.contains("unknown rule 'made-up-rule'")),
+        "{audits:?}"
+    );
+    assert!(
+        audits.iter().any(|m| m.contains("missing its reason")),
+        "{audits:?}"
+    );
+}
+
+#[test]
+fn allow_audit_accepts_a_well_formed_used_annotation() {
+    let a = lint(ALLOW_AUDIT, "clean.rs");
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert_eq!(a.suppressions.len(), 1);
+    assert_eq!(a.suppressions[0].rule, "hash-iter");
+}
+
+/// The *live* workspace policy (not just the test policy) must keep
+/// every rule armed for deterministic-tier crates: seeding any
+/// violating fixture into such a crate must produce a violation.
+#[test]
+fn workspace_policy_catches_every_seeded_fixture() {
+    let root: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", ".."].iter().collect();
+    let text = fs::read_to_string(root.join("detlint.toml")).expect("workspace policy");
+    let policy = policy::parse(&text).expect("workspace policy parses");
+    for rule in RULE_IDS {
+        let seeded_as = if *rule == "metrics-cast" {
+            "crates/core/src/metrics.rs"
+        } else {
+            "crates/core/src/seeded.rs"
+        };
+        let a = analyze_source(
+            seeded_as,
+            &fixture(rule, "violating.rs"),
+            Tier::Deterministic,
+            &policy,
+        );
+        assert!(
+            a.violations.iter().any(|v| v.rule == *rule),
+            "workspace policy no longer catches {rule} in a deterministic crate"
+        );
+    }
+}

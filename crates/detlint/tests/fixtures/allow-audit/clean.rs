@@ -1,0 +1,13 @@
+//! Fixture: a well-formed, in-use annotation produces no audit noise.
+use std::collections::HashMap;
+
+pub struct Cache {
+    plans: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn total(&self) -> u64 {
+        // detlint: allow(hash-iter) — u64 sum is order-independent
+        self.plans.values().sum()
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: every way an annotation itself can rot.
+
+// detlint: allow(hash-iter) — nothing on the next line iterates anything
+pub fn fixed_long_ago() {}
+
+pub fn unknown_rule() {} // detlint: allow(made-up-rule) — no such rule
+
+pub fn reasonless() {} // detlint: allow(wall-clock)

@@ -1,0 +1,8 @@
+//! Fixture: the value is plumbed through configuration instead.
+pub struct Config {
+    pub runner_class: String,
+}
+
+pub fn runner_class(cfg: &Config) -> &str {
+    &cfg.runner_class
+}

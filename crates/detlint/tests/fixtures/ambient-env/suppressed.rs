@@ -1,0 +1,5 @@
+//! Fixture: an audited exception.
+pub fn scratch_dir() -> std::path::PathBuf {
+    // detlint: allow(ambient-env) — scratch path for a debug dump, never read back into the sim
+    std::env::temp_dir()
+}

@@ -1,0 +1,4 @@
+//! Fixture: an environment lookup makes the run host-dependent.
+pub fn runner_class() -> String {
+    std::env::var("PERF_RUNNER_CLASS").unwrap_or_default()
+}

@@ -1,0 +1,8 @@
+//! Fixture: total_cmp is a total order over all bit patterns.
+pub fn order(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub fn pick(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.total_cmp(b))
+}

@@ -1,0 +1,5 @@
+//! Fixture: an audited exception — inputs validated finite upstream.
+pub fn order(xs: &mut [f64]) {
+    // detlint: allow(float-sort) — weights validated finite at construction, NaN unreachable
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

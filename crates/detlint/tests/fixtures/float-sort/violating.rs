@@ -1,0 +1,10 @@
+//! Fixture: partial_cmp().unwrap() panics on NaN and is not a total
+//! order — equal-comparing elements can land in input order.
+pub fn order(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn pick(xs: &[f64]) -> Option<&f64> {
+    xs.iter()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}

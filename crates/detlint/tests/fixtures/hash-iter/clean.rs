@@ -1,0 +1,18 @@
+//! Fixture: the ordered map gives every visit a deterministic order;
+//! point lookups on a HashMap are fine too.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Cache {
+    plans: BTreeMap<u64, f64>,
+    lookup: HashMap<u64, f64>,
+}
+
+impl Cache {
+    pub fn total(&self) -> f64 {
+        self.plans.values().sum()
+    }
+
+    pub fn get(&self, k: u64) -> Option<f64> {
+        self.lookup.get(&k).copied()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: an audited exception — the iteration feeds a commutative
+//! integer reduction, so order cannot reach the result.
+use std::collections::HashMap;
+
+pub struct Cache {
+    plans: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn total(&self) -> u64 {
+        // detlint: allow(hash-iter) — u64 sum is order-independent; reviewed 2026-08
+        self.plans.values().sum()
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: summing over a HashMap's values observes the hasher's
+//! visit order — float addition is not associative, so two runs can
+//! disagree in the last bits.
+use std::collections::HashMap;
+
+pub struct Cache {
+    plans: HashMap<u64, f64>,
+}
+
+impl Cache {
+    pub fn total(&self) -> f64 {
+        self.plans.values().sum()
+    }
+
+    pub fn drop_stale(&mut self) {
+        self.plans.retain(|_, v| *v > 0.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture (linted as metrics.rs): widen losslessly instead.
+pub fn lost_flops(count: u32) -> u64 {
+    u64::from(count)
+}
+
+pub fn utilization(done: u64, total: u64) -> f64 {
+    done as f64 / total as f64
+}

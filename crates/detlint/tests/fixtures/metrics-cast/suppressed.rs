@@ -1,0 +1,5 @@
+//! Fixture (linted as metrics.rs): an audited exception.
+pub fn bucket(secs: f64) -> usize {
+    // detlint: allow(metrics-cast) — secs clamped to [0, 86400] one line above, cannot truncate
+    secs as usize
+}

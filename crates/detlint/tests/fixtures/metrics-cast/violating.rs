@@ -1,0 +1,5 @@
+//! Fixture (linted as metrics.rs): a float-to-int cast in an
+//! accounting path truncates silently.
+pub fn lost_flops(total: f64) -> u64 {
+    total as u64
+}

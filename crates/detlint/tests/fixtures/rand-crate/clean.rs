@@ -1,0 +1,6 @@
+//! Fixture: all randomness flows through the seeded in-tree RNG.
+use pipefill_sim_core::rng::DeterministicRng;
+
+pub fn jitter(rng: &mut DeterministicRng) -> f64 {
+    rng.next_f64()
+}

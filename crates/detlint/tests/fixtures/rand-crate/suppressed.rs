@@ -1,0 +1,4 @@
+//! Fixture: an audited exception (hypothetical — nothing in-tree
+//! should ever need one for this rule).
+// detlint: allow(rand-crate) — quarantined example generator, output only feeds docs
+use rand::Rng;

@@ -1,0 +1,6 @@
+//! Fixture: unseeded ambient randomness.
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    rand::thread_rng().gen()
+}

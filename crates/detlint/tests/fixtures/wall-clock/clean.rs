@@ -1,0 +1,7 @@
+//! Fixture: time only advances on the simulated clock; Duration is a
+//! pure value type and carries no ambient reads.
+use std::time::Duration;
+
+pub fn horizon() -> Duration {
+    Duration::from_secs(3600)
+}

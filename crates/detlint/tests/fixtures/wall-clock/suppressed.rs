@@ -1,0 +1,6 @@
+//! Fixture: an audited exception — a progress heartbeat that never
+//! reaches simulation state.
+pub fn heartbeat_nanos() -> u128 {
+    // detlint: allow(wall-clock) — operator progress display only, result never enters sim state
+    std::time::Instant::now().elapsed().as_nanos()
+}

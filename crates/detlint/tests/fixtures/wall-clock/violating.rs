@@ -1,0 +1,6 @@
+//! Fixture: host time read inside simulation state.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

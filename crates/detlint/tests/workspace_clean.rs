@@ -1,0 +1,45 @@
+//! The live self-check: the workspace must lint clean under its own
+//! checked-in policy, and the checked-in machine-readable report must
+//! byte-match what the tool produces today — a suppression cannot be
+//! added, dropped or reworded without the diff showing up in
+//! `detlint-report.json`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pipefill_detlint::{analyze_workspace, policy, report};
+
+fn workspace_root() -> PathBuf {
+    [env!("CARGO_MANIFEST_DIR"), "..", ".."].iter().collect()
+}
+
+#[test]
+fn workspace_is_violation_free() {
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("detlint.toml")).expect("detlint.toml");
+    let policy = policy::parse(&text).expect("policy parses");
+    let analysis = analyze_workspace(&root, &policy).expect("workspace walks");
+    assert!(
+        analysis.violations.is_empty(),
+        "detlint violations in the live workspace — fix the code or add an audited \
+         allow annotation:\n{}",
+        report::to_human(&analysis)
+    );
+}
+
+#[test]
+fn checked_in_report_matches_the_live_tree() {
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("detlint.toml")).expect("detlint.toml");
+    let policy = policy::parse(&text).expect("policy parses");
+    let analysis = analyze_workspace(&root, &policy).expect("workspace walks");
+    let fresh = report::to_json(&analysis);
+    let recorded =
+        fs::read_to_string(root.join("detlint-report.json")).expect("detlint-report.json");
+    assert_eq!(
+        recorded, fresh,
+        "detlint-report.json is stale — regenerate with \
+         `cargo run -p pipefill-detlint --bin detlint -- --format json --write-report \
+         detlint-report.json` and review the suppression diff"
+    );
+}

@@ -18,7 +18,7 @@
 //! optional per-process cap, and error variants that distinguish an
 //! isolated cap violation from a true device OOM.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -119,7 +119,11 @@ struct Allocation {
 #[derive(Debug, Clone)]
 pub struct MemoryPool {
     capacity: Bytes,
-    allocations: HashMap<u64, Allocation>,
+    // BTreeMap, not HashMap: `total_allocated`/`empty_cache`/
+    // `release_all` iterate it, and ids are sequential, so the ordered
+    // map makes every visit order the allocation order (detlint
+    // hash-iter would reject a hash map here).
+    allocations: BTreeMap<u64, Allocation>,
     next_id: u64,
     caps: HashMap<Proc, Bytes>,
     /// High-water mark of total allocated bytes, for reporting.
@@ -131,7 +135,7 @@ impl MemoryPool {
     pub fn new(capacity: Bytes) -> Self {
         MemoryPool {
             capacity,
-            allocations: HashMap::new(),
+            allocations: BTreeMap::new(),
             next_id: 0,
             caps: HashMap::new(),
             peak: Bytes::ZERO,
@@ -266,11 +270,9 @@ impl MemoryPool {
             .collect();
         let mut freed = Bytes::ZERO;
         for id in ids {
-            freed += self
-                .allocations
-                .remove(&id)
-                .expect("id collected above")
-                .size;
+            if let Some(a) = self.allocations.remove(&id) {
+                freed += a.size;
+            }
         }
         freed
     }
@@ -285,11 +287,9 @@ impl MemoryPool {
             .collect();
         let mut freed = Bytes::ZERO;
         for id in ids {
-            freed += self
-                .allocations
-                .remove(&id)
-                .expect("id collected above")
-                .size;
+            if let Some(a) = self.allocations.remove(&id) {
+                freed += a.size;
+            }
         }
         freed
     }

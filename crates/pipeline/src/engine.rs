@@ -270,7 +270,9 @@ impl EngineConfig {
     ) -> EngineTimeline {
         let p = self.num_stages();
         // Start of an iteration on a stage = start of its first busy
-        // (non-zero-duration) instruction of that iteration.
+        // (non-zero-duration) instruction of that iteration. A miss means
+        // the schedule emitted an all-idle iteration — a bug worth a loud
+        // panic, not a defaulted timestamp.
         let iter_start = |s: usize, k: usize| -> SimTime {
             records[s]
                 .iter()

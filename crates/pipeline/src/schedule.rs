@@ -297,6 +297,8 @@ fn interleaved_all_stage_instructions(
                 }
             }
         }
+        // Deadlock detector: a wedged schedule must panic loudly rather
+        // than emit a truncated timeline.
         let (start, _, _, is_fwd, vs) =
             best.expect("interleaved schedule wedged: no runnable unit");
         let dev = vs % p;

@@ -35,7 +35,10 @@ use crate::spec::ScenarioSpec;
 pub fn parse(text: &str) -> Result<ScenarioSpec, String> {
     let mut spec = ScenarioSpec::default();
     let mut seen_header = false;
-    let mut seen_keys: Vec<String> = Vec::new();
+    // Key → line it was first set on, so a duplicate's error points at
+    // both occurrences (in a hand-edited file the first one is usually
+    // the stale line the author forgot to delete).
+    let mut seen_keys: Vec<(String, usize)> = Vec::new();
     for (idx, raw_line) in text.lines().enumerate() {
         let at = |msg: String| format!("line {}: {msg}", idx + 1);
         let line = strip_comment(raw_line);
@@ -67,11 +70,13 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, String> {
         }
         let key = key.trim();
         let value = unquote(value.trim()).map_err(&at)?;
-        if seen_keys.iter().any(|k| k == key) {
-            return Err(at(format!("duplicate key '{key}'")));
+        if let Some((_, first)) = seen_keys.iter().find(|(k, _)| k == key) {
+            return Err(at(format!(
+                "duplicate key '{key}' (first set at line {first})"
+            )));
         }
         spec.set(key, &value).map_err(&at)?;
-        seen_keys.push(key.to_string());
+        seen_keys.push((key.to_string(), idx + 1));
     }
     if !seen_header {
         return Err("a scenario file needs a [scenario] section".into());
@@ -275,6 +280,7 @@ checkpoint_secs = 2.5
         assert!(err.contains("key = value"), "{err}");
         let err = parse("[scenario]\nseed = 1\nseed = 2\n").unwrap_err();
         assert!(err.contains("duplicate key 'seed'"), "{err}");
+        assert!(err.contains("(first set at line 2)"), "{err}");
         let err = parse("[scenario]\nwarp = 9\n").unwrap_err();
         assert!(err.contains("unknown scenario key"), "{err}");
         let err = parse("[scenario]\nbackend = \"coarse\n").unwrap_err();
@@ -284,6 +290,19 @@ checkpoint_secs = 2.5
         let err = parse("[scenario]\nseed =\n").unwrap_err();
         assert!(err.contains("missing value"), "{err}");
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn duplicate_key_error_points_at_both_lines() {
+        // Blank lines and comments between the two occurrences must not
+        // skew either line number.
+        let text = "[scenario]\n\n# pick a seed\nseed = 1\nbackend = \"coarse\"\n\nseed = 7\n";
+        let err = parse(text).unwrap_err();
+        assert_eq!(err, "line 7: duplicate key 'seed' (first set at line 4)");
+        // Same key, different casing is a different key (the unknown-key
+        // error fires first), so the duplicate check stays exact-match.
+        let err = parse("[scenario]\nseed = 1\nSeed = 2\n").unwrap_err();
+        assert!(err.contains("unknown scenario key"), "{err}");
     }
 
     #[test]

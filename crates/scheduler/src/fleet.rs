@@ -120,11 +120,9 @@ impl GlobalFillQueue {
     /// the active policy, or `None` if nothing queued is feasible there.
     pub fn pick_for(&mut self, device: usize, state: &SystemState) -> Option<JobInfo> {
         let info = self.scheduler.pick_for(device, state)?;
-        let origin = self
-            .origin
-            .remove(&info.id)
-            .expect("every queued job has a recorded origin");
-        if origin != self.owner[device] {
+        let origin = self.origin.remove(&info.id);
+        debug_assert!(origin.is_some(), "every queued job has a recorded origin");
+        if origin.is_some_and(|origin| origin != self.owner[device]) {
             self.cross_job_dispatches += 1;
         }
         Some(info)

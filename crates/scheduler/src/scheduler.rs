@@ -233,10 +233,14 @@ impl FillJobScheduler {
                     })
                     .collect(),
             };
-            match best_index(&queue, self.policy.as_ref(), executor, &projected) {
-                Some(idx) => {
+            // `best_index` only returns feasible picks, so the `?` on
+            // `proc_times` never fires; folding it into the match keeps
+            // this total without a panic path.
+            let pick = best_index(&queue, self.policy.as_ref(), executor, &projected)
+                .and_then(|idx| Some((idx, queue[idx].proc_times[executor]?)));
+            match pick {
+                Some((idx, proc)) => {
                     let job = queue.swap_remove(idx);
-                    let proc = job.proc_times[executor].expect("picked job is feasible");
                     let completes = t + proc;
                     free[executor] = completes;
                     out.push(ProjectedDispatch {

@@ -122,7 +122,11 @@ impl<E> Simulation<E> {
             None => StepOutcome::Idle,
             Some(t) if horizon.is_some_and(|h| t > h) => StepOutcome::PastHorizon,
             Some(_) => {
-                let (at, event) = self.queue.pop().expect("peeked entry must pop");
+                // Peek returned a time, so pop is total; the else branch
+                // keeps this panic-free under `clippy::expect_used`.
+                let Some((at, event)) = self.queue.pop() else {
+                    return StepOutcome::Idle;
+                };
                 debug_assert!(at >= self.now, "queue returned an event from the past");
                 self.now = at;
                 self.dispatched += 1;

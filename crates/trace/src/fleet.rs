@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 /// GPU generation a fleet job runs on (lowered to a concrete
 /// `DeviceSpec` by the simulator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DeviceGeneration {
     /// V100 16 GB — the paper's baseline.
     V100,
@@ -231,19 +231,22 @@ mod tests {
 
     #[test]
     fn fleet_is_heterogeneous_at_scale() {
+        // BTreeSet, not HashSet: uniqueness checks on ordered sets keep
+        // the whole validation order-deterministic (and detlint-clean
+        // should a future assertion ever observe iteration order).
         let plans = FleetWorkloadConfig::production_8k(3).generate();
-        let depths: std::collections::HashSet<usize> =
+        let depths: std::collections::BTreeSet<usize> =
             plans.iter().map(|p| p.pipeline_stages).collect();
-        let microbatches: std::collections::HashSet<usize> =
+        let microbatches: std::collections::BTreeSet<usize> =
             plans.iter().map(|p| p.microbatches).collect();
-        let gens: std::collections::HashSet<DeviceGeneration> =
+        let gens: std::collections::BTreeSet<DeviceGeneration> =
             plans.iter().map(|p| p.device_generation).collect();
         assert!(depths.len() > 1, "all jobs have the same depth");
         assert!(microbatches.len() > 1, "all jobs have the same period");
         assert!(gens.len() > 1, "all jobs run the same GPU generation");
         assert!(plans.iter().any(|p| p.admits_foreign));
         // Per-job seeds are distinct, so workload streams never collide.
-        let seeds: std::collections::HashSet<u64> = plans.iter().map(|p| p.seed).collect();
+        let seeds: std::collections::BTreeSet<u64> = plans.iter().map(|p| p.seed).collect();
         assert_eq!(seeds.len(), plans.len());
     }
 

@@ -39,10 +39,19 @@ single simulations:
          [--fast-forward on|off]
                                   multi-job fleet on one global fill queue
 
-inspection:
+inspection & verification:
   timeline [--schedule gpipe|1f1b|interleaved[:v]|zb-h1]
          [--stages P] [--microbatches M] [--width W]
   plan   [--model NAME] [--kind training|inference] [--stage S]
+  verify-schedule <schedule|stream.toml>
+         [--stages P] [--microbatches M] [--memory-limit N]
+         [--format human|json]
+                                  statically prove deadlock-freedom,
+                                  memory bounds and the bubble fraction
+                                  (exit 0 certified, 1 rejected, 2 usage)
+  certify-schedules [--mode check|write] [--out FILE]
+                                  re-verify the certificate grid and
+                                  check (or rewrite) the pinned report
   help
 
 global options:
@@ -149,8 +158,40 @@ pub enum Command {
         /// Pipeline stage whose bubbles to plan against.
         stage: usize,
     },
+    /// Statically verify one schedule (or stream file) with schedcheck.
+    VerifySchedule {
+        /// What to verify: a built-in generator or a stream file.
+        target: VerifyTarget,
+        /// Pipeline stages (built-in targets only; files fix the shape).
+        stages: usize,
+        /// Microbatches (built-in targets only; files fix the shape).
+        microbatches: usize,
+        /// Per-device activation budget in microbatches, if any.
+        memory_limit: Option<u64>,
+        /// Emit the JSON certificate instead of the human report.
+        json: bool,
+    },
+    /// Re-verify the certificate grid; check or rewrite the pinned
+    /// report file.
+    CertifySchedules {
+        /// Rewrite the report instead of byte-comparing against it.
+        write: bool,
+        /// Report path.
+        out: String,
+    },
     /// Print usage.
     Help,
+}
+
+/// The operand of `verify-schedule`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyTarget {
+    /// A built-in schedule generator, expanded at `--stages` ×
+    /// `--microbatches`.
+    Kind(ScheduleKind),
+    /// A stream TOML file on disk (anything containing `/` or ending
+    /// in `.toml`).
+    File(String),
 }
 
 /// A parsed command line: the command plus global options.
@@ -235,9 +276,10 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
     };
     let mut rest: Vec<&String> = it.collect();
 
-    // `exp` and `run` take one positional operand before the flags.
+    // `exp`, `run` and `verify-schedule` take one positional operand
+    // before the flags.
     let positional = match cmd.as_str() {
-        "exp" | "run" => {
+        "exp" | "run" | "verify-schedule" => {
             if rest.first().is_some_and(|a| !a.starts_with("--")) {
                 Some(rest.remove(0).clone())
             } else {
@@ -381,6 +423,60 @@ pub fn parse(argv: &[String]) -> Result<Invocation, String> {
             },
             stage: flags.take_usize("stage", 8)?,
         },
+        "verify-schedule" => {
+            let Some(target) = positional else {
+                return Err("verify-schedule needs a schedule name or a stream file path".into());
+            };
+            // Paths are read at run time; schedule spellings fail here
+            // with the schedule grammar's own message.
+            let target = if target.contains('/') || target.ends_with(".toml") {
+                VerifyTarget::File(target)
+            } else {
+                VerifyTarget::Kind(target.parse::<ScheduleKind>()?)
+            };
+            if let VerifyTarget::File(_) = &target {
+                for flag in ["stages", "microbatches"] {
+                    if flags.provided(flag) {
+                        return Err(format!(
+                            "--{flag} does not apply to stream-file targets \
+                             (the file fixes the shape)"
+                        ));
+                    }
+                }
+            }
+            let stages = flags.take_usize("stages", 8)?;
+            let microbatches = flags.take_usize("microbatches", 8)?;
+            if stages == 0 || microbatches == 0 {
+                return Err("--stages and --microbatches must be at least 1".into());
+            }
+            let memory_limit = match flags.take("memory-limit") {
+                None => None,
+                Some(v) => Some(parse_u64("memory-limit", &v)?),
+            };
+            let json = match flags.take_string("format", "human")?.as_str() {
+                "human" => false,
+                "json" => true,
+                other => return Err(format!("--format expects human|json, got '{other}'")),
+            };
+            Command::VerifySchedule {
+                target,
+                stages,
+                microbatches,
+                memory_limit,
+                json,
+            }
+        }
+        "certify-schedules" => {
+            let write = match flags.take_string("mode", "check")?.as_str() {
+                "check" => false,
+                "write" => true,
+                other => return Err(format!("--mode expects check|write, got '{other}'")),
+            };
+            Command::CertifySchedules {
+                write,
+                out: flags.take_string("out", "schedcert-report.json")?,
+            }
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => {
             let Some((_, exp, allowed)) = EXP_ALIASES
@@ -956,6 +1052,118 @@ mod tests {
         assert!(err.contains("at least 1 chunk"), "{err}");
         let err = parse(&argv("timeline --schedule 2f2b")).unwrap_err();
         assert!(err.contains("unknown schedule"), "{err}");
+    }
+
+    /// Every surface that accepts a schedule spelling — `sim`, `fleet`,
+    /// `timeline` via `--schedule`, and `verify-schedule`'s positional —
+    /// rejects malformed spellings with the grammar's exact messages,
+    /// not a downstream panic or a silent default.
+    #[test]
+    fn malformed_schedules_are_rejected_on_every_surface() {
+        let surfaces = [
+            "sim --schedule {}",
+            "sim --backend physical --schedule {}",
+            "fleet --schedule {}",
+            "timeline --schedule {}",
+            "verify-schedule {}",
+        ];
+        let cases = [
+            (
+                "interleaved:0",
+                "interleaved needs at least 1 chunk per device, got 'interleaved:0'",
+            ),
+            (
+                "interleaved:02",
+                "interleaved chunk count must be a canonical decimal \
+                 (write 'interleaved:2'), got '02'",
+            ),
+            (
+                "interleaved:+2",
+                "interleaved chunk count must be a canonical decimal \
+                 (write 'interleaved:2'), got '+2'",
+            ),
+            (
+                "interleaved:two",
+                "interleaved chunk count must be an integer, got 'two'",
+            ),
+            (
+                "2f2b",
+                "unknown schedule '2f2b' (gpipe|1f1b|interleaved[:v]|zb-h1)",
+            ),
+        ];
+        for surface in surfaces {
+            for (spelling, message) in cases {
+                let err = parse(&argv(&surface.replace("{}", spelling))).unwrap_err();
+                assert_eq!(err, message, "{surface} / {spelling}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_verify_schedule_command() {
+        assert_eq!(
+            cmd("verify-schedule zb-h1"),
+            Command::VerifySchedule {
+                target: VerifyTarget::Kind(ScheduleKind::ZbH1),
+                stages: 8,
+                microbatches: 8,
+                memory_limit: None,
+                json: false,
+            }
+        );
+        assert_eq!(
+            cmd("verify-schedule 1f1b --stages 4 --microbatches 16 \
+                 --memory-limit 4 --format json"),
+            Command::VerifySchedule {
+                target: VerifyTarget::Kind(ScheduleKind::OneFOneB),
+                stages: 4,
+                microbatches: 16,
+                memory_limit: Some(4),
+                json: true,
+            }
+        );
+        // Anything path-shaped is a stream file, resolved at run time.
+        assert_eq!(
+            cmd("verify-schedule examples/streams/deadlock.toml"),
+            Command::VerifySchedule {
+                target: VerifyTarget::File("examples/streams/deadlock.toml".into()),
+                stages: 8,
+                microbatches: 8,
+                memory_limit: None,
+                json: false,
+            }
+        );
+        let err = parse(&argv("verify-schedule")).unwrap_err();
+        assert!(err.contains("schedule name or a stream file"), "{err}");
+        // Shape flags contradict a file target's own header.
+        let err = parse(&argv("verify-schedule s.toml --stages 4")).unwrap_err();
+        assert!(err.contains("does not apply to stream-file"), "{err}");
+        let err = parse(&argv("verify-schedule gpipe --stages 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("verify-schedule gpipe --format yaml")).unwrap_err();
+        assert!(err.contains("expects human|json"), "{err}");
+        let err = parse(&argv("verify-schedule gpipe --width 80")).unwrap_err();
+        assert!(err.contains("unknown flag --width"), "{err}");
+    }
+
+    #[test]
+    fn parses_certify_schedules_command() {
+        assert_eq!(
+            cmd("certify-schedules"),
+            Command::CertifySchedules {
+                write: false,
+                out: "schedcert-report.json".into(),
+            }
+        );
+        assert_eq!(
+            cmd("certify-schedules --mode write --out /tmp/r.json"),
+            Command::CertifySchedules {
+                write: true,
+                out: "/tmp/r.json".into(),
+            }
+        );
+        let err = parse(&argv("certify-schedules --mode verify")).unwrap_err();
+        assert!(err.contains("expects check|write"), "{err}");
     }
 
     #[test]

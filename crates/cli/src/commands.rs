@@ -7,14 +7,17 @@
 //! `fleet`) and lowers it to a backend run. No command owns bespoke
 //! persistence or per-driver printing anymore.
 
+use std::process::ExitCode;
+
 use pipefill_core::experiments::sweep;
 use pipefill_core::{BackendKind, BackendMetrics, FleetSimResult};
 use pipefill_executor::{plan_best, ExecutorConfig, FillJobSpec};
 use pipefill_pipeline::{render_timeline, EngineConfig, MainJobSpec, ScheduleKind};
 use pipefill_scenario::{toml as scenario_toml, Axis, Experiment, Grid, Scale, ScenarioSpec};
+use pipefill_schedverify::{certificate, verify, StreamSet, Verdict, VerifyConfig};
 use pipefill_sim_core::SimDuration;
 
-use crate::args::{Command, Invocation, USAGE};
+use crate::args::{Command, Invocation, VerifyTarget, USAGE};
 
 /// Resolves an experiment spelling through the registry's shared
 /// single/multi-alias resolution, with a CLI-flavoured error.
@@ -67,13 +70,17 @@ fn run_experiment(exp: &dyn Experiment, grid: &Grid, out: &str) -> Result<(), St
     Ok(())
 }
 
-/// Executes a parsed invocation.
+/// Executes a parsed invocation and reports the process exit code:
+/// success for every command that ran, and the dedicated rejection code
+/// for `verify-schedule` / `certify-schedules` when the verdict (or the
+/// byte comparison) fails.
 ///
 /// # Errors
 ///
 /// Returns a message for I/O failures, unknown experiments, invalid
-/// scenarios, or infeasible plan requests.
-pub fn run(invocation: Invocation) -> Result<(), String> {
+/// scenarios, or infeasible plan requests (mapped to usage-error exit
+/// status by `main`).
+pub fn run(invocation: Invocation) -> Result<ExitCode, String> {
     let threads = sweep::set_threads(invocation.threads);
     match invocation.command {
         Command::Help => println!("{USAGE}"),
@@ -261,6 +268,72 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             );
             println!("{}", render_timeline(&tl, width));
         }
+        Command::VerifySchedule {
+            target,
+            stages,
+            microbatches,
+            memory_limit,
+            json,
+        } => {
+            let (label, set) = match &target {
+                VerifyTarget::Kind(kind) => (
+                    kind.to_string(),
+                    StreamSet::from_schedule(*kind, stages, microbatches),
+                ),
+                VerifyTarget::File(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading stream file {path}: {e}"))?;
+                    let set =
+                        StreamSet::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                    (path.clone(), set)
+                }
+            };
+            // The 40B calibration the timeline command renders with:
+            // backward = 2× forward.
+            let mut cfg =
+                VerifyConfig::new(SimDuration::from_millis(43), SimDuration::from_millis(86));
+            if let VerifyTarget::Kind(kind) = target {
+                cfg = cfg.with_schedule(kind);
+            }
+            if let Some(limit) = memory_limit {
+                cfg = cfg.with_memory_limit(limit);
+            }
+            let verdict = verify(&set, &cfg);
+            if json {
+                print!("{}", certificate::verdict_json(&label, &set, &verdict));
+            } else {
+                print_verdict(&label, &set, &verdict);
+            }
+            return Ok(if verdict.certified() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            });
+        }
+        Command::CertifySchedules { write, out } => {
+            let report = certificate::certify_grid();
+            if write {
+                std::fs::write(&out, &report.json).map_err(|e| format!("writing {out}: {e}"))?;
+                println!("certificate grid written to {out}");
+            } else {
+                let pinned = std::fs::read_to_string(&out).map_err(|e| {
+                    format!("reading pinned report {out}: {e} (run --mode write to create it)")
+                })?;
+                if pinned != report.json {
+                    eprintln!(
+                        "certificate drift: {out} does not match the regenerated grid \
+                         (run `certify-schedules --mode write` and review the diff)"
+                    );
+                    return Ok(ExitCode::from(1));
+                }
+                println!("certificate grid matches {out} byte-for-byte");
+            }
+            if !report.all_certified {
+                eprintln!("certificate grid contains uncertified entries");
+                return Ok(ExitCode::from(1));
+            }
+            return Ok(ExitCode::SUCCESS);
+        }
         Command::Plan { model, kind, stage } => {
             let main = MainJobSpec::simulator_40b(8, ScheduleKind::GPipe);
             let timeline = main.engine_timeline();
@@ -306,7 +379,48 @@ pub fn run(invocation: Invocation) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The human-readable verdict report for `verify-schedule`.
+fn print_verdict(label: &str, set: &StreamSet, verdict: &Verdict) {
+    println!(
+        "schedcheck: {label} — {} stages × {} microbatches{}",
+        set.stages(),
+        set.microbatches,
+        if set.chunks > 1 {
+            format!(" × {} chunks", set.chunks)
+        } else {
+            String::new()
+        }
+    );
+    if let Some(stats) = &verdict.stats {
+        println!("  instructions:      {}", stats.instructions);
+        println!("  dependency edges:  {}", stats.dependency_edges);
+        let peaks: Vec<String> = stats.memory_peaks.iter().map(u64::to_string).collect();
+        println!("  memory peaks:      [{}] microbatches", peaks.join(", "));
+        println!("  steady period:     {}", stats.period);
+        println!(
+            "  bubble fraction:   {:.4} (static longest path)",
+            stats.bubble_fraction_static
+        );
+        if let Some(cf) = stats.closed_form {
+            println!(
+                "  closed form:       {:.4} ({}, {})",
+                cf.expected,
+                cf.relation.as_str(),
+                if cf.holds { "holds" } else { "VIOLATED" }
+            );
+        }
+    }
+    if verdict.certified() {
+        println!("  verdict:           CERTIFIED");
+    } else {
+        println!("  verdict:           REJECTED");
+        for finding in &verdict.findings {
+            println!("    {finding}");
+        }
+    }
 }
 
 fn print_fleet_jobs(detail: &FleetSimResult) {

@@ -24,6 +24,11 @@
 //!                                  render a pipeline schedule as ASCII
 //!   plan   [--model NAME] [--kind training|inference] [--stage S]
 //!                                  show the Executor's plan for one job
+//!   verify-schedule <schedule|stream.toml> [--format human|json]
+//!                                  statically verify an instruction stream
+//!                                  (exit 0 certified, 1 rejected, 2 usage)
+//!   certify-schedules [--mode check|write] [--out FILE]
+//!                                  re-verify the pinned certificate grid
 //!
 //! Every command accepts `--threads N` to bound the parallel sweep pool.
 //! ```
@@ -34,6 +39,12 @@ mod commands;
 
 use std::process::ExitCode;
 
+/// Usage and I/O errors exit with their own status so scripts (and the
+/// CI certificate job) can tell "the verdict was a rejection" (1,
+/// reported by `commands::run` itself) from "the invocation never ran"
+/// (2).
+const USAGE_ERROR: u8 = 2;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match args::parse(&argv) {
@@ -41,14 +52,14 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", args::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(USAGE_ERROR);
         }
     };
     match commands::run(parsed) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(USAGE_ERROR)
         }
     }
 }

@@ -1,0 +1,235 @@
+//! Dependency-key introspection for instruction streams.
+//!
+//! The engine resolves cross-stage dependencies by keying activation and
+//! gradient availability on `(virtual stage, microbatch)`; this module is
+//! that keying as a standalone, inspectable artifact. [`produced`] and
+//! [`consumed`] answer, for any instruction on any device, which key its
+//! completion publishes and which key it must wait for — generalized over
+//! virtual stages exactly as the engine executes them (chunk `c` on
+//! device `s` is virtual stage `c·p + s`).
+//!
+//! Two consumers share it: the engine's list scheduler (so the executable
+//! semantics and the published introspection cannot drift), and the
+//! `schedverify` crate's static dependency graph, which proves streams
+//! deadlock-free *before* execution by checking the very same edges for
+//! acyclicity.
+
+use crate::instructions::PipelineInstruction;
+
+/// A cross-stage availability key: the engine's end-time maps are keyed
+/// by `(iteration, DepKey)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKey {
+    /// The forward activation of `microbatch` leaving virtual stage `vs`.
+    Fwd {
+        /// Virtual stage index in `0..chunks·p`.
+        vs: usize,
+        /// Microbatch index in `0..m`.
+        microbatch: usize,
+    },
+    /// The backward gradient of `microbatch` leaving virtual stage `vs`.
+    Bwd {
+        /// Virtual stage index in `0..chunks·p`.
+        vs: usize,
+        /// Microbatch index in `0..m`.
+        microbatch: usize,
+    },
+}
+
+/// One inbound dependency of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// The key the instruction waits for.
+    pub key: DepKey,
+    /// Whether satisfying it crosses a device boundary (and therefore
+    /// pays the inter-stage communication latency). Chunk hand-offs that
+    /// stay on the same device — `p == 1` wrap-arounds — do not.
+    pub crosses_device: bool,
+}
+
+/// The key `instr` publishes when it completes on device `stage` of a
+/// `p`-device pipeline, if any.
+///
+/// `BackwardWeight` publishes nothing (ZB-H1's `W` half has no
+/// cross-stage consumers — that is the whole point of deferring it), and
+/// neither do markers, gradient sync, or the optimizer step.
+pub fn produced(instr: PipelineInstruction, stage: usize, p: usize) -> Option<DepKey> {
+    match instr {
+        PipelineInstruction::Forward { microbatch } => Some(DepKey::Fwd {
+            vs: stage,
+            microbatch,
+        }),
+        PipelineInstruction::ForwardChunk { chunk, microbatch } => Some(DepKey::Fwd {
+            vs: chunk * p + stage,
+            microbatch,
+        }),
+        PipelineInstruction::Backward { microbatch }
+        | PipelineInstruction::BackwardInput { microbatch } => Some(DepKey::Bwd {
+            vs: stage,
+            microbatch,
+        }),
+        PipelineInstruction::BackwardChunk { chunk, microbatch } => Some(DepKey::Bwd {
+            vs: chunk * p + stage,
+            microbatch,
+        }),
+        PipelineInstruction::BackwardWeight { .. }
+        | PipelineInstruction::Bubble { .. }
+        | PipelineInstruction::GradSync
+        | PipelineInstruction::OptimizerStep => None,
+    }
+}
+
+/// The key `instr` must wait for before starting on device `stage` of a
+/// `p`-device pipeline with `chunks` model chunks per device, if any.
+///
+/// `None` means the instruction is unconditionally runnable once the
+/// device reaches it in program order: pipeline-entry forwards
+/// (virtual stage 0), pipeline-exit backwards (the last virtual stage),
+/// `BackwardWeight` (its `B` half precedes it in program order), and all
+/// non-compute instructions.
+pub fn consumed(
+    instr: PipelineInstruction,
+    stage: usize,
+    p: usize,
+    chunks: usize,
+) -> Option<DepEdge> {
+    match instr {
+        PipelineInstruction::Forward { microbatch } => (stage > 0).then(|| DepEdge {
+            key: DepKey::Fwd {
+                vs: stage - 1,
+                microbatch,
+            },
+            crosses_device: true,
+        }),
+        PipelineInstruction::ForwardChunk { chunk, microbatch } => {
+            let vs = chunk * p + stage;
+            (vs > 0).then(|| DepEdge {
+                key: DepKey::Fwd {
+                    vs: vs - 1,
+                    microbatch,
+                },
+                // The previous virtual stage lives on the previous device
+                // (wrapping across chunk boundaries), so the hand-off
+                // pays the inter-stage link unless p == 1.
+                crosses_device: (vs - 1) % p != stage,
+            })
+        }
+        PipelineInstruction::Backward { microbatch }
+        | PipelineInstruction::BackwardInput { microbatch } => (stage < p - 1).then(|| DepEdge {
+            key: DepKey::Bwd {
+                vs: stage + 1,
+                microbatch,
+            },
+            crosses_device: true,
+        }),
+        PipelineInstruction::BackwardChunk { chunk, microbatch } => {
+            let vs = chunk * p + stage;
+            (vs < chunks * p - 1).then(|| DepEdge {
+                key: DepKey::Bwd {
+                    vs: vs + 1,
+                    microbatch,
+                },
+                crosses_device: (vs + 1) % p != stage,
+            })
+        }
+        PipelineInstruction::BackwardWeight { .. }
+        | PipelineInstruction::Bubble { .. }
+        | PipelineInstruction::GradSync
+        | PipelineInstruction::OptimizerStep => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_chain_links_adjacent_stages() {
+        let f = PipelineInstruction::Forward { microbatch: 3 };
+        assert_eq!(consumed(f, 0, 4, 1), None, "stage 0 enters the pipeline");
+        assert_eq!(
+            consumed(f, 2, 4, 1),
+            Some(DepEdge {
+                key: DepKey::Fwd {
+                    vs: 1,
+                    microbatch: 3
+                },
+                crosses_device: true,
+            })
+        );
+        assert_eq!(
+            produced(f, 2, 4),
+            Some(DepKey::Fwd {
+                vs: 2,
+                microbatch: 3
+            })
+        );
+    }
+
+    #[test]
+    fn backward_chain_links_in_reverse() {
+        let b = PipelineInstruction::Backward { microbatch: 1 };
+        assert_eq!(consumed(b, 3, 4, 1), None, "last stage turns around");
+        assert_eq!(
+            consumed(b, 1, 4, 1).map(|e| e.key),
+            Some(DepKey::Bwd {
+                vs: 2,
+                microbatch: 1
+            })
+        );
+        // ZB-H1's B half keys identically to a full backward.
+        let bi = PipelineInstruction::BackwardInput { microbatch: 1 };
+        assert_eq!(consumed(bi, 1, 4, 1), consumed(b, 1, 4, 1));
+        assert_eq!(produced(bi, 1, 4), produced(b, 1, 4));
+    }
+
+    #[test]
+    fn chunk_handoffs_wrap_across_devices() {
+        // p=4, v=2: chunk 1 on device 0 is virtual stage 4; its input
+        // comes from virtual stage 3 = chunk 0 on device 3 — a real link.
+        let f = PipelineInstruction::ForwardChunk {
+            chunk: 1,
+            microbatch: 0,
+        };
+        let e = consumed(f, 0, 4, 2).expect("vs 4 has an upstream");
+        assert_eq!(
+            e.key,
+            DepKey::Fwd {
+                vs: 3,
+                microbatch: 0
+            }
+        );
+        assert!(e.crosses_device);
+        // p=1: every hand-off stays on the lone device.
+        let e = consumed(f, 0, 1, 2).expect("vs 1 has an upstream");
+        assert!(!e.crosses_device);
+        // The last virtual stage's backward enters unconditionally.
+        let b = PipelineInstruction::BackwardChunk {
+            chunk: 1,
+            microbatch: 0,
+        };
+        assert_eq!(consumed(b, 3, 4, 2), None);
+        assert_eq!(
+            consumed(b, 2, 4, 2).map(|e| e.key),
+            Some(DepKey::Bwd {
+                vs: 7,
+                microbatch: 0
+            })
+        );
+    }
+
+    #[test]
+    fn weight_half_and_markers_are_dependency_free() {
+        for instr in [
+            PipelineInstruction::BackwardWeight { microbatch: 2 },
+            PipelineInstruction::GradSync,
+            PipelineInstruction::OptimizerStep,
+            PipelineInstruction::Bubble {
+                kind: crate::bubbles::BubbleKind::FwdBwd,
+            },
+        ] {
+            assert_eq!(produced(instr, 1, 4), None, "{instr:?}");
+            assert_eq!(consumed(instr, 1, 4, 1), None, "{instr:?}");
+        }
+    }
+}

@@ -16,6 +16,7 @@ use pipefill_sim_core::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::bubbles::{BubbleKind, BubbleWindow};
+use crate::deps::{self, DepKey};
 use crate::instructions::PipelineInstruction;
 use crate::memory::BubbleMemoryModel;
 use crate::schedule::ScheduleKind;
@@ -25,6 +26,44 @@ use crate::schedule::ScheduleKind;
 const SIM_ITERATIONS: usize = 4;
 /// Which iteration the timeline is extracted from.
 const STEADY_ITER: usize = 2;
+
+/// Why an instruction-stream execution could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// In-order execution wedged: every device is either done or blocked
+    /// on a dependency key no completed instruction has published.
+    Deadlock {
+        /// The lowest-numbered blocked device.
+        stage: usize,
+        /// Position of the blocked instruction in that device's stream.
+        position: usize,
+        /// The blocked instruction itself.
+        instruction: PipelineInstruction,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Deadlock {
+                stage,
+                position,
+                instruction,
+            } => write!(
+                f,
+                "pipeline schedule deadlocked on stage {stage}: \
+                 position {position} ({instruction:?}) waits on a \
+                 dependency no instruction publishes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One executed instruction, as the list scheduler records it:
+/// `(iteration, instruction, start, end)`.
+type ExecRecord = (usize, PipelineInstruction, SimTime, SimTime);
 
 /// Everything the engine needs to run one main job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,128 +159,74 @@ impl EngineConfig {
             })
             .collect();
 
-        // Dependency-driven list scheduling. End-time maps are keyed by
-        // (iteration, virtual stage, microbatch); for unchunked schedules
-        // the virtual stage is the device stage, for interleaved ones
-        // chunk `c` on device `s` is virtual stage `c·p + s`.
+        let records = self
+            .simulate(&streams)
+            .unwrap_or_else(|e| panic!("{e} (generator bug)"));
+        self.extract_timeline(&records)
+    }
+
+    /// Executes arbitrary per-device instruction streams (one iteration
+    /// each) through the same in-order dependency simulation `run` uses,
+    /// reporting whether they complete. This is the engine-safety oracle
+    /// the `schedverify` differential harness pins its static verdicts
+    /// against: a stream set is "engine-safe" iff this returns `Ok`.
+    ///
+    /// Dependency keying and instruction durations are identical to
+    /// [`EngineConfig::run`] (chunk count taken from `self.schedule`);
+    /// unlike `run`, a wedged schedule is a value, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Deadlock`] when in-order execution cannot complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len()` differs from the configured stage count.
+    pub fn execute_streams(&self, streams: &[Vec<PipelineInstruction>]) -> Result<(), EngineError> {
+        assert_eq!(
+            streams.len(),
+            self.num_stages(),
+            "stream count must match the configured stage count"
+        );
+        let tagged: Vec<Vec<(usize, PipelineInstruction)>> = streams
+            .iter()
+            .map(|stream| stream.iter().map(|&i| (0, i)).collect())
+            .collect();
+        self.simulate(&tagged).map(|_| ())
+    }
+
+    /// Dependency-driven list scheduling over iteration-tagged streams.
+    /// End-time maps are keyed by `(iteration, DepKey)`; the keying
+    /// itself — virtual stages, cross-device hand-offs — lives in
+    /// [`crate::deps`], shared with the static verifier.
+    fn simulate(
+        &self,
+        streams: &[Vec<(usize, PipelineInstruction)>],
+    ) -> Result<Vec<Vec<ExecRecord>>, EngineError> {
+        let p = self.num_stages();
         let chunks = self.schedule.chunk_count();
-        let vs_total = chunks * p;
-        // Per-chunk compute: slice `1/chunks` of the stage total,
-        // telescoped so chunk durations sum exactly to the stage's.
-        let chunk_slice = |total: SimDuration, c: usize| -> SimDuration {
-            total * (c as u64 + 1) / chunks as u64 - total * c as u64 / chunks as u64
-        };
-        let mut fwd_end: HashMap<(usize, usize, usize), SimTime> = HashMap::new();
-        let mut bwd_end: HashMap<(usize, usize, usize), SimTime> = HashMap::new();
+        let mut done: HashMap<(usize, DepKey), SimTime> = HashMap::new();
         let mut next = vec![0usize; p];
         let mut free = vec![SimTime::ZERO; p];
-        let mut records: Vec<Vec<(usize, PipelineInstruction, SimTime, SimTime)>> =
-            vec![Vec::new(); p];
+        let mut records: Vec<Vec<ExecRecord>> = vec![Vec::new(); p];
 
         loop {
             let mut progressed = false;
             for s in 0..p {
                 while next[s] < streams[s].len() {
                     let (iter, instr) = streams[s][next[s]];
-                    let dep = match instr {
-                        PipelineInstruction::Forward { microbatch } => {
-                            if s == 0 {
-                                Some(SimTime::ZERO)
-                            } else {
-                                fwd_end
-                                    .get(&(iter, s - 1, microbatch))
-                                    .map(|&t| t + self.comm)
-                            }
-                        }
-                        PipelineInstruction::ForwardChunk { chunk, microbatch } => {
-                            let vs = chunk * p + s;
-                            if vs == 0 {
-                                Some(SimTime::ZERO)
-                            } else {
-                                // The previous virtual stage lives on the
-                                // previous device (wrapping across chunk
-                                // boundaries), so the hand-off pays the
-                                // inter-stage link unless p == 1.
-                                fwd_end.get(&(iter, vs - 1, microbatch)).map(|&t| {
-                                    if (vs - 1) % p == s {
-                                        t
-                                    } else {
-                                        t + self.comm
-                                    }
-                                })
-                            }
-                        }
-                        PipelineInstruction::Backward { microbatch }
-                        | PipelineInstruction::BackwardInput { microbatch } => {
-                            if s == p - 1 {
-                                Some(SimTime::ZERO)
-                            } else {
-                                bwd_end
-                                    .get(&(iter, s + 1, microbatch))
-                                    .map(|&t| t + self.comm)
-                            }
-                        }
-                        PipelineInstruction::BackwardChunk { chunk, microbatch } => {
-                            let vs = chunk * p + s;
-                            if vs == vs_total - 1 {
-                                Some(SimTime::ZERO)
-                            } else {
-                                bwd_end.get(&(iter, vs + 1, microbatch)).map(|&t| {
-                                    if (vs + 1) % p == s {
-                                        t
-                                    } else {
-                                        t + self.comm
-                                    }
-                                })
-                            }
-                        }
-                        _ => Some(SimTime::ZERO),
-                    };
-                    let Some(dep) = dep else { break };
-                    let dur = match instr {
-                        PipelineInstruction::Forward { .. } => self.stage_fwd[s],
-                        PipelineInstruction::Backward { .. } => self.stage_bwd[s],
-                        PipelineInstruction::ForwardChunk { chunk, .. } => {
-                            chunk_slice(self.stage_fwd[s], chunk)
-                        }
-                        PipelineInstruction::BackwardChunk { chunk, .. } => {
-                            chunk_slice(self.stage_bwd[s], chunk)
-                        }
-                        // ZB-H1's split: B is the activation-gradient half,
-                        // W the weight-gradient remainder (together exactly
-                        // the full backward).
-                        PipelineInstruction::BackwardInput { .. } => self.stage_bwd[s] / 2,
-                        PipelineInstruction::BackwardWeight { .. } => {
-                            self.stage_bwd[s] - self.stage_bwd[s] / 2
-                        }
-                        PipelineInstruction::OptimizerStep => self.stage_opt[s],
-                        PipelineInstruction::GradSync => {
-                            if self.overlap_grad_sync {
-                                SimDuration::ZERO
-                            } else {
-                                self.grad_sync
-                            }
-                        }
-                        PipelineInstruction::Bubble { .. } => SimDuration::ZERO,
+                    let dep = match deps::consumed(instr, s, p, chunks) {
+                        None => SimTime::ZERO,
+                        Some(edge) => match done.get(&(iter, edge.key)) {
+                            Some(&t) if edge.crosses_device => t + self.comm,
+                            Some(&t) => t,
+                            None => break,
+                        },
                     };
                     let start = free[s].max(dep);
-                    let end = start + dur;
-                    match instr {
-                        PipelineInstruction::Forward { microbatch } => {
-                            fwd_end.insert((iter, s, microbatch), end);
-                        }
-                        PipelineInstruction::ForwardChunk { chunk, microbatch } => {
-                            fwd_end.insert((iter, chunk * p + s, microbatch), end);
-                        }
-                        PipelineInstruction::Backward { microbatch }
-                        | PipelineInstruction::BackwardInput { microbatch } => {
-                            bwd_end.insert((iter, s, microbatch), end);
-                        }
-                        PipelineInstruction::BackwardChunk { chunk, microbatch } => {
-                            bwd_end.insert((iter, chunk * p + s, microbatch), end);
-                        }
-                        // BackwardWeight has no cross-stage consumers.
-                        _ => {}
+                    let end = start + self.instruction_duration(instr, s);
+                    if let Some(key) = deps::produced(instr, s, p) {
+                        done.insert((iter, key), end);
                     }
                     records[s].push((iter, instr, start, end));
                     free[s] = end;
@@ -254,20 +239,63 @@ impl EngineConfig {
             }
         }
         for s in 0..p {
-            assert_eq!(
-                next[s],
-                streams[s].len(),
-                "pipeline schedule deadlocked on stage {s}"
-            );
+            if next[s] < streams[s].len() {
+                return Err(EngineError::Deadlock {
+                    stage: s,
+                    position: next[s],
+                    instruction: streams[s][next[s]].1,
+                });
+            }
         }
-
-        self.extract_timeline(&records)
+        Ok(records)
     }
 
-    fn extract_timeline(
-        &self,
-        records: &[Vec<(usize, PipelineInstruction, SimTime, SimTime)>],
-    ) -> EngineTimeline {
+    /// How long `instr` occupies device `stage` — exactly the durations
+    /// the dependency simulation schedules with, published so static
+    /// analyses can weight the same DAG the engine executes.
+    ///
+    /// Chunked compute slices `1/chunks` of the stage total (chunk count
+    /// from the configured schedule), telescoped so chunk durations sum
+    /// exactly to the stage's; ZB-H1's split makes `B` the
+    /// activation-gradient half and `W` the weight-gradient remainder
+    /// (together exactly the full backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn instruction_duration(&self, instr: PipelineInstruction, stage: usize) -> SimDuration {
+        let chunks = self.schedule.chunk_count() as u64;
+        // Per-chunk compute: slice `1/chunks` of the stage total,
+        // telescoped so chunk durations sum exactly to the stage's.
+        let chunk_slice = |total: SimDuration, c: usize| -> SimDuration {
+            total * (c as u64 + 1) / chunks - total * c as u64 / chunks
+        };
+        match instr {
+            PipelineInstruction::Forward { .. } => self.stage_fwd[stage],
+            PipelineInstruction::Backward { .. } => self.stage_bwd[stage],
+            PipelineInstruction::ForwardChunk { chunk, .. } => {
+                chunk_slice(self.stage_fwd[stage], chunk)
+            }
+            PipelineInstruction::BackwardChunk { chunk, .. } => {
+                chunk_slice(self.stage_bwd[stage], chunk)
+            }
+            PipelineInstruction::BackwardInput { .. } => self.stage_bwd[stage] / 2,
+            PipelineInstruction::BackwardWeight { .. } => {
+                self.stage_bwd[stage] - self.stage_bwd[stage] / 2
+            }
+            PipelineInstruction::OptimizerStep => self.stage_opt[stage],
+            PipelineInstruction::GradSync => {
+                if self.overlap_grad_sync {
+                    SimDuration::ZERO
+                } else {
+                    self.grad_sync
+                }
+            }
+            PipelineInstruction::Bubble { .. } => SimDuration::ZERO,
+        }
+    }
+
+    fn extract_timeline(&self, records: &[Vec<ExecRecord>]) -> EngineTimeline {
         let p = self.num_stages();
         // Start of an iteration on a stage = start of its first busy
         // (non-zero-duration) instruction of that iteration. A miss means
@@ -609,6 +637,80 @@ mod tests {
         let mut cfg = EngineConfig::uniform(ScheduleKind::GPipe, 4, 4, ms(10), ms(20));
         cfg.stage_bwd.pop();
         let _ = cfg.run();
+    }
+
+    /// `execute_streams` is the non-panicking oracle: every built-in
+    /// stream set completes, and a cross-device order inversion —
+    /// wellformed on each device in isolation — reports a deadlock value
+    /// instead of panicking.
+    #[test]
+    fn execute_streams_completes_builtins_and_reports_deadlock() {
+        for kind in ScheduleKind::ALL {
+            let cfg = EngineConfig::uniform(kind, 4, 8, ms(10), ms(20));
+            let streams = kind.all_stage_instructions(4, 8);
+            assert!(cfg.execute_streams(&streams).is_ok(), "{kind}");
+        }
+        // dev0: F0 B0 F1 B1 / dev1: F1 F0 B0 B1 — dev0's B0 waits on
+        // dev1's B0, which program-order-follows dev1's F1, which waits
+        // on dev0's F1, which program-order-follows dev0's B0.
+        use PipelineInstruction::{Backward, Forward};
+        let wedged = vec![
+            vec![
+                Forward { microbatch: 0 },
+                Backward { microbatch: 0 },
+                Forward { microbatch: 1 },
+                Backward { microbatch: 1 },
+            ],
+            vec![
+                Forward { microbatch: 1 },
+                Forward { microbatch: 0 },
+                Backward { microbatch: 0 },
+                Backward { microbatch: 1 },
+            ],
+        ];
+        let cfg = EngineConfig::uniform(ScheduleKind::OneFOneB, 2, 2, ms(10), ms(20));
+        let err = cfg
+            .execute_streams(&wedged)
+            .expect_err("cyclic streams wedge");
+        assert_eq!(
+            err,
+            EngineError::Deadlock {
+                stage: 0,
+                position: 1,
+                instruction: Backward { microbatch: 0 },
+            }
+        );
+        assert!(err.to_string().contains("deadlocked on stage 0"), "{err}");
+    }
+
+    /// The published per-instruction durations are the ones the
+    /// simulation schedules with: chunk slices telescope to the stage
+    /// total and the ZB-H1 halves recompose the full backward.
+    #[test]
+    fn instruction_durations_telescope() {
+        let cfg = EngineConfig::uniform(
+            ScheduleKind::Interleaved { chunks: 3 },
+            4,
+            4,
+            ms(10),
+            ms(25),
+        );
+        let fwd: SimDuration = (0..3)
+            .map(|c| {
+                cfg.instruction_duration(
+                    PipelineInstruction::ForwardChunk {
+                        chunk: c,
+                        microbatch: 0,
+                    },
+                    1,
+                )
+            })
+            .sum();
+        assert_eq!(fwd, ms(10));
+        let zb = EngineConfig::uniform(ScheduleKind::ZbH1, 4, 4, ms(10), ms(25));
+        let b = zb.instruction_duration(PipelineInstruction::BackwardInput { microbatch: 0 }, 0);
+        let w = zb.instruction_duration(PipelineInstruction::BackwardWeight { microbatch: 0 }, 0);
+        assert_eq!(b + w, ms(25));
     }
 
     /// ZB-H1 with uniform stages and m ≥ p reproduces the Qi et al.

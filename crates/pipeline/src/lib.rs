@@ -31,6 +31,7 @@
 
 mod analysis;
 mod bubbles;
+pub mod deps;
 mod engine;
 mod instructions;
 mod job;
@@ -44,10 +45,10 @@ mod schedule;
 
 pub use analysis::{bubble_fraction, bubble_fraction_for, days_to_train, ScalingPoint};
 pub use bubbles::{BubbleKind, BubbleWindow};
-pub use engine::{EngineConfig, EngineTimeline, StageTimeline};
+pub use engine::{EngineConfig, EngineError, EngineTimeline, StageTimeline};
 pub use instructions::PipelineInstruction;
 pub use job::MainJobSpec;
-pub use memory::{BubbleMemoryModel, MainJobMemoryModel};
+pub use memory::{activation_envelope, BubbleMemoryModel, MainJobMemoryModel};
 pub use offload::{OffloadPlan, OffloadPlanner};
 pub use parallelism::ParallelismConfig;
 pub use partition::{StagePartition, StageProfile};

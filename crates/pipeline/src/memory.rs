@@ -127,61 +127,12 @@ impl MainJobMemoryModel {
         let p = parallelism.pipeline_stages;
         let m = parallelism.microbatches_per_replica();
         let hbm = device.hbm;
-        // The multi-chunk interleaved schedule's activation residency is
-        // not 1F1B's: its greedy realization runs forwards further ahead
-        // than the 1F1B warmup. Measure the true per-stage peak from the
-        // emitted streams — the prefix count of chunk-forwards minus
-        // chunk-backwards is the exact residency trajectory for any
-        // stage timing, since a device executes its stream in order.
-        // Each chunk activation is 1/v of a full microbatch's.
-        let interleaved_peaks: Option<Vec<u64>> = match schedule {
-            ScheduleKind::Interleaved { chunks } if chunks > 1 => Some(
-                schedule
-                    .all_stage_instructions(p, m)
-                    .iter()
-                    .map(|stream| {
-                        let mut resident = 0u64;
-                        let mut peak = 0u64;
-                        for instr in stream {
-                            match instr {
-                                crate::instructions::PipelineInstruction::ForwardChunk {
-                                    ..
-                                } => {
-                                    resident += 1;
-                                    peak = peak.max(resident);
-                                }
-                                crate::instructions::PipelineInstruction::BackwardChunk {
-                                    ..
-                                } => resident -= 1,
-                                _ => {}
-                            }
-                        }
-                        peak.div_ceil(chunks as u64)
-                    })
-                    .collect(),
-            ),
-            _ => None,
-        };
+        let envelope = activation_envelope(schedule, p, m);
         let stages = partition
             .stages()
             .iter()
             .map(|sp| {
-                // Microbatches whose activations are resident during the
-                // fwd-bwd bubble: GPipe keeps all m; 1F1B keeps at most
-                // p - stage in flight; 1-chunk interleaved *is* 1F1B.
-                // ZB-H1 shares 1F1B's envelope by modeling assumption
-                // (the H1 variant defers only W work, which this model
-                // treats as holding no extra activations). Multi-chunk
-                // interleaved uses the measured per-stage peak above.
-                let in_flight = match schedule {
-                    ScheduleKind::GPipe => m as u64,
-                    ScheduleKind::Interleaved { chunks } if chunks > 1 => interleaved_peaks
-                        .as_ref()
-                        .expect("computed for multi-chunk interleaved")[sp.stage],
-                    ScheduleKind::OneFOneB
-                    | ScheduleKind::Interleaved { .. }
-                    | ScheduleKind::ZbH1 => m.min(p - sp.stage) as u64,
-                };
+                let in_flight = envelope[sp.stage];
                 let act_per_mb = if self.activation_checkpointing {
                     sp.ckpt_boundary_bytes_per_microbatch
                 } else {
@@ -209,6 +160,60 @@ impl MainJobMemoryModel {
     }
 }
 
+/// Peak resident microbatch-activations per device for `schedule` on `p`
+/// stages and `m` microbatches — the stage-partition-independent half of
+/// [`MainJobMemoryModel::derive`], published so the static schedule
+/// verifier can cross-validate its stream-measured envelope against the
+/// memory model's.
+///
+/// Microbatches whose activations are resident during the fwd-bwd
+/// bubble: GPipe keeps all `m`; 1F1B keeps at most `p - stage` in
+/// flight; 1-chunk interleaved *is* 1F1B. ZB-H1 shares 1F1B's envelope
+/// by modeling assumption (the H1 variant defers only W work, which this
+/// model treats as holding no extra activations). The multi-chunk
+/// interleaved schedule's residency is not 1F1B's — its greedy
+/// realization runs forwards further ahead than the 1F1B warmup — so its
+/// per-stage peak is measured from the emitted streams: the prefix count
+/// of chunk-forwards minus chunk-backwards is the exact residency
+/// trajectory for any stage timing, since a device executes its stream
+/// in order. Each chunk activation is `1/v` of a full microbatch's, so
+/// the chunk-unit peak rounds up to whole microbatches.
+///
+/// # Panics
+///
+/// Panics if `p` or `m` is zero, or an interleaved schedule has zero
+/// chunks.
+pub fn activation_envelope(schedule: ScheduleKind, p: usize, m: usize) -> Vec<u64> {
+    assert!(p > 0 && m > 0, "p and m must be positive");
+    match schedule {
+        ScheduleKind::GPipe => vec![m as u64; p],
+        ScheduleKind::Interleaved { chunks } if chunks > 1 => schedule
+            .all_stage_instructions(p, m)
+            .iter()
+            .map(|stream| {
+                let mut resident = 0u64;
+                let mut peak = 0u64;
+                for instr in stream {
+                    match instr {
+                        crate::instructions::PipelineInstruction::ForwardChunk { .. } => {
+                            resident += 1;
+                            peak = peak.max(resident);
+                        }
+                        crate::instructions::PipelineInstruction::BackwardChunk { .. } => {
+                            resident -= 1
+                        }
+                        _ => {}
+                    }
+                }
+                peak.div_ceil(chunks as u64)
+            })
+            .collect(),
+        ScheduleKind::OneFOneB | ScheduleKind::Interleaved { .. } | ScheduleKind::ZbH1 => {
+            (0..p).map(|s| m.min(p - s) as u64).collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +225,28 @@ mod tests {
         let device = DeviceSpec::v100();
         let part = StagePartition::new(&model, &cfg, &device);
         MainJobMemoryModel::default().derive(&part, &cfg, &device, schedule)
+    }
+
+    #[test]
+    fn activation_envelope_matches_closed_forms() {
+        assert_eq!(activation_envelope(ScheduleKind::GPipe, 4, 6), vec![6; 4]);
+        assert_eq!(
+            activation_envelope(ScheduleKind::OneFOneB, 4, 6),
+            vec![4, 3, 2, 1]
+        );
+        assert_eq!(
+            activation_envelope(ScheduleKind::ZbH1, 4, 2),
+            vec![2, 2, 2, 1]
+        );
+        assert_eq!(
+            activation_envelope(ScheduleKind::Interleaved { chunks: 1 }, 4, 6),
+            activation_envelope(ScheduleKind::OneFOneB, 4, 6)
+        );
+        // Multi-chunk peaks are measured, never below 1F1B's closed form.
+        let il = activation_envelope(ScheduleKind::Interleaved { chunks: 2 }, 4, 8);
+        for (s, &peak) in il.iter().enumerate() {
+            assert!(peak >= (8usize.min(4 - s)) as u64, "stage {s}: {peak}");
+        }
     }
 
     #[test]

@@ -68,11 +68,24 @@ impl std::str::FromStr for ScheduleKind {
             "zb-h1" | "zbh1" => Ok(ScheduleKind::ZbH1),
             other => {
                 if let Some(v) = other.strip_prefix("interleaved:") {
+                    // `usize::from_str` accepts `+2`, `02` and friends;
+                    // the round-trip check pins the suffix to the one
+                    // canonical decimal spelling so a chunk count never
+                    // has two spellings in configs or golden output.
                     let chunks: usize = v.parse().map_err(|_| {
                         format!("interleaved chunk count must be an integer, got '{v}'")
                     })?;
                     if chunks == 0 {
-                        return Err("interleaved needs at least 1 chunk per device".into());
+                        return Err(
+                            "interleaved needs at least 1 chunk per device, got 'interleaved:0'"
+                                .into(),
+                        );
+                    }
+                    if v != chunks.to_string() {
+                        return Err(format!(
+                            "interleaved chunk count must be a canonical decimal \
+                             (write 'interleaved:{chunks}'), got '{v}'"
+                        ));
                     }
                     return Ok(ScheduleKind::Interleaved { chunks });
                 }
@@ -483,8 +496,47 @@ mod tests {
         assert!("interleaved:0".parse::<ScheduleKind>().is_err());
         assert!("interleaved:two".parse::<ScheduleKind>().is_err());
         assert!("bidirectional".parse::<ScheduleKind>().is_err());
+        // The canonical spelling is the only accepted one.
+        assert!("interleaved:02".parse::<ScheduleKind>().is_err());
+        assert!("interleaved:+2".parse::<ScheduleKind>().is_err());
+        assert!("interleaved:".parse::<ScheduleKind>().is_err());
         assert_eq!(ScheduleKind::Interleaved { chunks: 3 }.chunk_count(), 3);
         assert_eq!(ScheduleKind::ZbH1.chunk_count(), 1);
+    }
+
+    /// The exact diagnostics every `--schedule` surface relays: the CLI
+    /// and scenario layers parse through this one `FromStr`, so these
+    /// messages are the contract their rejection tests assert.
+    #[test]
+    fn malformed_interleaved_suffixes_get_exact_diagnostics() {
+        let err = "interleaved:0".parse::<ScheduleKind>().unwrap_err();
+        assert_eq!(
+            err,
+            "interleaved needs at least 1 chunk per device, got 'interleaved:0'"
+        );
+        let err = "interleaved:two".parse::<ScheduleKind>().unwrap_err();
+        assert_eq!(err, "interleaved chunk count must be an integer, got 'two'");
+        let err = "interleaved:".parse::<ScheduleKind>().unwrap_err();
+        assert_eq!(err, "interleaved chunk count must be an integer, got ''");
+        let err = "interleaved:-2".parse::<ScheduleKind>().unwrap_err();
+        assert_eq!(err, "interleaved chunk count must be an integer, got '-2'");
+        for (spelling, canon) in [("02", "2"), ("+2", "2"), ("0004", "4")] {
+            let err = format!("interleaved:{spelling}")
+                .parse::<ScheduleKind>()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                format!(
+                    "interleaved chunk count must be a canonical decimal \
+                     (write 'interleaved:{canon}'), got '{spelling}'"
+                )
+            );
+        }
+        // Case-insensitivity still holds for the canonical spellings.
+        assert_eq!(
+            "Interleaved:4".parse::<ScheduleKind>().unwrap(),
+            ScheduleKind::Interleaved { chunks: 4 }
+        );
     }
 
     #[test]

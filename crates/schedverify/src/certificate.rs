@@ -1,0 +1,231 @@
+//! Deterministic JSON certificates.
+//!
+//! Same contract as detlint's report module: pure function of the
+//! verdicts, keys in a fixed order, stable float formatting (Rust's
+//! shortest-roundtrip `Display`), `\n` line endings, trailing newline —
+//! so CI can regenerate the certificate grid and `cmp` it byte-for-byte
+//! against the checked-in copy. Serialization is hand-rolled; the schema
+//! is versioned by [`SCHEMA`].
+
+use pipefill_pipeline::ScheduleKind;
+use pipefill_sim_core::SimDuration;
+
+use crate::stream::StreamSet;
+use crate::{verify, Verdict, VerifyConfig};
+
+/// Certificate schema version; bump on any shape change.
+pub const SCHEMA: u32 = 1;
+
+/// Uniform per-stage forward time the grid is weighted with.
+pub const GRID_T_FWD: SimDuration = SimDuration::from_millis(10);
+/// Uniform per-stage backward time the grid is weighted with (the r = 2
+/// calibration every closed form in the paper is quoted at).
+pub const GRID_T_BWD: SimDuration = SimDuration::from_millis(20);
+
+/// The certified grid: every built-in schedule family across pipeline
+/// shapes from toy to paper-scale, all within the closed forms' `m >= p`
+/// regime.
+pub fn grid() -> Vec<(ScheduleKind, usize, usize)> {
+    let shapes = [(2, 4), (2, 8), (4, 8), (4, 16), (8, 16)];
+    let kinds = [
+        ScheduleKind::GPipe,
+        ScheduleKind::OneFOneB,
+        ScheduleKind::ZbH1,
+        ScheduleKind::Interleaved { chunks: 2 },
+        ScheduleKind::Interleaved { chunks: 4 },
+    ];
+    let mut grid = Vec::with_capacity(kinds.len() * shapes.len());
+    for kind in kinds {
+        for (p, m) in shapes {
+            grid.push((kind, p, m));
+        }
+    }
+    grid
+}
+
+/// A rendered certificate grid plus whether every entry certified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridReport {
+    /// The full JSON document.
+    pub json: String,
+    /// True iff every grid entry certified.
+    pub all_certified: bool,
+}
+
+/// Verifies the whole [`grid`] and renders the certificate document.
+pub fn certify_grid() -> GridReport {
+    let mut entries = Vec::new();
+    let mut certified = 0usize;
+    for (kind, p, m) in grid() {
+        let set = StreamSet::from_schedule(kind, p, m);
+        let cfg = VerifyConfig::new(GRID_T_FWD, GRID_T_BWD).with_schedule(kind);
+        let verdict = verify(&set, &cfg);
+        if verdict.certified() {
+            certified += 1;
+        }
+        entries.push(format!(
+            "    {{\n{}\n    }}",
+            render_fields(&format!("{kind}"), &set, &verdict, "      ").join(",\n")
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA},\n"));
+    out.push_str("  \"tool\": \"schedcheck\",\n");
+    out.push_str(&format!("  \"t_fwd_nanos\": {},\n", GRID_T_FWD.as_nanos()));
+    out.push_str(&format!("  \"t_bwd_nanos\": {},\n", GRID_T_BWD.as_nanos()));
+    out.push_str(&format!("  \"entries\": {},\n", entries.len()));
+    out.push_str(&format!("  \"certified\": {certified},\n"));
+    out.push_str("  \"grid\": [\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    GridReport {
+        all_certified: certified == entries.len(),
+        json: out,
+    }
+}
+
+/// Renders one verdict as a standalone JSON document (the CLI's
+/// `verify-schedule --format json` output).
+pub fn verdict_json(target: &str, set: &StreamSet, verdict: &Verdict) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": {SCHEMA},\n"));
+    out.push_str("  \"tool\": \"schedcheck\",\n");
+    out.push_str(&render_fields(target, set, verdict, "  ").join(",\n"));
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders a verdict's fields as `"key": value` lines at `pad`
+/// indentation, in schema order.
+fn render_fields(target: &str, set: &StreamSet, verdict: &Verdict, pad: &str) -> Vec<String> {
+    let field = |k: &str, v: String| format!("{pad}\"{k}\": {v}");
+    let mut fields = vec![
+        field("target", json_str(target)),
+        field("stages", set.stages().to_string()),
+        field("microbatches", set.microbatches.to_string()),
+        field("chunks", set.chunks.to_string()),
+        field("certified", verdict.certified().to_string()),
+    ];
+    if let Some(stats) = &verdict.stats {
+        fields.push(field("instructions", stats.instructions.to_string()));
+        fields.push(field(
+            "dependency_edges",
+            stats.dependency_edges.to_string(),
+        ));
+        let peaks: Vec<String> = stats.memory_peaks.iter().map(u64::to_string).collect();
+        fields.push(field("memory_peaks", format!("[{}]", peaks.join(", "))));
+        fields.push(field("period_nanos", stats.period.as_nanos().to_string()));
+        fields.push(field(
+            "bubble_fraction_static",
+            json_f64(stats.bubble_fraction_static),
+        ));
+        if let Some(cf) = stats.closed_form {
+            fields.push(field("bubble_fraction_closed_form", json_f64(cf.expected)));
+            fields.push(field(
+                "closed_form_relation",
+                json_str(cf.relation.as_str()),
+            ));
+            fields.push(field("closed_form_holds", cf.holds.to_string()));
+        }
+    }
+    if verdict.findings.is_empty() {
+        fields.push(field("findings", "[]".to_string()));
+    } else {
+        let rendered: Vec<String> = verdict
+            .findings
+            .iter()
+            .map(|f| {
+                let device = match f.device {
+                    Some(d) => d.to_string(),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{pad}  {{\"property\": {}, \"device\": {device}, \"message\": {}}}",
+                    json_str(f.property.as_str()),
+                    json_str(&f.message)
+                )
+            })
+            .collect();
+        fields.push(format!(
+            "{pad}\"findings\": [\n{}\n{pad}]",
+            rendered.join(",\n")
+        ));
+    }
+    fields
+}
+
+/// Floats in certificates: Rust's shortest round-trip `Display`, which is
+/// deterministic across platforms; integral values gain a `.0` so the
+/// JSON stays a float.
+fn json_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_grid_certifies_end_to_end() {
+        let report = certify_grid();
+        assert!(report.all_certified, "{}", report.json);
+        assert!(report.json.starts_with("{\n  \"schema\": 1,\n"));
+        assert!(report.json.ends_with("]\n}\n"));
+        assert_eq!(report.json.matches("\"certified\": true").count(), 25);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(certify_grid(), certify_grid());
+    }
+
+    #[test]
+    fn verdict_json_is_valid_shape_for_failures_too() {
+        let set = StreamSet::parse(
+            "stages = 2\nmicrobatches = 2\n\
+             device_0 = \"F0 B0 F1 B1\"\n\
+             device_1 = \"F1 F0 B0 B1\"\n",
+        )
+        .expect("parses");
+        let verdict = verify(&set, &VerifyConfig::new(GRID_T_FWD, GRID_T_BWD));
+        let json = verdict_json("wedge.toml", &set, &verdict);
+        assert!(json.contains("\"certified\": false"));
+        assert!(json.contains("\"property\": \"deadlock\""));
+        assert!(json.ends_with("\n}\n"));
+    }
+
+    #[test]
+    fn float_formatting_keeps_numbers_json_floats() {
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

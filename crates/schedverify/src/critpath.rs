@@ -1,0 +1,242 @@
+//! Bubble lower bound via longest paths through the weighted dependency
+//! DAG.
+//!
+//! Each instruction occurrence's earliest start time satisfies
+//!
+//! ```text
+//! start(n) = max(end(program-order predecessor),
+//!                end(dependency producer) [+ comm if cross-device])
+//! ```
+//!
+//! which over an acyclic graph is exactly a longest-path computation —
+//! and *identical* to the recurrence the engine's in-order list
+//! scheduler evaluates (`start = free[s].max(dep)`). Evaluating it here
+//! over the same unrolled iterations, durations
+//! ([`EngineConfig::instruction_duration`]) and dependency keys
+//! ([`pipefill_pipeline::deps`]) therefore reproduces the engine's
+//! steady-state period and per-stage busy time as integers, making the
+//! derived bubble fraction equal [`EngineTimeline::bubble_ratio`]
+//! bit-for-bit — proven statically, from the stream text alone.
+//!
+//! [`EngineTimeline::bubble_ratio`]: pipefill_pipeline::EngineTimeline::bubble_ratio
+
+use std::collections::BTreeMap;
+
+use pipefill_pipeline::deps::{self, DepKey};
+use pipefill_pipeline::{EngineConfig, PipelineInstruction};
+use pipefill_sim_core::{SimDuration, SimTime};
+
+use crate::stream::{token, StreamSet};
+use crate::{Finding, Property};
+
+/// Iterations unrolled before reading off the steady state — the same
+/// horizon the engine simulates (its `SIM_ITERATIONS`/`STEADY_ITER`).
+const ITERATIONS: usize = 4;
+const STEADY_ITER: usize = 2;
+
+/// The steady-state quantities the longest-path analysis proves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritPath {
+    /// Iteration period: the steady-state distance between consecutive
+    /// iteration starts on stage 0.
+    pub period: SimDuration,
+    /// Per-stage busy time within one steady-state period.
+    pub busy: Vec<SimDuration>,
+    /// Fraction of all device time spent idle — computed with the same
+    /// integer sums and single division as the engine's `bubble_ratio`.
+    pub bubble_fraction: f64,
+}
+
+/// Runs the longest-path analysis over `ITERATIONS` unrolled copies of
+/// the stream set.
+///
+/// # Errors
+///
+/// A finding when no steady state exists to bound: the unrolled graph
+/// wedges (unreachable after [`crate::graph::check`] passes — kept as a
+/// defensive invariant), an iteration has no busy instruction on some
+/// stage, or consecutive iterations disagree on the period.
+pub fn analyze(set: &StreamSet, engine: &EngineConfig) -> Result<CritPath, Finding> {
+    let p = set.stages();
+    let chunks = set.chunks;
+
+    // Earliest-start evaluation, iteration-tagged exactly like the
+    // engine: key availability is per (iteration, DepKey).
+    let mut done: BTreeMap<(usize, DepKey), SimTime> = BTreeMap::new();
+    let mut next = vec![0usize; p];
+    let mut free = vec![SimTime::ZERO; p];
+    // Per stage: (iteration, start, end) per occurrence, program order.
+    let mut records: Vec<Vec<(usize, SimTime, SimTime)>> = vec![Vec::new(); p];
+    let total: usize = set.instruction_count() * ITERATIONS;
+    let at = |stream: &[PipelineInstruction], flat: usize| -> (usize, PipelineInstruction) {
+        (flat / stream.len(), stream[flat % stream.len()])
+    };
+
+    loop {
+        let mut progressed = false;
+        for s in 0..p {
+            let stream = &set.streams[s];
+            while next[s] < stream.len() * ITERATIONS {
+                let (iter, instr) = at(stream, next[s]);
+                let dep = match deps::consumed(instr, s, p, chunks) {
+                    None => SimTime::ZERO,
+                    Some(edge) => match done.get(&(iter, edge.key)) {
+                        Some(&t) if edge.crosses_device => t + engine.comm,
+                        Some(&t) => t,
+                        None => break,
+                    },
+                };
+                let start = free[s].max(dep);
+                let end = start + engine.instruction_duration(instr, s);
+                if let Some(key) = deps::produced(instr, s, p) {
+                    done.insert((iter, key), end);
+                }
+                records[s].push((iter, start, end));
+                free[s] = end;
+                next[s] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let evaluated: usize = next.iter().sum();
+    if evaluated < total {
+        let s = (0..p)
+            .find(|&s| next[s] < set.streams[s].len() * ITERATIONS)
+            .expect("some stage is short");
+        let (_, instr) = at(&set.streams[s], next[s]);
+        return Err(Finding::on_device(
+            Property::Deadlock,
+            s,
+            format!(
+                "longest-path evaluation wedged at position {} ({})",
+                next[s] % set.streams[s].len(),
+                token(instr)
+            ),
+        ));
+    }
+
+    // Steady state: iteration k starts (per stage) at its first busy
+    // instruction; the stage-0 deltas must agree across iterations.
+    let iter_start = |s: usize, k: usize| -> Result<SimTime, Finding> {
+        records[s]
+            .iter()
+            .find(|&&(iter, start, end)| iter == k && end > start)
+            .map(|&(_, start, _)| start)
+            .ok_or_else(|| {
+                Finding::on_device(
+                    Property::Bubble,
+                    s,
+                    format!(
+                        "iteration {k} has no busy instruction, so there is \
+                         no steady-state period to bound"
+                    ),
+                )
+            })
+    };
+    let t0 = iter_start(0, STEADY_ITER)?;
+    let period = iter_start(0, STEADY_ITER + 1)? - t0;
+    let prev_period = t0 - iter_start(0, STEADY_ITER - 1)?;
+    if period != prev_period {
+        return Err(Finding::on_device(
+            Property::Bubble,
+            0,
+            format!(
+                "not periodic by iteration {STEADY_ITER}: consecutive \
+                 iteration starts are {prev_period} then {period} apart"
+            ),
+        ));
+    }
+
+    let mut busy = Vec::with_capacity(p);
+    let mut total_bubble = SimDuration::ZERO;
+    for (s, stage_records) in records.iter().enumerate() {
+        let window = iter_start(s, STEADY_ITER + 1)? - iter_start(s, STEADY_ITER)?;
+        let stage_busy: SimDuration = stage_records
+            .iter()
+            .filter(|&&(iter, start, end)| iter == STEADY_ITER && end > start)
+            .map(|&(_, start, end)| end - start)
+            .sum();
+        total_bubble += window - stage_busy;
+        busy.push(stage_busy);
+    }
+    let bubble_fraction = total_bubble.ratio(period * p as u64);
+    Ok(CritPath {
+        period,
+        busy,
+        bubble_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefill_pipeline::ScheduleKind;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn reproduces_the_engine_exactly_for_builtins() {
+        for kind in [
+            ScheduleKind::GPipe,
+            ScheduleKind::OneFOneB,
+            ScheduleKind::Interleaved { chunks: 2 },
+            ScheduleKind::ZbH1,
+        ] {
+            for (p, m) in [(2, 4), (4, 8), (8, 16)] {
+                let cfg = EngineConfig::uniform(kind, p, m, ms(10), ms(20));
+                let set = StreamSet::from_schedule(kind, p, m);
+                let crit = analyze(&set, &cfg).unwrap_or_else(|f| panic!("{kind}: {f:?}"));
+                let tl = cfg.run();
+                assert_eq!(crit.period, tl.period, "{kind} p={p} m={m}");
+                // Bit-for-bit: same integer dividend and divisor, same
+                // single f64 division.
+                assert_eq!(
+                    crit.bubble_fraction.to_bits(),
+                    tl.bubble_ratio().to_bits(),
+                    "{kind} p={p} m={m}: {} vs {}",
+                    crit.bubble_fraction,
+                    tl.bubble_ratio()
+                );
+                for (s, st) in tl.stages.iter().enumerate() {
+                    assert_eq!(crit.busy[s], st.busy, "{kind} p={p} m={m} stage {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comm_latency_flows_through_cross_device_edges() {
+        let mut cfg = EngineConfig::uniform(ScheduleKind::OneFOneB, 4, 8, ms(10), ms(20));
+        cfg.comm = SimDuration::from_micros(500);
+        let set = StreamSet::from_schedule(ScheduleKind::OneFOneB, 4, 8);
+        let crit = analyze(&set, &cfg).expect("analyzes");
+        let tl = cfg.run();
+        assert_eq!(crit.period, tl.period);
+        assert_eq!(crit.bubble_fraction.to_bits(), tl.bubble_ratio().to_bits());
+    }
+
+    #[test]
+    fn single_device_pipeline_has_no_bubbles() {
+        let cfg = EngineConfig::uniform(ScheduleKind::GPipe, 1, 4, ms(10), ms(20));
+        let set = StreamSet::from_schedule(ScheduleKind::GPipe, 1, 4);
+        let crit = analyze(&set, &cfg).expect("analyzes");
+        assert_eq!(crit.bubble_fraction, 0.0);
+        assert_eq!(crit.busy[0], crit.period);
+    }
+
+    #[test]
+    fn all_idle_streams_are_rejected_not_divided_by_zero() {
+        let set = StreamSet::parse(
+            "stages = 1\nmicrobatches = 1\ndevice_0 = \"sync opt bubble:fill-drain\"\n",
+        )
+        .expect("parses");
+        let cfg = EngineConfig::uniform(ScheduleKind::OneFOneB, 1, 1, ms(10), ms(20));
+        let finding = analyze(&set, &cfg).expect_err("no busy instruction");
+        assert!(finding.message.contains("no busy instruction"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Deadlock-freedom: acyclicity of the cross-device dependency graph.
+//!
+//! Nodes are instruction occurrences; edges are (a) intra-device program
+//! order — the engine executes each stream strictly in order — and
+//! (b) inter-stage activation/gradient hand-offs, keyed exactly as the
+//! engine keys its end-time maps via [`pipefill_pipeline::deps`]. A
+//! stream set deadlocks under in-order execution **iff** this graph has
+//! a cycle or an instruction waits on a key nothing publishes; proving
+//! the graph acyclic therefore proves the engine completes, without
+//! running it.
+
+use std::collections::BTreeMap;
+
+use pipefill_pipeline::deps::{self, DepKey};
+
+use crate::stream::{token, StreamSet};
+use crate::{Finding, Property};
+
+/// Size of the verified graph, reported in certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Instruction occurrences.
+    pub nodes: usize,
+    /// Inter-stage dependency edges (program-order edges excluded — they
+    /// are implied by the stream layout).
+    pub dependency_edges: usize,
+}
+
+/// Location of a node: `(device, position)`.
+type Loc = (usize, usize);
+
+/// Proves the dependency graph acyclic, or reports why it is not.
+///
+/// # Errors
+///
+/// One finding per unsatisfiable dependency (a consumed key nothing
+/// publishes), or a single finding spelling out an offending cycle.
+pub fn check(set: &StreamSet) -> Result<GraphStats, Vec<Finding>> {
+    let p = set.stages();
+    let chunks = set.chunks;
+
+    // Node ids: device-major, position-minor.
+    let offsets: Vec<usize> = set
+        .streams
+        .iter()
+        .scan(0usize, |acc, s| {
+            let o = *acc;
+            *acc += s.len();
+            Some(o)
+        })
+        .collect();
+    let nodes: usize = set.instruction_count();
+    let loc = |id: usize| -> Loc {
+        let s = offsets.iter().rposition(|&o| o <= id).unwrap_or(0);
+        (s, id - offsets[s])
+    };
+
+    // Producer index: each key's publishing node. Well-formedness has
+    // already pinned producers to one occurrence per key.
+    let mut producer: BTreeMap<DepKey, usize> = BTreeMap::new();
+    for (s, stream) in set.streams.iter().enumerate() {
+        for (i, &instr) in stream.iter().enumerate() {
+            if let Some(key) = deps::produced(instr, s, p) {
+                producer.entry(key).or_insert(offsets[s] + i);
+            }
+        }
+    }
+
+    // Predecessor lists: program order plus the dependency edge.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut findings = Vec::new();
+    let mut dependency_edges = 0usize;
+    for (s, stream) in set.streams.iter().enumerate() {
+        for (i, &instr) in stream.iter().enumerate() {
+            let id = offsets[s] + i;
+            if i > 0 {
+                preds[id].push(id - 1);
+            }
+            let Some(edge) = deps::consumed(instr, s, p, chunks) else {
+                continue;
+            };
+            match producer.get(&edge.key) {
+                Some(&src) => {
+                    preds[id].push(src);
+                    dependency_edges += 1;
+                }
+                None => findings.push(Finding::on_device(
+                    Property::Deadlock,
+                    s,
+                    format!(
+                        "position {i} ({}) waits on {} which no instruction publishes",
+                        token(instr),
+                        render_key(edge.key)
+                    ),
+                )),
+            }
+        }
+    }
+    if !findings.is_empty() {
+        return Err(findings);
+    }
+
+    // Kahn's algorithm; whatever it cannot pop is a cycle (every stuck
+    // node retains a stuck predecessor).
+    let mut indegree: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    for (id, ps) in preds.iter().enumerate() {
+        for &src in ps {
+            succs[src].push(id);
+        }
+    }
+    let mut ready: Vec<usize> = (0..nodes).filter(|&id| indegree[id] == 0).collect();
+    let mut popped = 0usize;
+    let mut done = vec![false; nodes];
+    while let Some(id) = ready.pop() {
+        done[id] = true;
+        popped += 1;
+        for &next in &succs[id] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                ready.push(next);
+            }
+        }
+    }
+    if popped == nodes {
+        return Ok(GraphStats {
+            nodes,
+            dependency_edges,
+        });
+    }
+
+    // Extract one concrete cycle: from any stuck node, repeatedly step to
+    // a stuck predecessor until a node repeats.
+    let start = done
+        .iter()
+        .position(|&d| !d)
+        .expect("popped < nodes implies a stuck node");
+    let mut path = vec![start];
+    let cycle = loop {
+        let cur = *path.last().expect("path starts non-empty");
+        let back = preds[cur]
+            .iter()
+            .copied()
+            .find(|&q| !done[q])
+            .expect("stuck nodes retain a stuck predecessor");
+        if let Some(at) = path.iter().position(|&q| q == back) {
+            let mut cycle = path.split_off(at);
+            // Walking predecessors built the path in reverse dependency
+            // order; reverse so the report reads "runs before".
+            cycle.reverse();
+            break cycle;
+        }
+        path.push(back);
+    };
+    let rendered: Vec<String> = cycle
+        .iter()
+        .map(|&id| {
+            let (s, i) = loc(id);
+            format!("dev{s}[{i}] {}", token(set.streams[s][i]))
+        })
+        .collect();
+    let (s0, _) = loc(cycle[0]);
+    Err(vec![Finding::on_device(
+        Property::Deadlock,
+        s0,
+        format!(
+            "dependency cycle among {} instructions: {} -> back to start",
+            cycle.len(),
+            rendered.join(" -> ")
+        ),
+    )])
+}
+
+fn render_key(key: DepKey) -> String {
+    match key {
+        DepKey::Fwd { vs, microbatch } => {
+            format!("the activation of microbatch {microbatch} from virtual stage {vs}")
+        }
+        DepKey::Bwd { vs, microbatch } => {
+            format!("the gradient of microbatch {microbatch} from virtual stage {vs}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefill_pipeline::ScheduleKind;
+
+    #[test]
+    fn builtins_are_acyclic() {
+        for kind in [
+            ScheduleKind::GPipe,
+            ScheduleKind::OneFOneB,
+            ScheduleKind::Interleaved { chunks: 2 },
+            ScheduleKind::ZbH1,
+        ] {
+            let set = StreamSet::from_schedule(kind, 4, 8);
+            let stats = check(&set).unwrap_or_else(|f| panic!("{kind}: {f:?}"));
+            assert_eq!(stats.nodes, set.instruction_count());
+            assert!(stats.dependency_edges > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn classic_wedge_is_reported_as_a_cycle() {
+        // dev0 wants B0 before emitting F1, but dev1 wants F1 before it
+        // will run the F0/B0 pair dev0's B0 is waiting on: dev0[1] B0 →
+        // (program order) dev0[2] F1 → dev1[0] F1 → dev1[2] B0 →
+        // dev0[1] B0 again.
+        let set = StreamSet::parse(
+            "stages = 2\nmicrobatches = 2\n\
+             device_0 = \"F0 B0 F1 B1\"\n\
+             device_1 = \"F1 F0 B0 B1\"\n",
+        )
+        .expect("parses");
+        let findings = check(&set).expect_err("wedged");
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].message.contains("dependency cycle"),
+            "{findings:?}"
+        );
+        assert!(findings[0].message.contains("dev0[1] B0"), "{findings:?}");
+    }
+
+    #[test]
+    fn unsatisfiable_keys_are_reported_per_instruction() {
+        // Stage 0 never forwards microbatch 0, so stage 1's F0 waits on
+        // an activation nothing publishes — starvation, not a cycle.
+        let set = StreamSet::parse(
+            "stages = 2\nmicrobatches = 1\n\
+             device_0 = \"B0\"\n\
+             device_1 = \"F0 B0\"\n",
+        )
+        .expect("parses");
+        let findings = check(&set).expect_err("starved");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("no instruction publishes")),
+            "{findings:?}"
+        );
+    }
+}

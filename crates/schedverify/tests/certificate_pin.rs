@@ -1,0 +1,65 @@
+//! The checked-in artifacts stay live: the pinned certificate grid at
+//! the repo root must be byte-identical to what the verifier produces
+//! today, and the example stream files under `examples/streams/` must
+//! keep meaning what their comments claim (the wedge is rejected as a
+//! cycle, the hand-written 1F1B certifies). The CI `schedule-certify`
+//! job re-proves the same facts through the CLI binary; this test keeps
+//! them enforced by a plain `cargo test` too.
+
+use std::path::PathBuf;
+
+use pipefill_pipeline::EngineConfig;
+use pipefill_schedverify::certificate::{certify_grid, GRID_T_BWD, GRID_T_FWD};
+use pipefill_schedverify::{verify, StreamSet, VerifyConfig};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn the_pinned_report_matches_the_regenerated_grid() {
+    let report = certify_grid();
+    assert!(report.all_certified);
+    assert_eq!(
+        read("schedcert-report.json"),
+        report.json,
+        "schedcert-report.json drifted from the verifier; regenerate with \
+         `pipefill-cli certify-schedules --mode write` and review the diff"
+    );
+}
+
+#[test]
+fn the_deadlock_canary_is_rejected_by_verifier_and_engine() {
+    let set = StreamSet::parse(&read("examples/streams/deadlock.toml")).expect("canary parses");
+    let verdict = verify(&set, &VerifyConfig::new(GRID_T_FWD, GRID_T_BWD));
+    assert!(!verdict.certified(), "the canary must stay a deadlock");
+    assert!(
+        verdict
+            .findings
+            .iter()
+            .any(|f| f.message.contains("dependency cycle")),
+        "{:?}",
+        verdict.findings
+    );
+    // The file's comment claims the engine agrees; keep that true.
+    let cfg = EngineConfig::uniform(
+        pipefill_pipeline::ScheduleKind::OneFOneB,
+        set.stages(),
+        set.microbatches,
+        GRID_T_FWD,
+        GRID_T_BWD,
+    );
+    assert!(cfg.execute_streams(&set.streams).is_err());
+}
+
+#[test]
+fn the_handwritten_example_certifies() {
+    let set = StreamSet::parse(&read("examples/streams/hand-1f1b.toml")).expect("example parses");
+    let verdict = verify(&set, &VerifyConfig::new(GRID_T_FWD, GRID_T_BWD));
+    assert!(verdict.certified(), "{:?}", verdict.findings);
+}

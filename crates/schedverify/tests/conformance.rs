@@ -1,0 +1,170 @@
+//! Conformance: the static analyses pinned against the engine and the
+//! published closed forms across randomized shapes and timings.
+//!
+//! These are the properties the certificates rest on: the longest-path
+//! bubble fraction *is* the engine's `bubble_ratio` (bit-for-bit, not
+//! approximately), the static memory peaks *are* the engine's published
+//! activation envelope, and a claimed built-in schedule always
+//! certifies — i.e. the closed-form regime gating in the verifier never
+//! misfires on a valid stream.
+
+use proptest::prelude::*;
+
+use pipefill_pipeline::{activation_envelope, EngineConfig, ScheduleKind};
+use pipefill_schedverify::{activation_peaks, verify, StreamSet, VerifyConfig};
+use pipefill_sim_core::SimDuration;
+
+fn any_kind() -> impl Strategy<Value = ScheduleKind> {
+    prop_oneof![
+        Just(ScheduleKind::GPipe),
+        Just(ScheduleKind::OneFOneB),
+        Just(ScheduleKind::Interleaved { chunks: 2 }),
+        Just(ScheduleKind::Interleaved { chunks: 3 }),
+        Just(ScheduleKind::ZbH1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A valid built-in stream with its schedule claimed always
+    /// certifies — across shapes (including m < p), timings (including
+    /// backwards that don't split evenly) and comm latencies. Any regime
+    /// misgating in the closed-form comparison would surface here as a
+    /// spurious bubble finding.
+    #[test]
+    fn builtins_certify_for_arbitrary_shapes(
+        kind in any_kind(),
+        p in 1usize..9,
+        m in 1usize..17,
+        tf_ms in 1u64..30,
+        tb_ms in 1u64..60,
+        comm_us in 0u64..1_000,
+    ) {
+        let set = StreamSet::from_schedule(kind, p, m);
+        let mut cfg = VerifyConfig::new(
+            SimDuration::from_millis(tf_ms),
+            SimDuration::from_millis(tb_ms),
+        )
+        .with_schedule(kind);
+        cfg.comm = SimDuration::from_micros(comm_us);
+        let verdict = verify(&set, &cfg);
+        prop_assert!(
+            verdict.certified(),
+            "{kind} p={p} m={m} tf={tf_ms}ms tb={tb_ms}ms comm={comm_us}us: {:?}",
+            verdict.findings
+        );
+    }
+
+    /// The static bubble fraction and period equal the engine's,
+    /// bit-for-bit / integer-exactly, for every schedule, shape and
+    /// timing — the verifier's longest-path recurrence is the engine's
+    /// list scheduler, proven on the same inputs.
+    #[test]
+    fn static_fraction_is_engine_fraction_bit_for_bit(
+        kind in any_kind(),
+        p in 1usize..9,
+        m in 1usize..17,
+        tf_ms in 1u64..30,
+        tb_ms in 1u64..60,
+        comm_us in 0u64..1_000,
+    ) {
+        let tf = SimDuration::from_millis(tf_ms);
+        let tb = SimDuration::from_millis(tb_ms);
+        let mut engine = EngineConfig::uniform(kind, p, m, tf, tb);
+        engine.comm = SimDuration::from_micros(comm_us);
+        let tl = engine.run();
+
+        let set = StreamSet::from_schedule(kind, p, m);
+        let mut cfg = VerifyConfig::new(tf, tb);
+        cfg.comm = SimDuration::from_micros(comm_us);
+        let verdict = verify(&set, &cfg);
+        let stats = verdict.stats.expect("valid streams analyze");
+        prop_assert_eq!(stats.period, tl.period);
+        prop_assert_eq!(
+            stats.bubble_fraction_static.to_bits(),
+            tl.bubble_ratio().to_bits(),
+            "{} p={} m={}: {} vs {}",
+            kind, p, m, stats.bubble_fraction_static, tl.bubble_ratio()
+        );
+    }
+
+    /// The static per-device memory peaks equal the engine's published
+    /// activation envelope for every built-in schedule and shape.
+    #[test]
+    fn static_peaks_equal_published_envelope(
+        kind in any_kind(),
+        p in 1usize..9,
+        m in 1usize..17,
+    ) {
+        let set = StreamSet::from_schedule(kind, p, m);
+        prop_assert_eq!(activation_peaks(&set), activation_envelope(kind, p, m));
+    }
+
+    /// Randomized single mutations preserve the no-false-negative
+    /// contract (the exhaustive corpus lives in `differential.rs`; this
+    /// covers shapes it does not).
+    #[test]
+    fn random_mutants_never_produce_false_negatives(
+        kind in any_kind(),
+        p in 1usize..6,
+        m in 1usize..9,
+        device in 0usize..6,
+        position in 0usize..64,
+        mutation in 0usize..4,
+    ) {
+        let tf = SimDuration::from_millis(10);
+        let tb = SimDuration::from_millis(20);
+        let mut streams = kind.all_stage_instructions(p, m);
+        let s = device % p;
+        let len = streams[s].len();
+        let i = position % len;
+        match mutation {
+            0 => { streams[s].remove(i); }
+            1 => { let instr = streams[s][i]; streams[s].insert(i + 1, instr); }
+            2 if i + 1 < len => { streams[s].swap(i, i + 1); }
+            _ => { let instr = streams[s].remove(i); streams[s].insert(0, instr); }
+        }
+        let engine_ok = EngineConfig::uniform(kind, p, m, tf, tb)
+            .execute_streams(&streams)
+            .is_ok();
+        let set = StreamSet { streams, microbatches: m, chunks: kind.chunk_count() };
+        let certified = verify(&set, &VerifyConfig::new(tf, tb)).certified();
+        prop_assert!(
+            !certified || engine_ok,
+            "{kind} p={p} m={m} dev{s}[{i}] mutation {mutation}: false negative"
+        );
+    }
+}
+
+/// The closed forms themselves, spot-checked at the calibration point
+/// the certificates are generated at (r = 2): GPipe/1F1B at
+/// (p-1)/(m+p-1), ZB-H1 at (p-1)/(3m+p-1), interleaved bounded below by
+/// (p-1)/(vm+p-1).
+#[test]
+fn closed_forms_at_the_calibration_point() {
+    let tf = SimDuration::from_millis(10);
+    let tb = SimDuration::from_millis(20);
+    for (kind, p, m, expected) in [
+        (ScheduleKind::GPipe, 4, 8, 3.0f64 / 11.0),
+        (ScheduleKind::OneFOneB, 4, 8, 3.0 / 11.0),
+        (ScheduleKind::ZbH1, 4, 8, 3.0 / 27.0),
+    ] {
+        let set = StreamSet::from_schedule(kind, p, m);
+        let verdict = verify(&set, &VerifyConfig::new(tf, tb).with_schedule(kind));
+        let stats = verdict.stats.expect("certifies");
+        assert_eq!(
+            stats.bubble_fraction_static.to_bits(),
+            expected.to_bits(),
+            "{kind}"
+        );
+    }
+    let set = StreamSet::from_schedule(ScheduleKind::Interleaved { chunks: 2 }, 4, 8);
+    let verdict = verify(
+        &set,
+        &VerifyConfig::new(tf, tb).with_schedule(ScheduleKind::Interleaved { chunks: 2 }),
+    );
+    let stats = verdict.stats.expect("certifies");
+    let ideal = 3.0 / 19.0;
+    assert!(stats.bubble_fraction_static >= ideal);
+}

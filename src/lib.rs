@@ -30,7 +30,10 @@
 //! * [`scenario`] — the declarative layer: `ScenarioSpec` (TOML-subset
 //!   scenario files lowering to backend configurations) and the
 //!   `Experiment` trait/registry wrapping every driver behind one
-//!   schema-carrying table interface.
+//!   schema-carrying table interface;
+//! * [`schedverify`] — schedcheck, the static schedule verifier: proves
+//!   deadlock-freedom, memory bounds and bubble optimality of arbitrary
+//!   instruction streams without running the engine.
 //!
 //! # Quickstart
 //!
@@ -104,4 +107,9 @@ pub mod core {
 /// ([`pipefill_scenario`]).
 pub mod scenario {
     pub use pipefill_scenario::*;
+}
+
+/// schedcheck: the static schedule verifier ([`pipefill_schedverify`]).
+pub mod schedverify {
+    pub use pipefill_schedverify::*;
 }
